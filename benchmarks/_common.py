@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every bench renders its experiment table with
+:func:`repro.bench.reporting.render_table` and routes it through
+:func:`emit`, which both prints it (visible with ``pytest -s``) and
+writes ``benchmarks/out/<name>.md`` so EXPERIMENTS.md can be refreshed
+from the artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+
+OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+
+
+def emit(name: str, text: str) -> str:
+    """Print *text* and persist it under benchmarks/out/<name>.md."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, "%s.md" % name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)
+    return path

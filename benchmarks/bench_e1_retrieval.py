@@ -1,0 +1,231 @@
+"""E1 — Retrieval efficiency: topology-enhanced vs dense RAG vs BM25.
+
+Paper claim (Sections I, III.B): the graph-based approach "reduces
+reliance on computationally expensive dense retrieval by leveraging
+sparse, topology-guided traversal", cutting the repeated-inference
+overhead of conventional RAG.
+
+Reproduced table (per corpus size and retriever):
+
+* index cost — SLM embedding calls at build time (dense pays one per
+  chunk; topology pays zero: its tagging already happened during graph
+  construction, once, and is also reported);
+* query cost — embedding calls and nodes scored per query;
+* quality — recall@5 and MRR against the planted relevant documents.
+
+Expected shape: topology ≈ dense recall on entity-anchored queries,
+with per-query embedding calls 0 vs 1 and far fewer scored candidates;
+BM25 cheap but weaker on paraphrased queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import LakeSpec, generate_ecommerce_lake, render_table
+from repro.graphindex import GraphIndexBuilder
+from repro.metering import (
+    CostMeter, EDGES_TRAVERSED, EMBEDDING_CALLS, NODES_SCORED,
+    TAGGING_CALLS,
+)
+from repro.retrieval import (
+    BM25Retriever, DenseRetriever, IVFDenseRetriever, TopologyRetriever,
+    aggregate_rankings, evaluate_ranking,
+)
+from repro.slm import SLMConfig, SmallLanguageModel
+from repro.text.chunker import Chunker, ChunkerConfig
+from repro.text.ner import Gazetteer
+
+from _common import emit
+
+CORPUS_SIZES = (8, 24, 48)  # products; chunks ≈ 3× documents
+RESULTS = []
+
+
+def build_corpus(n_products):
+    lake = generate_ecommerce_lake(
+        LakeSpec(n_products=n_products, seed=13, n_filler_docs=6)
+    )
+    chunker = Chunker(ChunkerConfig(max_tokens=48, overlap_sentences=0))
+    chunks = chunker.chunk_corpus(lake.review_texts)
+    queries = lake.retrieval_queries(n=16)
+    return lake, chunks, queries
+
+
+def make_slm(lake, meter):
+    gazetteer = Gazetteer()
+    gazetteer.add("VALUE", lake.product_names())
+    return SmallLanguageModel(SLMConfig(seed=0), gazetteer=gazetteer,
+                              meter=meter)
+
+
+def build_retriever(kind, lake, chunks, meter):
+    slm = make_slm(lake, meter)
+    if kind == "topology":
+        builder = GraphIndexBuilder(slm, meter=meter)
+        builder.add_chunks(chunks)
+        retriever = TopologyRetriever(builder.build(), slm, meter=meter)
+    elif kind == "dense":
+        retriever = DenseRetriever(slm.embedder, meter=meter)
+    elif kind == "dense_ivf":
+        retriever = IVFDenseRetriever(slm.embedder, n_clusters=8,
+                                      n_probe=2, meter=meter)
+    elif kind == "bm25":
+        retriever = BM25Retriever(meter=meter)
+    else:
+        raise ValueError(kind)
+    return retriever
+
+
+@pytest.mark.parametrize("n_products", CORPUS_SIZES)
+@pytest.mark.parametrize("kind", ["topology", "dense", "dense_ivf", "bm25"])
+def test_e1_retrieval(benchmark, kind, n_products):
+    lake, chunks, queries = build_corpus(n_products)
+    meter = CostMeter()
+    with meter.measure() as index_cost:
+        # Graph construction (tagging included) is part of topology's
+        # indexing cost, so retriever construction happens inside.
+        retriever = build_retriever(kind, lake, chunks, meter)
+        retriever.index(chunks)
+
+    with meter.measure() as query_cost:
+        per_query = []
+        for query in queries:
+            hits = retriever.retrieve(query.query, k=5)
+            ranked_docs = []
+            for hit in hits:
+                if hit.chunk.doc_id not in ranked_docs:
+                    ranked_docs.append(hit.chunk.doc_id)
+            per_query.append(
+                evaluate_ranking(ranked_docs, query.relevant_docs, ks=(1, 5))
+            )
+    quality = aggregate_rankings(per_query)
+
+    benchmark(retriever.retrieve, queries[0].query, 5)
+
+    n_queries = len(queries)
+    RESULTS.append({
+        "retriever": kind,
+        "chunks": len(chunks),
+        "index_embed_calls": index_cost.get(EMBEDDING_CALLS, 0),
+        "index_tag_calls": index_cost.get(TAGGING_CALLS, 0),
+        "q_embed_calls": round(
+            query_cost.get(EMBEDDING_CALLS, 0) / n_queries, 2
+        ),
+        "q_nodes_scored": round(
+            query_cost.get(NODES_SCORED, 0) / n_queries, 1
+        ),
+        "q_edges": round(
+            query_cost.get(EDGES_TRAVERSED, 0) / n_queries, 1
+        ),
+        "recall@5": round(quality["recall@5"], 3),
+        "mrr": round(quality["mrr"], 3),
+    })
+
+
+def test_e1_budget_sweep(benchmark):
+    """E1b: the traversal budget (max_nodes) is topology retrieval's
+    recall/work dial at scale — raising it recovers the recall the main
+    table loses at 198 chunks, at proportional edge cost."""
+    from repro.retrieval import TopologyConfig
+
+    lake, chunks, queries = build_corpus(CORPUS_SIZES[-1])
+    rows = []
+    for budget in (200, 400, 1600):
+        meter = CostMeter()
+        slm = make_slm(lake, meter)
+        builder = GraphIndexBuilder(slm, meter=meter)
+        builder.add_chunks(chunks)
+        retriever = TopologyRetriever(
+            builder.build(), slm,
+            config=TopologyConfig(max_nodes=budget), meter=meter,
+        )
+        retriever.index(chunks)
+        per_query = []
+        with meter.measure() as cost:
+            for query in queries:
+                hits = retriever.retrieve(query.query, k=5)
+                ranked = []
+                for hit in hits:
+                    if hit.chunk.doc_id not in ranked:
+                        ranked.append(hit.chunk.doc_id)
+                per_query.append(evaluate_ranking(
+                    ranked, query.relevant_docs, ks=(5,)
+                ))
+        quality = aggregate_rankings(per_query)
+        rows.append({
+            "max_nodes": budget,
+            "recall@5": round(quality["recall@5"], 3),
+            "mrr": round(quality["mrr"], 3),
+            "edges_per_q": round(
+                cost.get(EDGES_TRAVERSED, 0) / len(queries), 1
+            ),
+        })
+    emit("e1_budget", render_table(
+        rows, title="E1b — Topology traversal budget vs recall "
+        "(%d chunks)" % len(chunks)
+    ))
+    # More budget never hurts recall and costs more edges.
+    assert rows[-1]["recall@5"] >= rows[0]["recall@5"]
+    assert rows[-1]["edges_per_q"] > rows[0]["edges_per_q"]
+    benchmark(lambda: None)
+
+
+def test_e1_recall_curve(benchmark):
+    """E1 figure: recall@k curves for topology vs dense on the medium
+    corpus — the ranking-depth view of the main table."""
+    from repro.bench.reporting import render_bars
+
+    lake, chunks, queries = build_corpus(CORPUS_SIZES[1])
+    curves = {}
+    for kind in ("topology", "dense"):
+        meter = CostMeter()
+        retriever = build_retriever(kind, lake, chunks, meter)
+        retriever.index(chunks)
+        points = []
+        for k in (1, 3, 5, 10):
+            per_query = []
+            for query in queries:
+                hits = retriever.retrieve(query.query, k=k)
+                ranked = []
+                for hit in hits:
+                    if hit.chunk.doc_id not in ranked:
+                        ranked.append(hit.chunk.doc_id)
+                per_query.append(evaluate_ranking(
+                    ranked, query.relevant_docs, ks=(k,)
+                ))
+            agg = aggregate_rankings(per_query)
+            points.append({"k": k,
+                           "recall": round(agg["recall@%d" % k], 3)})
+        curves[kind] = points
+    figure = "\n\n".join(
+        render_bars(points, x="k", y="recall",
+                    title="E1 figure — %s recall@k" % kind)
+        for kind, points in curves.items()
+    )
+    emit("e1_recall_curve", figure)
+    # Recall grows with k for both systems.
+    for points in curves.values():
+        recalls = [p["recall"] for p in points]
+        assert recalls == sorted(recalls)
+    benchmark(lambda: None)
+
+
+def test_e1_report(benchmark):
+    """Render the E1 table (depends on the parametrized runs above)."""
+    benchmark(lambda: None)  # keep the report under --benchmark-only
+    assert RESULTS, "parametrized E1 runs must execute first"
+    rows = sorted(RESULTS, key=lambda r: (r["chunks"], r["retriever"]))
+    emit("e1_retrieval", render_table(
+        rows, title="E1 — Retrieval efficiency vs quality"
+    ))
+    # Shape assertions from DESIGN.md §3.
+    by_key = {(r["retriever"], r["chunks"]): r for r in rows}
+    largest = max(r["chunks"] for r in rows)
+    topo = by_key[("topology", largest)]
+    dense = by_key[("dense", largest)]
+    assert topo["index_embed_calls"] == 0
+    assert dense["index_embed_calls"] == largest
+    assert topo["q_embed_calls"] == 0
+    assert dense["q_embed_calls"] >= 1
+    assert topo["recall@5"] >= dense["recall@5"] - 0.15

@@ -1,0 +1,295 @@
+"""E5 — Semantic Operator Synthesis accuracy by query complexity.
+
+Paper claim (Section III.C task 2): the SLM "maps [NL queries] to
+SQL-like operations such as aggregations ... and filtering operations",
+and "operations like SQL joins can also be synthesized".
+
+Reproduced table: for each complexity class (filter / aggregate /
+aggregate+entity-join / join+group-by / comparison-filter), the
+fraction of questions whose synthesized plan exactly matches the gold
+:class:`QuerySpec` signature (plan accuracy) and whose execution result
+matches gold execution (execution accuracy).
+
+Expected shape: accuracy decreasing with plan complexity; joins the
+hardest; execution accuracy ≥ plan accuracy (different plans can
+produce the same answer).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import LakeSpec, generate_ecommerce_lake, render_table
+from repro.errors import SynthesisError
+from repro.metering import CostMeter
+from repro.semql import (
+    AggregateSpec, FilterSpec, JoinSpec, OperatorSynthesizer, QueryCompiler,
+    QuerySpec, SchemaCatalog,
+)
+from repro.storage.relational import Database
+
+from _common import emit
+
+RESULTS = []
+
+
+@pytest.fixture(scope="module")
+def workload():
+    lake = generate_ecommerce_lake(LakeSpec(n_products=10, seed=51))
+    db = Database(meter=CostMeter())
+    for statement in lake.sql_statements():
+        db.execute(statement)
+    # A change table (as Relational Table Generation would produce it)
+    # so comparison-filter queries have a percent column to bind.
+    db.execute(
+        "CREATE TABLE changes (cid INT PRIMARY KEY, subject TEXT, "
+        "quarter TEXT, change_percent FLOAT)"
+    )
+    for i, fact in enumerate(f for f in lake.satisfaction_facts
+                             if not f.noisy):
+        db.execute(
+            "INSERT INTO changes VALUES (%d, '%s', '%s', %.1f)" % (
+                i, fact.product.lower(), fact.quarter,
+                fact.change_percent,
+            )
+        )
+    catalog = SchemaCatalog(db)
+    catalog.register_synonym("sales", "sales", "amount")
+    catalog.register_synonym("increase", "changes", "change_percent")
+    catalog.register_synonym("change", "changes", "change_percent")
+    catalog.register_join("sales", "pid", "products", "pid")
+    catalog.register_join("changes", "subject", "products", "name_key")
+    catalog.register_display_column("products", "name")
+    catalog.build_value_index()
+    return lake, db, OperatorSynthesizer(catalog), QueryCompiler(db)
+
+
+def gold_cases(lake):
+    """(complexity, question, gold QuerySpec) triples."""
+    cases = []
+    manufacturers = sorted({p["manufacturer"] for p in lake.products})
+    for manufacturer in manufacturers[:4]:
+        cases.append((
+            "1_filter",
+            "List products from %s" % manufacturer,
+            QuerySpec(
+                table="products",
+                filters=(FilterSpec("manufacturer", "=",
+                                    manufacturer.lower()),),
+                projection=("name",),
+            ),
+        ))
+    for quarter in ("Q1", "Q2", "Q3", "Q4"):
+        cases.append((
+            "2_aggregate",
+            "Find the total sales of all products in %s." % quarter,
+            QuerySpec(
+                table="sales",
+                filters=(FilterSpec("quarter", "=", quarter.lower()),),
+                aggregates=(AggregateSpec("sum", "amount"),),
+            ),
+        ))
+    for product in lake.products[:4]:
+        cases.append((
+            "3_agg_entity_join",
+            "What is the total sales of the %s?" % product["name"],
+            QuerySpec(
+                table="sales",
+                joins=(JoinSpec("products", "pid", "pid"),),
+                filters=(FilterSpec("name", "=",
+                                    product["name"].lower()),),
+                aggregates=(AggregateSpec("sum", "amount"),),
+            ),
+        ))
+    cases.append((
+        "4_join_group_by",
+        "Find the total sales per manufacturer",
+        QuerySpec(
+            table="sales",
+            joins=(JoinSpec("products", "pid", "pid"),),
+            group_by=("manufacturer",),
+            aggregates=(AggregateSpec("sum", "amount"),),
+            projection=("manufacturer",),
+        ),
+    ))
+    cases.append((
+        "4_join_group_by",
+        "Find the average sales per manufacturer",
+        QuerySpec(
+            table="sales",
+            joins=(JoinSpec("products", "pid", "pid"),),
+            group_by=("manufacturer",),
+            aggregates=(AggregateSpec("avg", "amount"),),
+            projection=("manufacturer",),
+        ),
+    ))
+    for threshold in (10, 15, 20):
+        cases.append((
+            "5_comparison",
+            "Count changes with an increase of more than %d%%" % threshold,
+            QuerySpec(
+                table="changes",
+                filters=(FilterSpec("change_percent", ">",
+                                    float(threshold)),),
+                aggregates=(AggregateSpec("count", "*"),),
+            ),
+        ))
+    for manufacturer in sorted({p["manufacturer"]
+                                for p in lake.products})[:2]:
+        cases.append((
+            "5b_superlative",
+            "Which product from %s has the highest price?" % manufacturer,
+            QuerySpec(
+                table="products",
+                filters=(FilterSpec("manufacturer", "=",
+                                    manufacturer.lower()),),
+                projection=("name",),
+                order_by="price",
+                descending=True,
+                limit=1,
+            ),
+        ))
+    cases.append((
+        "5b_superlative",
+        "Which product is the cheapest?",
+        QuerySpec(
+            table="products",
+            projection=("name",),
+            order_by="price",
+            descending=False,
+            limit=1,
+        ),
+    ))
+    for threshold in (400, 800):
+        cases.append((
+            "5c_group_having",
+            "List manufacturers with total sales above %d" % threshold,
+            QuerySpec(
+                table="sales",
+                joins=(JoinSpec("products", "pid", "pid"),),
+                group_by=("manufacturer",),
+                aggregates=(AggregateSpec("sum", "amount"),),
+                having=((AggregateSpec("sum", "amount"), ">",
+                         float(threshold)),),
+                projection=("manufacturer",),
+            ),
+        ))
+    # Hard paraphrases: vocabulary outside the registered synonyms,
+    # implicit distinctness, superlatives — where a template-free NL
+    # layer starts to break (the realistic accuracy ceiling).
+    product = lake.products[0]["name"]
+    cases.extend([
+        (
+            "6_hard_paraphrase",
+            "What did the sales add up to across each maker?",
+            QuerySpec(
+                table="sales",
+                joins=(JoinSpec("products", "pid", "pid"),),
+                group_by=("manufacturer",),
+                aggregates=(AggregateSpec("sum", "amount"),),
+                projection=("manufacturer",),
+            ),
+        ),
+        (
+            "6_hard_paraphrase",
+            "How many different manufacturers are there?",
+            QuerySpec(
+                table="products",
+                aggregates=(AggregateSpec("count", "manufacturer",
+                                          distinct=True),),
+            ),
+        ),
+        (
+            "6_hard_paraphrase",
+            "Which quarter moved the most units of the %s?" % product,
+            QuerySpec(
+                table="sales",
+                joins=(JoinSpec("products", "pid", "pid"),),
+                filters=(FilterSpec("name", "=", product.lower()),),
+                projection=("quarter",),
+                order_by="amount",
+                descending=True,
+                limit=1,
+            ),
+        ),
+        (
+            "6_hard_paraphrase",
+            "Total revenue please for Q2",
+            QuerySpec(
+                table="sales",
+                filters=(FilterSpec("quarter", "=", "q2"),),
+                aggregates=(AggregateSpec("sum", "amount"),),
+            ),
+        ),
+    ])
+    return cases
+
+
+def _rows_match(a, b) -> bool:
+    def canon(rs):
+        return sorted(
+            tuple(
+                round(v, 6) if isinstance(v, float) else v for v in row
+            )
+            for row in rs.rows
+        )
+    return canon(a) == canon(b)
+
+
+def test_e5_synthesis(benchmark, workload):
+    lake, db, synthesizer, compiler = workload
+    per_class = {}
+    for complexity, question, gold in gold_cases(lake):
+        stats = per_class.setdefault(
+            complexity, {"n": 0, "plan": 0, "exec": 0, "abstain": 0}
+        )
+        stats["n"] += 1
+        try:
+            predicted = synthesizer.synthesize(question)
+        except SynthesisError:
+            stats["abstain"] += 1
+            continue
+        if predicted.matches(gold):
+            stats["plan"] += 1
+        try:
+            if _rows_match(compiler.execute(predicted),
+                           compiler.execute(gold)):
+                stats["exec"] += 1
+        except SynthesisError:
+            pass
+    for complexity in sorted(per_class):
+        stats = per_class[complexity]
+        RESULTS.append({
+            "complexity": complexity,
+            "n": stats["n"],
+            "plan_accuracy": round(stats["plan"] / stats["n"], 3),
+            "exec_accuracy": round(stats["exec"] / stats["n"], 3),
+            "abstain": round(stats["abstain"] / stats["n"], 3),
+        })
+    benchmark(
+        synthesizer.synthesize,
+        "Find the total sales of all products in Q2.",
+    )
+
+
+def test_e5_report(benchmark, workload):
+    benchmark(lambda: None)
+    assert RESULTS, "E5 synthesis runs first"
+    emit("e5_synthesis", render_table(
+        RESULTS, title="E5 — Operator synthesis accuracy by complexity"
+    ))
+    by_class = {r["complexity"]: r for r in RESULTS}
+    # Simple classes are (near-)solved.
+    assert by_class["1_filter"]["exec_accuracy"] >= 0.75
+    assert by_class["2_aggregate"]["exec_accuracy"] >= 0.75
+    # Execution accuracy never below plan accuracy.
+    for row in RESULTS:
+        assert row["exec_accuracy"] >= row["plan_accuracy"]
+    # Template classes are at least half-solved end to end; the hard
+    # paraphrase class sits strictly below the simple classes — the
+    # complexity-degradation shape.
+    for row in RESULTS:
+        if row["complexity"] != "6_hard_paraphrase":
+            assert row["exec_accuracy"] >= 0.5
+    assert (by_class["6_hard_paraphrase"]["exec_accuracy"]
+            < by_class["1_filter"]["exec_accuracy"])

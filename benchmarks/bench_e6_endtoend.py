@@ -1,0 +1,128 @@
+"""E6 — End-to-end efficiency: the SLM pipeline vs conventional dense RAG.
+
+Paper claims (Sections I, IV): the system targets "low-latency
+responses or deployment on devices with limited memory"; conventional
+RAG's "repeated LLM inference passes and large-scale vector indexing"
+are the costs avoided.
+
+Reproduced table, per system:
+
+* build cost — model calls to index the lake (embedding + tagging);
+* per-query model calls (embedding + generation) — the dominant
+  latency term on a real device, where each SLM inference pass costs
+  milliseconds;
+* index memory — vector-matrix bytes vs serialized graph bytes;
+* wall-clock per query (pytest-benchmark) on this machine;
+* answer accuracy over the same mixed QA suite.
+
+Expected shape: the hybrid pipeline spends zero embedding calls per
+query and needs no O(corpus) vector matrix, at equal-or-better
+accuracy; dense RAG pays one embedding call per chunk at build and one
+per query plus O(corpus) similarity work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    LakeSpec, generate_ecommerce_lake, render_table, run_qa_suite,
+)
+from repro.bench.runner import build_hybrid_system, build_rag_system
+from repro.graphindex import graph_to_json
+from repro.metering import (
+    CostMeter, EMBEDDING_CALLS, GENERATION_CALLS, TAGGING_CALLS,
+    VECTORS_COMPARED,
+)
+from repro.slm import SLMConfig, SmallLanguageModel
+from repro.text.chunker import Chunker, ChunkerConfig
+from repro.retrieval.dense import DenseRetriever
+from repro.text.ner import Gazetteer
+
+from _common import emit
+
+RESULTS = []
+
+
+@pytest.fixture(scope="module")
+def lake():
+    return generate_ecommerce_lake(LakeSpec(n_products=12, seed=61))
+
+
+@pytest.fixture(scope="module")
+def suite(lake):
+    return lake.qa_pairs(per_kind=5)
+
+
+def _measure(system_name, build_fn, lake, suite):
+    meter = CostMeter()
+    system, extras = build_fn(lake, meter)
+    build_cost = meter.snapshot()
+    result = run_qa_suite(system, suite)
+    n = len(suite)
+    row = {
+        "system": system_name,
+        "build_embed": build_cost.get(EMBEDDING_CALLS, 0),
+        "build_tag": build_cost.get(TAGGING_CALLS, 0),
+        "q_embed": round(result.cost.get(EMBEDDING_CALLS, 0) / n, 2),
+        "q_gen": round(result.cost.get(GENERATION_CALLS, 0) / n, 2),
+        "q_vec_cmp": round(result.cost.get(VECTORS_COMPARED, 0) / n, 1),
+        "index_bytes": extras["index_bytes"],
+        "accuracy": round(result.overall_accuracy, 3),
+        "wall_s_suite": round(result.total_seconds, 3),
+    }
+    return system, row
+
+
+def _build_hybrid(lake, meter):
+    system, pipeline = build_hybrid_system(lake)
+    meter.merge(system.meter)
+    index_bytes = len(graph_to_json(pipeline.graph).encode("utf-8"))
+    # Re-point meter so run_qa_suite diffs against the shared meter.
+    return system, {"index_bytes": index_bytes}
+
+
+def _build_rag(lake, meter):
+    system = build_rag_system(lake)
+    meter.merge(system.meter)
+    gazetteer = Gazetteer()
+    gazetteer.add("VALUE", lake.product_names())
+    probe_meter = CostMeter()
+    slm = SmallLanguageModel(SLMConfig(seed=0), gazetteer=gazetteer,
+                             meter=probe_meter)
+    chunks = Chunker(
+        ChunkerConfig(max_tokens=48, overlap_sentences=0)
+    ).chunk_corpus(lake.review_texts)
+    retriever = DenseRetriever(slm.embedder, meter=probe_meter)
+    retriever.index(chunks)
+    return system, {"index_bytes": retriever.index_bytes}
+
+
+def test_e6_hybrid(benchmark, lake, suite):
+    system, row = _measure("hybrid", _build_hybrid, lake, suite)
+    RESULTS.append(row)
+    benchmark(system.answer, suite[0].question)
+
+
+def test_e6_dense_rag(benchmark, lake, suite):
+    system, row = _measure("dense_rag", _build_rag, lake, suite)
+    RESULTS.append(row)
+    benchmark(system.answer, suite[0].question)
+
+
+def test_e6_report(benchmark):
+    benchmark(lambda: None)
+    assert len(RESULTS) >= 2, "E6 systems must run first"
+    emit("e6_endtoend", render_table(
+        RESULTS, title="E6 — End-to-end cost and accuracy"
+    ))
+    by_system = {r["system"]: r for r in RESULTS}
+    hybrid, rag = by_system["hybrid"], by_system["dense_rag"]
+    # Hybrid answers without per-query embedding passes.
+    assert hybrid["q_embed"] == 0.0
+    assert rag["q_embed"] >= 1.0
+    # Dense RAG pays one embedding pass per chunk at build time.
+    assert rag["build_embed"] > 0
+    assert hybrid["build_embed"] == 0
+    # And the hybrid system is more accurate on the mixed suite.
+    assert hybrid["accuracy"] > rag["accuracy"]

@@ -1,0 +1,98 @@
+"""E9 (extension) — Pipeline scaling with lake size.
+
+Paper claims (I, IV): conventional RAG over large lakes needs "hundreds
+of GPU hours"; the system should "handle even larger and more diverse
+datasets". This bench grows the lake and reports how build-time model
+work, index size and per-query work scale.
+
+Expected shape: build-side tagging calls grow linearly in corpus size
+(one pass per chunk — the unavoidable minimum), while per-query model
+calls stay ~constant (0 embeddings; a generation call only on text
+routes) and answer accuracy holds. Dense RAG's build embeddings grow
+on the same line but its per-query vector comparisons grow linearly
+too — the gap the paper targets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import LakeSpec, generate_ecommerce_lake, render_table
+from repro.bench.reporting import render_bars
+from repro.bench.runner import (
+    build_hybrid_system, build_rag_system, run_qa_suite,
+)
+from repro.metering import (
+    EMBEDDING_CALLS, GENERATION_CALLS, TAGGING_CALLS, VECTORS_COMPARED,
+)
+
+from _common import emit
+
+SIZES = (6, 12, 24)
+RESULTS = []
+
+
+def measure(n_products):
+    lake = generate_ecommerce_lake(LakeSpec(n_products=n_products,
+                                            seed=91))
+    suite = lake.qa_pairs(per_kind=3)
+    rows = []
+    for name, build in (("hybrid", build_hybrid_system),
+                        ("dense_rag", build_rag_system)):
+        built = build(lake)
+        system = built[0] if isinstance(built, tuple) else built
+        build_cost = system.meter.snapshot()
+        result = run_qa_suite(system, suite)
+        n = len(suite)
+        rows.append({
+            "system": name,
+            "products": n_products,
+            "chunks": len(lake.review_texts),
+            "build_tag": build_cost.get(TAGGING_CALLS, 0),
+            "build_embed": build_cost.get(EMBEDDING_CALLS, 0),
+            "q_embed": round(
+                result.cost.get(EMBEDDING_CALLS, 0) / n, 2),
+            "q_gen": round(
+                result.cost.get(GENERATION_CALLS, 0) / n, 2),
+            "q_vec_cmp": round(
+                result.cost.get(VECTORS_COMPARED, 0) / n, 1),
+            "accuracy": round(result.overall_accuracy, 3),
+        })
+    return rows
+
+
+@pytest.mark.parametrize("n_products", SIZES)
+def test_e9_scale(benchmark, n_products):
+    RESULTS.extend(measure(n_products))
+    lake = generate_ecommerce_lake(LakeSpec(n_products=n_products,
+                                            seed=91))
+    system, _ = build_hybrid_system(lake)
+    question = lake.qa_pairs(per_kind=1)[0].question
+    benchmark(system.answer, question)
+
+
+def test_e9_report(benchmark):
+    benchmark(lambda: None)
+    assert RESULTS, "scaling runs first"
+    rows = sorted(RESULTS, key=lambda r: (r["system"], r["products"]))
+    emit("e9_scaling", render_table(
+        rows, title="E9 (extension) — Cost scaling with lake size"
+    ))
+    hybrid_rows = [r for r in rows if r["system"] == "hybrid"]
+    emit("e9_scaling_figure", render_bars(
+        hybrid_rows, x="chunks", y="build_tag",
+        title="E9 figure — hybrid build-side tagging vs corpus size "
+        "(linear: one pass per chunk)",
+    ))
+    hybrid = [r for r in rows if r["system"] == "hybrid"]
+    rag = [r for r in rows if r["system"] == "dense_rag"]
+    # Hybrid: zero per-query embeddings at every scale; accuracy holds.
+    for row in hybrid:
+        assert row["q_embed"] == 0.0
+        assert row["accuracy"] >= 0.85
+    # Dense RAG per-query comparison work grows with the corpus.
+    assert rag[-1]["q_vec_cmp"] > rag[0]["q_vec_cmp"]
+    # Hybrid build-side tagging grows roughly linearly (single pass).
+    ratio = hybrid[-1]["build_tag"] / max(hybrid[0]["build_tag"], 1)
+    size_ratio = hybrid[-1]["chunks"] / hybrid[0]["chunks"]
+    assert ratio <= size_ratio * 1.6

@@ -1,0 +1,40 @@
+"""Conversational analytics session (follow-up resolution).
+
+The paper's conclusion targets "real-time data analytics"; analysts
+converse. :class:`QASession` resolves elliptical follow-ups against the
+previous question before routing them through the pipeline.
+
+Run:  python examples/analyst_session.py
+"""
+
+from repro.bench import LakeSpec, generate_ecommerce_lake
+from repro.bench.runner import build_hybrid_system
+from repro.qa import QASession
+
+
+def main():
+    lake = generate_ecommerce_lake(LakeSpec(n_products=6, seed=29))
+    _, pipeline = build_hybrid_system(lake)
+    session = QASession(pipeline)
+
+    product_a = lake.products[0]["name"]
+    product_b = lake.products[1]["name"]
+    conversation = [
+        "What is the total sales of the %s in Q1?" % product_a,
+        "And in Q2?",
+        "What about the %s?" % product_b,
+        "And in Q3?",
+        "Find the total sales of all products in Q4.",  # standalone
+    ]
+    for turn in conversation:
+        answer = session.ask(turn)
+        resolved = answer.metadata.get("rewritten")
+        print("> %s" % turn)
+        if resolved:
+            print("  (resolved: %s)" % resolved)
+        print("  = %s" % answer.text)
+        print()
+
+
+if __name__ == "__main__":
+    main()

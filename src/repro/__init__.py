@@ -1,0 +1,54 @@
+"""repro — SLM-driven unified semantic queries across heterogeneous databases.
+
+A from-scratch reproduction of Lin, *"Simplifying Data Integration:
+SLM-Driven Systems for Unified Semantic Queries Across Heterogeneous
+Databases"* (ICDE 2025). The package provides:
+
+* :mod:`repro.slm` — a simulated Small Language Model (embeddings,
+  tagging, grounded generation, entailment);
+* :mod:`repro.storage` — relational engine with a SQL subset, document
+  store, text store, CSV I/O;
+* :mod:`repro.graphindex` — semantic-aware heterogeneous graph indexing;
+* :mod:`repro.retrieval` — topology-enhanced retrieval plus dense/BM25
+  baselines;
+* :mod:`repro.extraction` — Relational Table Generation;
+* :mod:`repro.semql` — Semantic Operator Synthesis and semantic
+  operators;
+* :mod:`repro.qa` — the hybrid Multi-Entity QA pipeline and baselines;
+* :mod:`repro.entropy` — semantic entropy and calibration;
+* :mod:`repro.bench` — synthetic data lakes and the experiment harness.
+"""
+
+from .entropy import SemanticEntropyEstimator
+from .errors import ReproError
+from .extraction import TableGenerator
+from .graphindex import GraphIndexBuilder, HeterogeneousGraph
+from .metering import CostMeter
+from .qa import Answer, HybridQAPipeline, TableQAEngine, TextQAEngine
+from .retrieval import (
+    BM25Retriever, DenseRetriever, IVFDenseRetriever, TopologyRetriever,
+)
+from .semql import (
+    OperatorSynthesizer, QueryCompiler, QuerySpec, SchemaCatalog,
+    SemanticOperators,
+)
+from .slm import SLMConfig, SmallLanguageModel
+from .storage.relational import Database
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "SemanticEntropyEstimator",
+    "ReproError",
+    "TableGenerator",
+    "GraphIndexBuilder", "HeterogeneousGraph",
+    "CostMeter",
+    "Answer", "HybridQAPipeline", "TableQAEngine", "TextQAEngine",
+    "BM25Retriever", "DenseRetriever", "IVFDenseRetriever",
+    "TopologyRetriever",
+    "OperatorSynthesizer", "QueryCompiler", "QuerySpec", "SchemaCatalog",
+    "SemanticOperators",
+    "SLMConfig", "SmallLanguageModel",
+    "Database",
+    "__version__",
+]

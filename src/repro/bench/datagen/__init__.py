@@ -1,0 +1,11 @@
+"""Synthetic data-lake generators with ground-truth labels."""
+
+from .ecommerce import EcommerceLake, LakeSpec, generate_ecommerce_lake
+from .healthcare import HealthcareLake, HealthSpec, generate_healthcare_lake
+from .queries import QAPair, RetrievalQuery
+
+__all__ = [
+    "EcommerceLake", "LakeSpec", "generate_ecommerce_lake",
+    "HealthcareLake", "HealthSpec", "generate_healthcare_lake",
+    "QAPair", "RetrievalQuery",
+]

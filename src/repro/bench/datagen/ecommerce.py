@@ -1,0 +1,482 @@
+"""Synthetic e-commerce data lake with ground truth.
+
+Generates the workload the paper's introduction motivates: a product
+catalog and quarterly sales (structured), shipment logs (JSON), and
+customer-review/market reports (unstructured) that mention per-product
+satisfaction changes. The generator keeps every planted fact, so QA
+pairs, retrieval gold and extraction gold all come with labels.
+
+Everything is seeded: the same spec reproduces the same lake.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...errors import BenchmarkError
+from .queries import (
+    KIND_COMPARISON, KIND_CROSS_MODAL, KIND_STRUCTURED_AGG,
+    KIND_STRUCTURED_ENTITY, KIND_UNSTRUCTURED_FACT, QAPair, RetrievalQuery,
+)
+
+_ADJECTIVES = (
+    "Alpha", "Beta", "Gamma", "Delta", "Epsilon", "Zeta", "Nova", "Prime",
+    "Crimson", "Azure", "Amber", "Cobalt", "Ivory", "Onyx", "Quartz",
+    "Solar", "Lunar", "Rapid", "Silent", "Turbo",
+)
+_NOUNS = (
+    "Widget", "Gadget", "Gizmo", "Module", "Sensor", "Router", "Speaker",
+    "Charger", "Blender", "Lamp", "Kettle", "Monitor", "Drone", "Scale",
+    "Camera", "Printer", "Tracker", "Heater", "Fan", "Clock",
+)
+_MANUFACTURERS = (
+    "Acme", "Globex", "Initech", "Umbrella", "Stark Labs", "Wayne Tech",
+    "Hooli", "Vandelay",
+)
+_CATEGORIES = ("electronics", "home", "kitchen", "outdoor", "office")
+
+_UP_TEMPLATES = (
+    "Customer satisfaction with the {product} increased {pct}% in "
+    "{quarter} {year}.",
+    "In {quarter} {year}, satisfaction with the {product} rose {pct}%.",
+    "The {product} saw its satisfaction climb {pct}% during "
+    "{quarter} {year}.",
+)
+_DOWN_TEMPLATES = (
+    "Customer satisfaction with the {product} decreased {pct}% in "
+    "{quarter} {year}.",
+    "In {quarter} {year}, satisfaction with the {product} fell {pct}%.",
+    "The {product} saw its satisfaction drop {pct}% during "
+    "{quarter} {year}.",
+)
+_FILLER_SENTENCES = (
+    "Shoppers praised the packaging and the quick setup process.",
+    "Several buyers mentioned the helpful customer support team.",
+    "Retail partners reported steady foot traffic over the period.",
+    "The warranty terms remained unchanged from the previous cycle.",
+    "Online forums discussed accessories and third-party add-ons.",
+    "Seasonal promotions ran in selected regional markets.",
+)
+_NOISE_SENTENCES = (
+    "Some users felt the product was somewhat better than before.",
+    "Feedback was mixed and hard to quantify this period.",
+    "Anecdotal reports suggested modest shifts in sentiment.",
+)
+
+QUARTERS = ("Q1", "Q2", "Q3", "Q4")
+
+
+@dataclass
+class LakeSpec:
+    """Size/noise knobs of the synthetic lake."""
+
+    n_products: int = 12
+    n_quarters: int = 4
+    year: int = 2024
+    reviews_noise: float = 0.0   # fraction of reports made vague
+    n_filler_docs: int = 4       # entity-free distractor documents
+    name_variant_prob: float = 0.0  # reviews hyphenate product names
+    seed: int = 7
+
+    def __post_init__(self):
+        if not 1 <= self.n_quarters <= 4:
+            raise BenchmarkError("n_quarters must be in [1, 4]")
+        if self.n_products < 2:
+            raise BenchmarkError("need at least 2 products")
+        if not 0.0 <= self.reviews_noise <= 1.0:
+            raise BenchmarkError("reviews_noise must be in [0, 1]")
+        if not 0.0 <= self.name_variant_prob <= 1.0:
+            raise BenchmarkError("name_variant_prob must be in [0, 1]")
+
+
+@dataclass
+class SatisfactionFact:
+    """Gold: one planted satisfaction-change fact."""
+
+    product: str
+    quarter: str
+    year: int
+    change_percent: float   # signed
+    doc_id: str
+    noisy: bool = False
+
+    def gold_record(self) -> Dict[str, Any]:
+        """The gold extraction record (E4's unit of comparison)."""
+        return {
+            "subject": self.product.lower(),
+            "metric": "satisfaction",
+            "change_percent": self.change_percent,
+            "quarter": self.quarter,
+            "year": self.year,
+            "direction": "up" if self.change_percent >= 0 else "down",
+        }
+
+
+@dataclass
+class EcommerceLake:
+    """A fully materialized synthetic lake plus all gold labels."""
+
+    spec: LakeSpec
+    products: List[Dict[str, Any]] = field(default_factory=list)
+    sales: List[Dict[str, Any]] = field(default_factory=list)
+    shipment_docs: List[Tuple[str, Dict[str, Any]]] = field(
+        default_factory=list
+    )
+    review_texts: List[Tuple[str, str]] = field(default_factory=list)
+    satisfaction_facts: List[SatisfactionFact] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def sql_statements(self) -> List[str]:
+        """CREATE/INSERT statements for the curated tables."""
+        statements = [
+            "CREATE TABLE products (pid INT PRIMARY KEY, name TEXT, "
+            "name_key TEXT, manufacturer TEXT, category TEXT, price FLOAT)",
+            "CREATE TABLE sales (sid INT PRIMARY KEY, pid INT, "
+            "quarter TEXT, year INT, amount FLOAT)",
+        ]
+        for product in self.products:
+            statements.append(
+                "INSERT INTO products VALUES (%d, '%s', '%s', '%s', '%s', "
+                "%.2f)" % (
+                    product["pid"], product["name"],
+                    product["name"].lower(), product["manufacturer"],
+                    product["category"], product["price"],
+                )
+            )
+        for row in self.sales:
+            statements.append(
+                "INSERT INTO sales VALUES (%d, %d, '%s', %d, %.2f)" % (
+                    row["sid"], row["pid"], row["quarter"], row["year"],
+                    row["amount"],
+                )
+            )
+        return statements
+
+    def product_names(self) -> List[str]:
+        """All product surface names (for gazetteers)."""
+        return [p["name"] for p in self.products]
+
+    def gold_extraction_records(
+        self, include_noisy: bool = False
+    ) -> List[Dict[str, Any]]:
+        """Gold records for planted facts.
+
+        Noisy facts exist in the world but are written too vaguely to
+        extract; include them when measuring recall against *all*
+        planted information (E4's noise sweep).
+        """
+        return [
+            f.gold_record() for f in self.satisfaction_facts
+            if include_noisy or not f.noisy
+        ]
+
+    # ------------------------------------------------------------------
+    # Workloads
+    # ------------------------------------------------------------------
+    def qa_pairs(self, per_kind: int = 8,
+                 seed: Optional[int] = None) -> List[QAPair]:
+        """A balanced QA suite across the four question classes."""
+        rng = random.Random(self.spec.seed if seed is None else seed)
+        pairs: List[QAPair] = []
+        pairs += self._structured_entity_pairs(per_kind, rng)
+        pairs += self._structured_agg_pairs(per_kind, rng)
+        pairs += self._unstructured_pairs(per_kind, rng)
+        pairs += self._cross_modal_pairs(per_kind, rng)
+        pairs += self._comparison_pairs(per_kind, rng)
+        return pairs
+
+    def _comparison_pairs(self, n: int, rng) -> List[QAPair]:
+        """Two-entity satisfaction comparisons (paper's intro example)."""
+        by_key: Dict[Tuple[str, str], SatisfactionFact] = {}
+        for fact in self.satisfaction_facts:
+            if not fact.noisy:
+                by_key[(fact.product, fact.quarter)] = fact
+        products = sorted({p for p, _ in by_key})
+        pairs: List[QAPair] = []
+        candidates = []
+        for quarter in QUARTERS[: self.spec.n_quarters]:
+            present = [p for p in products if (p, quarter) in by_key]
+            for i in range(0, len(present) - 1, 2):
+                candidates.append((present[i], present[i + 1], quarter))
+        rng.shuffle(candidates)
+        for a, b, quarter in candidates[:n]:
+            fact_a, fact_b = by_key[(a, quarter)], by_key[(b, quarter)]
+            if fact_a.change_percent == fact_b.change_percent:
+                continue
+            winner = a if fact_a.change_percent > fact_b.change_percent \
+                else b
+            pairs.append(QAPair(
+                question="Compare the satisfaction change of the %s and "
+                         "the %s in %s %d." % (a, b, quarter,
+                                               self.spec.year),
+                kind=KIND_COMPARISON,
+                answer_text="%s is higher" % winner.lower(),
+                relevant_docs=(fact_a.doc_id, fact_b.doc_id),
+                metadata={
+                    "winner": winner.lower(),
+                    "values": {a.lower(): fact_a.change_percent,
+                               b.lower(): fact_b.change_percent},
+                },
+            ))
+        return pairs
+
+    def _sales_lookup(self) -> Dict[Tuple[int, str], float]:
+        return {
+            (row["pid"], row["quarter"]): row["amount"]
+            for row in self.sales
+        }
+
+    def _structured_entity_pairs(self, n: int, rng) -> List[QAPair]:
+        lookup = self._sales_lookup()
+        pairs = []
+        combos = [
+            (p, q) for p in self.products
+            for q in QUARTERS[: self.spec.n_quarters]
+        ]
+        rng.shuffle(combos)
+        for product, quarter in combos[:n]:
+            amount = lookup[(product["pid"], quarter)]
+            pairs.append(QAPair(
+                question="What is the total sales of the %s in %s?"
+                         % (product["name"], quarter),
+                kind=KIND_STRUCTURED_ENTITY,
+                answer_value=round(amount, 2),
+                metadata={"product": product["name"], "quarter": quarter},
+            ))
+        return pairs
+
+    def _structured_agg_pairs(self, n: int, rng) -> List[QAPair]:
+        pairs = []
+        quarters = list(QUARTERS[: self.spec.n_quarters])
+        manufacturers = sorted({p["manufacturer"] for p in self.products})
+        options = []
+        for quarter in quarters:
+            total = sum(
+                row["amount"] for row in self.sales
+                if row["quarter"] == quarter
+            )
+            options.append(QAPair(
+                question="Find the total sales of all products in %s."
+                         % quarter,
+                kind=KIND_STRUCTURED_AGG,
+                answer_value=round(total, 2),
+                metadata={"quarter": quarter},
+            ))
+        for quarter in quarters:
+            count = sum(
+                1 for row in self.sales if row["quarter"] == quarter
+            )
+            options.append(QAPair(
+                question="How many sales records are there in %s?" % quarter,
+                kind=KIND_STRUCTURED_AGG,
+                answer_value=float(count),
+                metadata={"quarter": quarter},
+            ))
+        pid_to_mfr = {p["pid"]: p["manufacturer"] for p in self.products}
+        for manufacturer in manufacturers:
+            for quarter in quarters[:2]:
+                total = sum(
+                    row["amount"] for row in self.sales
+                    if row["quarter"] == quarter
+                    and pid_to_mfr[row["pid"]] == manufacturer
+                )
+                if total == 0:
+                    continue
+                options.append(QAPair(
+                    question="Find the total sales of %s products in %s."
+                             % (manufacturer, quarter),
+                    kind=KIND_STRUCTURED_AGG,
+                    answer_value=round(total, 2),
+                    metadata={"manufacturer": manufacturer,
+                              "quarter": quarter},
+                ))
+        rng.shuffle(options)
+        return options[:n]
+
+    def _unstructured_pairs(self, n: int, rng) -> List[QAPair]:
+        clean = [f for f in self.satisfaction_facts if not f.noisy]
+        rng.shuffle(clean)
+        pairs = []
+        for fact in clean[:n]:
+            pairs.append(QAPair(
+                question="How much did satisfaction with the %s change "
+                         "in %s %d?" % (fact.product, fact.quarter,
+                                        fact.year),
+                kind=KIND_UNSTRUCTURED_FACT,
+                answer_value=abs(fact.change_percent),
+                relevant_docs=(fact.doc_id,),
+                metadata={"product": fact.product,
+                          "quarter": fact.quarter,
+                          "signed": fact.change_percent,
+                          "magnitude": True},
+            ))
+        return pairs
+
+    def _cross_modal_pairs(self, n: int, rng) -> List[QAPair]:
+        by_manufacturer: Dict[str, List[SatisfactionFact]] = {}
+        name_to_product = {p["name"]: p for p in self.products}
+        for fact in self.satisfaction_facts:
+            if fact.noisy:
+                continue
+            manufacturer = name_to_product[fact.product]["manufacturer"]
+            by_manufacturer.setdefault(manufacturer, []).append(fact)
+        pairs = []
+        for manufacturer in sorted(by_manufacturer):
+            facts = by_manufacturer[manufacturer]
+            mean_change = sum(f.change_percent for f in facts) / len(facts)
+            pairs.append(QAPair(
+                question="What is the average satisfaction change of "
+                         "products from %s?" % manufacturer,
+                kind=KIND_CROSS_MODAL,
+                answer_value=round(mean_change, 6),
+                relevant_docs=tuple(sorted(f.doc_id for f in facts)),
+                metadata={"manufacturer": manufacturer,
+                          "n_facts": len(facts)},
+            ))
+        rng.shuffle(pairs)
+        return pairs[:n]
+
+    def retrieval_queries(self, n: int = 20,
+                          seed: Optional[int] = None) -> List[RetrievalQuery]:
+        """Entity-anchored retrieval queries with document-level gold."""
+        rng = random.Random(self.spec.seed + 1 if seed is None else seed)
+        by_product: Dict[str, List[str]] = {}
+        for fact in self.satisfaction_facts:
+            by_product.setdefault(fact.product, []).append(fact.doc_id)
+        queries: List[RetrievalQuery] = []
+        products = sorted(by_product)
+        rng.shuffle(products)
+        for product in products:
+            queries.append(RetrievalQuery(
+                query="How did customer satisfaction with the %s develop?"
+                      % product,
+                relevant_docs=set(by_product[product]),
+                n_entities=1,
+            ))
+        for i in range(0, len(products) - 1, 2):
+            a, b = products[i], products[i + 1]
+            queries.append(RetrievalQuery(
+                query="Compare satisfaction trends for the %s and the %s."
+                      % (a, b),
+                relevant_docs=set(by_product[a]) | set(by_product[b]),
+                n_entities=2,
+            ))
+        rng.shuffle(queries)
+        return queries[:n]
+
+    def indirect_retrieval_queries(self) -> List[RetrievalQuery]:
+        """Manufacturer-level queries whose gold reviews never mention
+        the manufacturer — answerable only through the catalog link."""
+        by_product: Dict[str, List[str]] = {}
+        for fact in self.satisfaction_facts:
+            by_product.setdefault(fact.product, []).append(fact.doc_id)
+        by_manufacturer: Dict[str, set] = {}
+        for product in self.products:
+            docs = set(by_product.get(product["name"], ()))
+            if docs:
+                by_manufacturer.setdefault(
+                    product["manufacturer"], set()
+                ).update(docs)
+        return [
+            RetrievalQuery(
+                query="How did customers respond to products from %s?"
+                      % manufacturer,
+                relevant_docs=docs,
+                n_entities=1,
+                query_class="indirect",
+            )
+            for manufacturer, docs in sorted(by_manufacturer.items())
+        ]
+
+
+def generate_ecommerce_lake(spec: Optional[LakeSpec] = None) -> EcommerceLake:
+    """Materialize a lake from *spec* (deterministic per seed)."""
+    spec = spec or LakeSpec()
+    rng = random.Random(spec.seed)
+    lake = EcommerceLake(spec=spec)
+
+    names = [
+        "%s %s" % (adj, noun) for adj in _ADJECTIVES for noun in _NOUNS
+    ]
+    rng.shuffle(names)
+    if spec.n_products > len(names):
+        raise BenchmarkError(
+            "at most %d products supported" % len(names)
+        )
+    for pid in range(1, spec.n_products + 1):
+        lake.products.append({
+            "pid": pid,
+            "name": names[pid - 1],
+            "manufacturer": rng.choice(_MANUFACTURERS),
+            "category": rng.choice(_CATEGORIES),
+            "price": round(rng.uniform(5.0, 250.0), 2),
+        })
+
+    sid = 0
+    for product in lake.products:
+        for quarter in QUARTERS[: spec.n_quarters]:
+            sid += 1
+            lake.sales.append({
+                "sid": sid,
+                "pid": product["pid"],
+                "quarter": quarter,
+                "year": spec.year,
+                "amount": round(rng.uniform(50.0, 500.0), 2),
+            })
+
+    for i, row in enumerate(rng.sample(lake.sales,
+                                       min(len(lake.sales), 30))):
+        lake.shipment_docs.append((
+            "ship-%03d" % i,
+            {
+                "order": "ORD-%04d" % (1000 + i),
+                "pid": row["pid"],
+                "quarter": row["quarter"],
+                "status": rng.choice(["delivered", "delayed", "returned"]),
+                "carrier": rng.choice(["FastShip", "BluePost", "AeroFreight"]),
+            },
+        ))
+
+    doc_index = 0
+    for product in lake.products:
+        for quarter in QUARTERS[: spec.n_quarters]:
+            doc_id = "review-%03d" % doc_index
+            doc_index += 1
+            pct = round(rng.uniform(2.0, 35.0), 0)
+            going_up = rng.random() < 0.6
+            signed = pct if going_up else -pct
+            noisy = rng.random() < spec.reviews_noise
+            if noisy:
+                body = rng.choice(_NOISE_SENTENCES)
+            else:
+                template = rng.choice(
+                    _UP_TEMPLATES if going_up else _DOWN_TEMPLATES
+                )
+                surface = product["name"]
+                if rng.random() < spec.name_variant_prob:
+                    # Source-specific naming: hyphenated variant that
+                    # exact entity keys do not unify (E11's target).
+                    surface = surface.replace(" ", "-")
+                body = template.format(
+                    product=surface, pct=int(pct),
+                    quarter=quarter, year=spec.year,
+                )
+            filler = rng.sample(_FILLER_SENTENCES, 2)
+            text = " ".join([filler[0], body, filler[1]])
+            lake.review_texts.append((doc_id, text))
+            lake.satisfaction_facts.append(SatisfactionFact(
+                product=product["name"], quarter=quarter, year=spec.year,
+                change_percent=signed, doc_id=doc_id, noisy=noisy,
+            ))
+
+    for i in range(spec.n_filler_docs):
+        lake.review_texts.append((
+            "filler-%02d" % i,
+            " ".join(rng.sample(_FILLER_SENTENCES,
+                                min(3, len(_FILLER_SENTENCES)))),
+        ))
+    return lake

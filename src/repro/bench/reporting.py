@@ -1,0 +1,101 @@
+"""Result-table rendering for benchmark harnesses.
+
+Benchmarks print their table/figure rows through these helpers so the
+console output and EXPERIMENTS.md share one format (GitHub-flavored
+markdown pipes render fine in both).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def format_cell(value: Any) -> str:
+    """Render one cell: floats to 4 significant digits, None blank."""
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return "%.4g" % value
+    return str(value)
+
+
+def render_table(rows: Sequence[Dict[str, Any]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render dict rows as a markdown table.
+
+    Column order follows *columns* when given, else the first row's
+    insertion order (extra keys in later rows are appended).
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        seen: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    header = list(columns)
+    body = [
+        [format_cell(row.get(col)) for col in header] for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body))
+        for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append("## %s" % title)
+        lines.append("")
+    lines.append("| " + " | ".join(
+        h.ljust(w) for h, w in zip(header, widths)
+    ) + " |")
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for row in body:
+        lines.append("| " + " | ".join(
+            c.ljust(w) for c, w in zip(row, widths)
+        ) + " |")
+    return "\n".join(lines)
+
+
+def render_series(points: Sequence[Dict[str, Any]], x: str,
+                  ys: Sequence[str], title: Optional[str] = None) -> str:
+    """Render a figure's data series as a table ordered by *x*."""
+    ordered = sorted(points, key=lambda p: p.get(x, 0))
+    return render_table(ordered, columns=[x] + list(ys), title=title)
+
+
+def render_bars(points: Sequence[Dict[str, Any]], x: str, y: str,
+                width: int = 40, title: Optional[str] = None) -> str:
+    """Render one series as a horizontal ASCII bar chart.
+
+    The terminal-friendly "figure" companion to :func:`render_series`:
+    each row is ``label | ████████ value``, scaled to *width* chars.
+    """
+    ordered = sorted(points, key=lambda p: p.get(x, 0))
+    values = [float(p.get(y) or 0.0) for p in ordered]
+    if not values:
+        return "(no points)"
+    peak = max(abs(v) for v in values) or 1.0
+    label_width = max(len(str(p.get(x))) for p in ordered)
+    lines = []
+    if title:
+        lines.append("## %s" % title)
+        lines.append("")
+    lines.append("%s vs %s" % (y, x))
+    for point, value in zip(ordered, values):
+        bar = "#" * max(1, round(abs(value) / peak * width))
+        lines.append("%s | %s %s" % (
+            str(point.get(x)).rjust(label_width), bar, format_cell(value)
+        ))
+    return "\n".join(lines)
+
+
+def print_report(text: str) -> None:
+    """Print a rendered table with surrounding blank lines."""
+    print()
+    print(text)
+    print()

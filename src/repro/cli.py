@@ -1,0 +1,167 @@
+"""Command-line interface for the repro system.
+
+Subcommands:
+
+* ``demo [--domain ecommerce|healthcare] [--seed N]`` — build a
+  synthetic lake and answer a sample of benchmark questions, printing
+  routes and provenance;
+* ``ask --domain D "question"`` — one-off question against a fresh
+  lake;
+* ``stats --domain D`` — print lake and graph-index statistics;
+* ``sql --domain D "SELECT ..."`` — run raw SQL against the lake's
+  curated+generated tables.
+
+Usage: ``python -m repro.cli demo --domain ecommerce``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import (
+    HealthSpec, LakeSpec, generate_ecommerce_lake, generate_healthcare_lake,
+)
+from .bench.runner import build_hybrid_system
+
+
+def _build(domain: str, seed: int):
+    if domain == "ecommerce":
+        lake = generate_ecommerce_lake(LakeSpec(seed=seed))
+    elif domain == "healthcare":
+        lake = generate_healthcare_lake(HealthSpec(seed=seed))
+    else:
+        raise SystemExit("unknown domain %r" % domain)
+    system, pipeline = build_hybrid_system(lake, seed=seed)
+    return lake, pipeline
+
+
+def cmd_demo(args) -> int:
+    """Answer a benchmark sample with routing details."""
+    lake, pipeline = _build(args.domain, args.seed)
+    pairs = lake.qa_pairs(per_kind=2)
+    correct = 0
+    for pair in pairs:
+        answer = pipeline.answer(pair.question)
+        ok = pair.is_correct(answer)
+        correct += ok
+        print("[%s] %s" % ("ok " if ok else "ERR", pair.question))
+        print("      -> %s  (route=%s)" % (
+            answer.text or "<abstain>", answer.metadata.get("route")))
+    print("\n%d/%d correct" % (correct, len(pairs)))
+    return 0
+
+
+def cmd_ask(args) -> int:
+    """Answer one user question."""
+    _, pipeline = _build(args.domain, args.seed)
+    answer, estimate = pipeline.answer_with_uncertainty(args.question)
+    print(answer.text or "<abstain>")
+    if answer.provenance:
+        print("provenance: %s" % "; ".join(answer.provenance[:3]))
+    if estimate is not None:
+        print("semantic entropy: %.3f (%d clusters / %d samples)%s" % (
+            estimate.entropy, estimate.n_clusters, estimate.n_samples,
+            "  ** NEEDS REVIEW **"
+            if answer.metadata.get("needs_review") else "",
+        ))
+    return 0 if not answer.abstained else 1
+
+
+def cmd_stats(args) -> int:
+    """Print lake and index statistics."""
+    lake, pipeline = _build(args.domain, args.seed)
+    print("tables: %s" % ", ".join(pipeline.db.table_names()))
+    for name in pipeline.db.table_names():
+        count = pipeline.db.execute(
+            "SELECT COUNT(*) FROM %s" % name
+        ).scalar()
+        print("  %-16s %6d rows" % (name, count))
+    print("text documents: %d (%d chunks)" % (
+        len(pipeline.text_store), pipeline.text_store.n_chunks))
+    print("json documents: %d" % len(pipeline.doc_store))
+    stats = pipeline.graph.stats()
+    print("graph: %(n_nodes)d nodes / %(n_edges)d edges "
+          "(%(n_chunks)d chunks, %(n_entities)d entities, "
+          "%(n_records)d records, %(n_components)d components)" % stats)
+    return 0
+
+
+def cmd_session(args) -> int:
+    """Conversational mode: read questions from stdin, one per line.
+
+    Follow-ups ("And in Q3?") resolve against the previous question;
+    blank line or EOF ends the session.
+    """
+    from .qa import QASession
+
+    _, pipeline = _build(args.domain, args.seed)
+    session = QASession(pipeline)
+    stream = args._stdin if args._stdin is not None else sys.stdin
+    for raw in stream:
+        question = raw.strip()
+        if not question:
+            break
+        answer = session.ask(question)
+        resolved = answer.metadata.get("rewritten")
+        if resolved:
+            print("(resolved: %s)" % resolved)
+        print(answer.text or "<abstain>")
+    return 0
+
+
+def cmd_sql(args) -> int:
+    """Run raw SQL against the lake database."""
+    _, pipeline = _build(args.domain, args.seed)
+    result = pipeline.db.execute(args.query)
+    print(result.pretty(max_rows=args.max_rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SLM-driven unified semantic queries (paper repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--domain", default="ecommerce",
+                       choices=["ecommerce", "healthcare"])
+        p.add_argument("--seed", type=int, default=7)
+
+    demo = sub.add_parser("demo", help=cmd_demo.__doc__)
+    common(demo)
+    demo.set_defaults(func=cmd_demo)
+
+    ask = sub.add_parser("ask", help=cmd_ask.__doc__)
+    common(ask)
+    ask.add_argument("question")
+    ask.set_defaults(func=cmd_ask)
+
+    stats = sub.add_parser("stats", help=cmd_stats.__doc__)
+    common(stats)
+    stats.set_defaults(func=cmd_stats)
+
+    sql = sub.add_parser("sql", help=cmd_sql.__doc__)
+    common(sql)
+    sql.add_argument("query")
+    sql.add_argument("--max-rows", type=int, default=20)
+    sql.set_defaults(func=cmd_sql)
+
+    session = sub.add_parser("session", help=cmd_session.__doc__)
+    common(session)
+    session.set_defaults(func=cmd_session, _stdin=None)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

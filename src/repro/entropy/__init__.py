@@ -1,0 +1,29 @@
+"""Semantic entropy and uncertainty calibration (paper Section III.D)."""
+
+from .baselines import (
+    BASELINES, all_baselines, length_normalized_entropy,
+    lexical_dissimilarity, mean_answer_length, predictive_entropy,
+)
+from .calibration import (
+    RejectionPoint, accuracy_at_coverage, auroc, compare_methods,
+    rejection_curve,
+)
+from .clustering import (
+    AnswerCluster, cluster_by_embedding, cluster_by_entailment,
+    cluster_sizes,
+)
+from .semantic_entropy import (
+    METHOD_EMBEDDING, METHOD_ENTAILMENT, EntropyEstimate,
+    SemanticEntropyEstimator,
+)
+
+__all__ = [
+    "BASELINES", "all_baselines", "length_normalized_entropy",
+    "lexical_dissimilarity", "mean_answer_length", "predictive_entropy",
+    "RejectionPoint", "accuracy_at_coverage", "auroc", "compare_methods",
+    "rejection_curve",
+    "AnswerCluster", "cluster_by_embedding", "cluster_by_entailment",
+    "cluster_sizes",
+    "METHOD_EMBEDDING", "METHOD_ENTAILMENT", "EntropyEstimate",
+    "SemanticEntropyEstimator",
+]

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one base class at API
+boundaries while still distinguishing subsystem-specific failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table schema is malformed or a row does not match its schema."""
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(ReproError):
+    """A logical plan is invalid (unknown table/column, bad operator)."""
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed while executing a valid plan."""
+
+
+class StorageError(ReproError):
+    """A storage backend (document store, text store, CSV) failed."""
+
+
+class GraphIndexError(ReproError):
+    """The heterogeneous graph index was used inconsistently."""
+
+
+class RetrievalError(ReproError):
+    """A retriever was queried before indexing or with bad parameters."""
+
+
+class ExtractionError(ReproError):
+    """Structured data extraction failed on the given text."""
+
+
+class SynthesisError(ReproError):
+    """Natural-language query could not be mapped to a logical plan."""
+
+
+class EntropyError(ReproError):
+    """Semantic-entropy estimation got invalid samples or parameters."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark workload or harness was misconfigured."""

@@ -1,0 +1,28 @@
+"""SLM-driven structured data extraction (paper Section III.C, task 1)."""
+
+from .attributes import (
+    ATTR_AMOUNT, ATTR_CHANGE_PERCENT, ATTR_COUNT, ATTR_DATE, ATTR_DIRECTION,
+    ATTR_METRIC, ATTR_QUARTER, ATTR_SUBJECT, ATTR_YEAR, AttributeExtractor,
+    ExtractedFact,
+)
+from .normalize import (
+    detect_direction, normalize_date, normalize_number, normalize_value,
+)
+from .schema_infer import (
+    facts_to_rows, infer_fact_schema, infer_value_type, unify_types,
+)
+from .table_gen import (
+    PROVENANCE_COLUMN, SOURCE_TEXT_COLUMN, GeneratedTable, TableGenerator,
+    score_generated_cells,
+)
+
+__all__ = [
+    "ATTR_AMOUNT", "ATTR_CHANGE_PERCENT", "ATTR_COUNT", "ATTR_DATE",
+    "ATTR_DIRECTION", "ATTR_METRIC", "ATTR_QUARTER", "ATTR_SUBJECT",
+    "ATTR_YEAR", "AttributeExtractor", "ExtractedFact",
+    "detect_direction", "normalize_date", "normalize_number",
+    "normalize_value",
+    "facts_to_rows", "infer_fact_schema", "infer_value_type", "unify_types",
+    "PROVENANCE_COLUMN", "SOURCE_TEXT_COLUMN", "GeneratedTable",
+    "TableGenerator", "score_generated_cells",
+]

@@ -1,0 +1,123 @@
+"""Sentence-level attribute extraction.
+
+Implements the paper's worked example: from "Q2 sales increased 20%"
+the SLM identifies "Q2" (time), "sales" (metric), "20%" (change
+measure), producing one structured record. Combines NER/pattern hits
+with POS-driven direction detection.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..slm.model import SmallLanguageModel
+from ..text import patterns as pat
+from ..text.ner import TYPE_METRIC
+from ..text.tokenizer import split_sentences
+from .normalize import detect_direction, normalize_value
+
+
+@dataclass
+class ExtractedFact:
+    """One structured fact from one sentence.
+
+    ``attributes`` holds the normalized fields actually found; a field
+    absent from the sentence is simply missing (→ NULL in the table).
+    ``source_sentence`` keeps provenance for answer citations.
+    """
+
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    source_sentence: str = ""
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Value of one attribute or *default*."""
+        return self.attributes.get(name, default)
+
+    def __bool__(self) -> bool:
+        return bool(self.attributes)
+
+
+# Attribute names emitted by the extractor; the schema-inference layer
+# (and the gold labels of E4) use the same vocabulary.
+ATTR_SUBJECT = "subject"
+ATTR_METRIC = "metric"
+ATTR_CHANGE_PERCENT = "change_percent"
+ATTR_AMOUNT = "amount"
+ATTR_COUNT = "count"
+ATTR_QUARTER = "quarter"
+ATTR_YEAR = "year"
+ATTR_DATE = "event_date"
+ATTR_DIRECTION = "direction"
+
+
+class AttributeExtractor:
+    """Extract structured facts from free text via the SLM's taggers."""
+
+    def __init__(self, slm: SmallLanguageModel):
+        self._slm = slm
+
+    def extract_sentence(self, sentence: str) -> ExtractedFact:
+        """One fact for one sentence (empty fact when nothing found)."""
+        attributes: Dict[str, Any] = {}
+        entities = self._slm.tag_entities(sentence)
+
+        subject = None
+        metric = None
+        for entity in entities:
+            if entity.etype == TYPE_METRIC and metric is None:
+                metric = entity.norm
+            elif entity.etype in (pat.KIND_QUARTER,):
+                value, _ = normalize_value(pat.KIND_QUARTER, entity.text)
+                attributes[ATTR_QUARTER] = value.split()[0]
+                year_part = value.split()[1:]
+                if year_part:
+                    attributes[ATTR_YEAR] = int(year_part[0])
+            elif entity.etype == pat.KIND_DATE:
+                value, dtype = normalize_value(pat.KIND_DATE, entity.text)
+                if isinstance(value, _dt.date):
+                    attributes[ATTR_DATE] = value
+            elif entity.etype == pat.KIND_PERCENT:
+                value, _ = normalize_value(pat.KIND_PERCENT, entity.text)
+                attributes[ATTR_CHANGE_PERCENT] = value
+            elif entity.etype == pat.KIND_MONEY:
+                value, _ = normalize_value(pat.KIND_MONEY, entity.text)
+                attributes[ATTR_AMOUNT] = value
+            elif entity.etype == pat.KIND_YEAR:
+                value, _ = normalize_value(pat.KIND_YEAR, entity.text)
+                attributes.setdefault(ATTR_YEAR, value)
+            elif entity.etype == pat.KIND_ID or subject is None:
+                if entity.etype not in (pat.KIND_NUMBER,):
+                    subject = entity.norm
+
+        if subject is not None:
+            attributes[ATTR_SUBJECT] = subject
+        if metric is not None:
+            attributes[ATTR_METRIC] = metric
+
+        direction = detect_direction(sentence)
+        if direction is not None and (
+            ATTR_CHANGE_PERCENT in attributes or metric is not None
+        ):
+            attributes[ATTR_DIRECTION] = direction
+
+        # Signed change: "decreased 20%" stores -20.0.
+        if direction == "down" and ATTR_CHANGE_PERCENT in attributes:
+            value = attributes[ATTR_CHANGE_PERCENT]
+            if value > 0:
+                attributes[ATTR_CHANGE_PERCENT] = -value
+
+        # A fact needs a hook to query by: subject or metric.
+        if ATTR_SUBJECT not in attributes and ATTR_METRIC not in attributes:
+            return ExtractedFact({}, sentence)
+        return ExtractedFact(attributes, sentence)
+
+    def extract(self, text: str) -> List[ExtractedFact]:
+        """All non-empty facts from *text*, one per sentence at most."""
+        facts = []
+        for sentence in split_sentences(text):
+            fact = self.extract_sentence(sentence)
+            if fact:
+                facts.append(fact)
+        return facts

@@ -1,0 +1,129 @@
+"""Cell-value normalization for generated tables.
+
+Free-text mentions ("$1.5 million", "second quarter of 2024", "twenty
+per cent" won't occur — but "20 %" will) become typed cell values so the
+generated tables are directly queryable.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from typing import Any, Optional, Tuple
+
+from ..storage.types import DataType
+from ..text.patterns import (
+    KIND_DATE, KIND_MONEY, KIND_NUMBER, KIND_PERCENT, KIND_QUARTER,
+    KIND_YEAR, normalize_money, normalize_percent, normalize_quarter,
+)
+
+_MONTHS = {
+    "january": 1, "february": 2, "march": 3, "april": 4, "may": 5,
+    "june": 6, "july": 7, "august": 8, "september": 9, "october": 10,
+    "november": 11, "december": 12, "jan": 1, "feb": 2, "mar": 3,
+    "apr": 4, "jun": 6, "jul": 7, "aug": 8, "sep": 9, "sept": 9,
+    "oct": 10, "nov": 11, "dec": 12,
+}
+
+_TEXT_DATE_RE = re.compile(
+    r"([A-Za-z]+)\.?\s+(\d{1,2})(?:st|nd|rd|th)?,?\s+(\d{4})"
+)
+
+
+def normalize_date(text: str) -> Optional[_dt.date]:
+    """Parse ISO or "March 15, 2024" style dates; None on failure.
+
+    >>> normalize_date("2024-03-15")
+    datetime.date(2024, 3, 15)
+    """
+    text = text.strip()
+    try:
+        return _dt.date.fromisoformat(text)
+    except ValueError:
+        pass
+    match = _TEXT_DATE_RE.search(text)
+    if match:
+        month = _MONTHS.get(match.group(1).lower())
+        if month:
+            try:
+                return _dt.date(
+                    int(match.group(3)), month, int(match.group(2))
+                )
+            except ValueError:
+                return None
+    return None
+
+
+def normalize_number(text: str) -> Optional[float]:
+    """Parse a plain or comma-grouped number; None on failure."""
+    cleaned = text.replace(",", "").strip()
+    try:
+        return float(cleaned)
+    except ValueError:
+        return None
+
+
+def normalize_value(kind: str, text: str) -> Tuple[Any, DataType]:
+    """Normalize a pattern hit into (value, DataType).
+
+    Unknown kinds come back as stripped TEXT.
+
+    >>> normalize_value("PERCENT", "20%")
+    (20.0, <DataType.FLOAT: 'float'>)
+    """
+    if kind == KIND_PERCENT:
+        try:
+            return normalize_percent(text), DataType.FLOAT
+        except ValueError:
+            return text.strip(), DataType.TEXT
+    if kind == KIND_MONEY:
+        try:
+            return normalize_money(text), DataType.FLOAT
+        except ValueError:
+            return text.strip(), DataType.TEXT
+    if kind == KIND_DATE:
+        parsed = normalize_date(text)
+        if parsed is not None:
+            return parsed, DataType.DATE
+        return text.strip(), DataType.TEXT
+    if kind == KIND_QUARTER:
+        return normalize_quarter(text), DataType.TEXT
+    if kind == KIND_YEAR:
+        number = normalize_number(text)
+        if number is not None:
+            return int(number), DataType.INT
+        return text.strip(), DataType.TEXT
+    if kind == KIND_NUMBER:
+        number = normalize_number(text)
+        if number is not None:
+            if number.is_integer():
+                return int(number), DataType.INT
+            return number, DataType.FLOAT
+        return text.strip(), DataType.TEXT
+    return text.strip(), DataType.TEXT
+
+
+_UP_WORDS = frozenset(
+    "increased increase rose rise grew grow climbed climb surged surge "
+    "gained gain improved improve up jumped jump expanded expand "
+    "exceeded exceed".split()
+)
+_DOWN_WORDS = frozenset(
+    "decreased decrease fell fall dropped drop declined decline plunged "
+    "plunge slipped slip lost lose down shrank shrink contracted "
+    "contract worsened worsen".split()
+)
+
+
+def detect_direction(text: str) -> Optional[str]:
+    """Classify change direction words: 'up', 'down' or None.
+
+    >>> detect_direction("sales rose sharply")
+    'up'
+    """
+    for word in re.findall(r"[a-z']+", text.lower()):
+        if word in _UP_WORDS:
+            return "up"
+        if word in _DOWN_WORDS:
+            return "down"
+    return None

@@ -1,0 +1,115 @@
+"""Schema inference over extracted facts.
+
+Unifies heterogeneous fact records into one table schema: the column
+set is the union of observed attributes (ordered by frequency, ties by
+name) and each column's type is the tightest type covering its values —
+mirroring how EVAPORATE-style systems settle on a view schema.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from collections import Counter
+from typing import Any, Dict, Iterable, List, Sequence
+
+from ..errors import ExtractionError
+from ..storage.relational.schema import Column, TableSchema
+from ..storage.types import DataType
+from .attributes import ExtractedFact
+
+
+def infer_value_type(value: Any) -> DataType:
+    """Type of one cell value (bool before int, date before text)."""
+    if isinstance(value, bool):
+        return DataType.BOOL
+    if isinstance(value, int):
+        return DataType.INT
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, _dt.date):
+        return DataType.DATE
+    return DataType.TEXT
+
+
+_WIDENING = {
+    frozenset({DataType.INT, DataType.FLOAT}): DataType.FLOAT,
+}
+
+
+def unify_types(types: Iterable[DataType]) -> DataType:
+    """The tightest common type: INT+FLOAT→FLOAT, anything else→TEXT."""
+    seen = set(types)
+    if not seen:
+        return DataType.TEXT
+    if len(seen) == 1:
+        return next(iter(seen))
+    widened = _WIDENING.get(frozenset(seen))
+    if widened is not None:
+        return widened
+    return DataType.TEXT
+
+
+def infer_fact_schema(name: str, facts: Sequence[ExtractedFact],
+                      min_column_support: int = 1) -> TableSchema:
+    """Build a :class:`TableSchema` covering *facts*.
+
+    ``min_column_support`` drops attributes appearing in fewer than
+    that many facts (noise control for messy corpora).
+    """
+    if not facts:
+        raise ExtractionError("cannot infer a schema from zero facts")
+    if min_column_support < 1:
+        raise ExtractionError("min_column_support must be >= 1")
+    attr_counts: Counter = Counter()
+    attr_types: Dict[str, List[DataType]] = {}
+    for fact in facts:
+        for attr, value in fact.attributes.items():
+            if value is None:
+                continue
+            attr_counts[attr] += 1
+            attr_types.setdefault(attr, []).append(infer_value_type(value))
+    kept = [
+        attr for attr, count in attr_counts.items()
+        if count >= min_column_support
+    ]
+    if not kept:
+        raise ExtractionError(
+            "no attribute meets min_column_support=%d" % min_column_support
+        )
+    kept.sort(key=lambda a: (-attr_counts[a], a))
+    columns = [
+        Column(attr, unify_types(attr_types[attr])) for attr in kept
+    ]
+    return TableSchema(name, columns)
+
+
+def facts_to_rows(facts: Sequence[ExtractedFact],
+                  schema: TableSchema) -> List[tuple]:
+    """Project facts onto *schema* (missing attributes → NULL).
+
+    Values whose type no longer matches a widened column are coerced
+    (int→float) or stringified rather than dropped.
+    """
+    rows = []
+    for fact in facts:
+        row = []
+        for column in schema.columns:
+            value = fact.attributes.get(column.name)
+            row.append(_fit(value, column.dtype))
+        rows.append(tuple(row))
+    return rows
+
+
+def _fit(value: Any, dtype: DataType) -> Any:
+    if value is None:
+        return None
+    actual = infer_value_type(value)
+    if actual == dtype:
+        return value
+    if dtype is DataType.FLOAT and actual is DataType.INT:
+        return float(value)
+    if dtype is DataType.TEXT:
+        if isinstance(value, _dt.date):
+            return value.isoformat()
+        return str(value)
+    return None

@@ -1,0 +1,169 @@
+"""Relational Table Generation (paper Section III.C, task 1).
+
+The end-to-end transform from unstructured documents to a queryable
+relational table: extract facts per sentence, infer a unified schema,
+materialize a :class:`~repro.storage.relational.table.Table`, and
+optionally register it in a :class:`Database` for the TableQA engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import ExtractionError
+from ..slm.model import SmallLanguageModel
+from ..storage.relational.database import Database
+from ..storage.relational.schema import Column, TableSchema
+from ..storage.relational.table import Table
+from ..storage.types import DataType
+from .attributes import AttributeExtractor, ExtractedFact
+from .schema_infer import facts_to_rows, infer_fact_schema
+
+PROVENANCE_COLUMN = "source_doc"
+SOURCE_TEXT_COLUMN = "source_text"
+
+
+@dataclass
+class GeneratedTable:
+    """The output of table generation: the table plus its lineage."""
+
+    table: Table
+    facts: List[ExtractedFact]
+    doc_ids: List[str]
+
+    @property
+    def name(self) -> str:
+        """Name of the generated table."""
+        return self.table.schema.name
+
+    def cell_count(self) -> int:
+        """Non-NULL cells (the unit E4's precision/recall counts)."""
+        return sum(
+            1 for row in self.table.rows() for value in row
+            if value is not None
+        )
+
+
+class TableGenerator:
+    """Generate relational tables from unstructured documents."""
+
+    def __init__(self, slm: SmallLanguageModel,
+                 min_column_support: int = 1,
+                 include_provenance: bool = True,
+                 include_source_text: bool = False):
+        self._extractor = AttributeExtractor(slm)
+        self._min_support = min_column_support
+        self._provenance = include_provenance
+        self._source_text = include_source_text
+
+    def generate(self, name: str,
+                 documents: Iterable[Tuple[str, str]]) -> GeneratedTable:
+        """Build table *name* from (doc_id, text) pairs.
+
+        Raises :class:`ExtractionError` when no document yields a fact.
+        """
+        facts: List[ExtractedFact] = []
+        fact_docs: List[str] = []
+        doc_ids: List[str] = []
+        for doc_id, text in documents:
+            doc_ids.append(doc_id)
+            for fact in self._extractor.extract(text):
+                facts.append(fact)
+                fact_docs.append(doc_id)
+        if not facts:
+            raise ExtractionError(
+                "no extractable facts in %d documents" % len(doc_ids)
+            )
+        schema = infer_fact_schema(
+            name, facts, min_column_support=self._min_support
+        )
+        extra_columns = []
+        if self._provenance:
+            extra_columns.append(Column(PROVENANCE_COLUMN, DataType.TEXT))
+        if self._source_text:
+            extra_columns.append(Column(SOURCE_TEXT_COLUMN, DataType.TEXT))
+        if extra_columns:
+            schema = TableSchema(
+                name, list(schema.columns) + extra_columns,
+            )
+        table = Table(schema)
+        rows = facts_to_rows(facts, schema)
+        for row, doc_id, fact in zip(rows, fact_docs, facts):
+            extras = []
+            if self._provenance:
+                extras.append(doc_id)
+            if self._source_text:
+                extras.append(fact.source_sentence)
+            if extras:
+                row = row[: len(row) - len(extras)] + tuple(extras)
+            table.insert(row)
+        return GeneratedTable(table, facts, doc_ids)
+
+    def generate_into(self, db: Database, name: str,
+                      documents: Iterable[Tuple[str, str]]) -> GeneratedTable:
+        """Generate and register the table in *db* (replacing any old one)."""
+        generated = self.generate(name, documents)
+        if db.has_table(name):
+            db.drop_table(name)
+        db.create_table(generated.table.schema)
+        target = db.table(name)
+        for row in generated.table.rows():
+            target.insert(row)
+        return generated
+
+
+def score_generated_cells(
+    generated: Sequence[Dict[str, object]],
+    gold: Sequence[Dict[str, object]],
+) -> Dict[str, float]:
+    """Cell-level precision/recall/F1 between two record lists.
+
+    Records are matched greedily by shared cells; each (column, value)
+    pair is one cell. This is E4's scoring function.
+    """
+    def cells(record: Dict[str, object]) -> set:
+        return {
+            (key, _canon(value)) for key, value in record.items()
+            if value is not None
+            and key not in (PROVENANCE_COLUMN, SOURCE_TEXT_COLUMN)
+        }
+
+    gen_cells = [cells(r) for r in generated]
+    gold_cells = [cells(r) for r in gold]
+    total_gold = sum(len(c) for c in gold_cells)
+    total_gen = sum(len(c) for c in gen_cells)
+    # Globally greedy 1:1 matching by overlap, best pairs first, so a
+    # partially-overlapping gold record cannot steal another record's
+    # exact match.
+    overlaps = []
+    for g, gold_set in enumerate(gold_cells):
+        for i, gen_set in enumerate(gen_cells):
+            overlap = len(gold_set & gen_set)
+            if overlap > 0:
+                overlaps.append((overlap, g, i))
+    overlaps.sort(key=lambda t: (-t[0], t[1], t[2]))
+    matched_gold = [False] * len(gold_cells)
+    matched_gen = [False] * len(gen_cells)
+    true_positive = 0
+    for overlap, g, i in overlaps:
+        if matched_gold[g] or matched_gen[i]:
+            continue
+        matched_gold[g] = True
+        matched_gen[i] = True
+        true_positive += overlap
+    precision = true_positive / total_gen if total_gen else 0.0
+    recall = true_positive / total_gold if total_gold else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall else 0.0
+    )
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def _canon(value: object) -> object:
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, str):
+        return value.strip().lower()
+    return value

@@ -1,0 +1,268 @@
+"""The heterogeneous graph structure with typed traversal.
+
+An undirected multigraph (edges stored both ways) over typed nodes,
+with kind-filtered neighbor iteration, BFS with depth bounds, and
+simple statistics. Traversal charges ``edges_traversed`` so the E1
+bench can report topology-retrieval work.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..errors import GraphIndexError
+from ..metering import EDGES_TRAVERSED, CostMeter, GLOBAL_METER
+from .nodes import (
+    NODE_CHUNK, NODE_ENTITY, NODE_KINDS, NODE_RECORD, GraphEdge, GraphNode,
+)
+
+
+class HeterogeneousGraph:
+    """Typed undirected multigraph over chunks, entities and records."""
+
+    def __init__(self, meter: Optional[CostMeter] = None):
+        self._nodes: Dict[str, GraphNode] = {}
+        self._adjacency: Dict[str, List[GraphEdge]] = {}
+        self._edge_keys: Set[tuple] = set()
+        self._n_edges = 0
+        self._meter = meter if meter is not None else GLOBAL_METER
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: GraphNode) -> bool:
+        """Add a node; returns False when the id already exists."""
+        if node.node_id in self._nodes:
+            return False
+        self._nodes[node.node_id] = node
+        self._adjacency[node.node_id] = []
+        return True
+
+    def add_edge(self, edge: GraphEdge) -> bool:
+        """Add an undirected edge; returns False on duplicates.
+
+        Both endpoints must exist. The reverse orientation of the same
+        (kind, label) pair counts as a duplicate.
+        """
+        for endpoint in (edge.source, edge.target):
+            if endpoint not in self._nodes:
+                raise GraphIndexError("unknown node %r" % endpoint)
+        reverse = (edge.target, edge.source, edge.kind, edge.label)
+        if edge.key in self._edge_keys or reverse in self._edge_keys:
+            return False
+        self._edge_keys.add(edge.key)
+        self._adjacency[edge.source].append(edge)
+        if edge.source != edge.target:
+            mirrored = GraphEdge(
+                edge.target, edge.source, edge.kind, edge.label, edge.weight
+            )
+            self._adjacency[edge.target].append(mirrored)
+        self._n_edges += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def node(self, node_id: str) -> GraphNode:
+        """Fetch a node by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GraphIndexError("no node %r" % node_id) from None
+
+    def has_node(self, node_id: str) -> bool:
+        """True when *node_id* exists."""
+        return node_id in self._nodes
+
+    def nodes(self, kind: Optional[str] = None) -> List[GraphNode]:
+        """All nodes, optionally restricted to one kind, id-sorted."""
+        if kind is not None and kind not in NODE_KINDS:
+            raise GraphIndexError("unknown node kind %r" % kind)
+        out = [
+            n for n in self._nodes.values()
+            if kind is None or n.kind == kind
+        ]
+        out.sort(key=lambda n: n.node_id)
+        return out
+
+    def neighbors(self, node_id: str,
+                  edge_kinds: Optional[Iterable[str]] = None,
+                  node_kind: Optional[str] = None) -> List[Tuple[GraphEdge, GraphNode]]:
+        """(edge, neighbor) pairs, filtered by edge/node kind.
+
+        Charges one ``edges_traversed`` unit per edge examined.
+        """
+        if node_id not in self._adjacency:
+            raise GraphIndexError("no node %r" % node_id)
+        wanted = set(edge_kinds) if edge_kinds is not None else None
+        out = []
+        for edge in self._adjacency[node_id]:
+            self._meter.charge(EDGES_TRAVERSED)
+            if wanted is not None and edge.kind not in wanted:
+                continue
+            neighbor = self._nodes[edge.target]
+            if node_kind is not None and neighbor.kind != node_kind:
+                continue
+            out.append((edge, neighbor))
+        out.sort(key=lambda pair: pair[1].node_id)
+        return out
+
+    def degree(self, node_id: str,
+               edge_kinds: Optional[Iterable[str]] = None) -> int:
+        """Number of incident edges (optionally kind-filtered)."""
+        if node_id not in self._adjacency:
+            raise GraphIndexError("no node %r" % node_id)
+        if edge_kinds is None:
+            return len(self._adjacency[node_id])
+        wanted = set(edge_kinds)
+        return sum(
+            1 for e in self._adjacency[node_id] if e.kind in wanted
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count."""
+        return len(self._nodes)
+
+    @property
+    def n_edges(self) -> int:
+        """Total (undirected) edge count."""
+        return self._n_edges
+
+    def edges(self) -> List[GraphEdge]:
+        """One orientation of every edge, deterministic order."""
+        out = []
+        for node_id in sorted(self._adjacency):
+            for edge in self._adjacency[node_id]:
+                if edge.key in self._edge_keys:
+                    out.append(edge)
+        return out
+
+    def merge_nodes(self, keep: str, drop: str) -> int:
+        """Merge node *drop* into node *keep* (entity resolution).
+
+        Every edge incident to *drop* is re-pointed at *keep*
+        (duplicates and would-be self-loops are discarded), then *drop*
+        is deleted. Returns the number of edges re-pointed.
+        """
+        if keep == drop:
+            raise GraphIndexError("cannot merge a node into itself")
+        keep_node = self.node(keep)
+        drop_node = self.node(drop)
+        if keep_node.kind != drop_node.kind:
+            raise GraphIndexError(
+                "cannot merge %s node into %s node"
+                % (drop_node.kind, keep_node.kind)
+            )
+        moved = 0
+        for edge in list(self._adjacency[drop]):
+            other = edge.target
+            # Remove both orientations of the old edge.
+            self._edge_keys.discard(edge.key)
+            self._edge_keys.discard((other, drop, edge.kind, edge.label))
+            self._adjacency[other] = [
+                e for e in self._adjacency[other] if e.target != drop
+            ]
+            self._n_edges -= 1
+            if other == keep:
+                continue  # would become a self-loop
+            if self.add_edge(GraphEdge(keep, other, edge.kind,
+                                       edge.label, edge.weight)):
+                moved += 1
+        del self._adjacency[drop]
+        del self._nodes[drop]
+        # Record the alias on the surviving node for traceability.
+        aliases = keep_node.payload.setdefault("aliases", [])
+        if drop_node.label not in aliases:
+            aliases.append(drop_node.label)
+        return moved
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def bfs(self, sources: Iterable[str], max_depth: int = 2,
+            edge_kinds: Optional[Iterable[str]] = None,
+            max_nodes: Optional[int] = None) -> Dict[str, int]:
+        """Breadth-first expansion from *sources*.
+
+        Returns {node_id: depth} for every reached node (sources at 0).
+        ``max_nodes`` bounds the expansion for budgeted retrieval.
+        """
+        if max_depth < 0:
+            raise GraphIndexError("max_depth must be >= 0")
+        depths: Dict[str, int] = {}
+        queue: deque = deque()
+        for source in sources:
+            if source not in self._nodes:
+                continue
+            if source not in depths:
+                depths[source] = 0
+                queue.append(source)
+        while queue:
+            current = queue.popleft()
+            depth = depths[current]
+            if depth >= max_depth:
+                continue
+            for edge, neighbor in self.neighbors(current, edge_kinds):
+                if neighbor.node_id in depths:
+                    continue
+                depths[neighbor.node_id] = depth + 1
+                queue.append(neighbor.node_id)
+                if max_nodes is not None and len(depths) >= max_nodes:
+                    return depths
+        return depths
+
+    def shortest_path_length(self, source: str, target: str,
+                             max_depth: int = 6) -> Optional[int]:
+        """Hop count between two nodes, or None beyond *max_depth*."""
+        if source == target:
+            return 0
+        depths = self.bfs([source], max_depth=max_depth)
+        return depths.get(target)
+
+    def connected_components(self) -> List[Set[str]]:
+        """All connected components, largest first."""
+        seen: Set[str] = set()
+        components: List[Set[str]] = []
+        for node_id in sorted(self._nodes):
+            if node_id in seen:
+                continue
+            reached = set(self.bfs([node_id], max_depth=self.n_nodes))
+            seen |= reached
+            components.append(reached)
+        components.sort(key=lambda c: (-len(c), sorted(c)[0]))
+        return components
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Summary statistics used by benches and EXPERIMENTS.md."""
+        kind_counts = {kind: 0 for kind in NODE_KINDS}
+        for node in self._nodes.values():
+            kind_counts[node.kind] += 1
+        return {
+            "n_nodes": self.n_nodes,
+            "n_edges": self.n_edges,
+            "n_chunks": kind_counts[NODE_CHUNK],
+            "n_entities": kind_counts[NODE_ENTITY],
+            "n_records": kind_counts[NODE_RECORD],
+            "n_components": len(self.connected_components()),
+        }
+
+    def to_networkx(self):
+        """Export to a networkx.Graph (optional dependency)."""
+        try:
+            import networkx as nx
+        except ImportError as exc:  # pragma: no cover
+            raise GraphIndexError(
+                "networkx is not installed (pip install repro[graph])"
+            ) from exc
+        graph = nx.Graph()
+        for node in self._nodes.values():
+            graph.add_node(node.node_id, kind=node.kind, label=node.label)
+        for edge in self.edges():
+            graph.add_edge(
+                edge.source, edge.target, kind=edge.kind,
+                label=edge.label, weight=edge.weight,
+            )
+        return graph

@@ -1,0 +1,86 @@
+"""Node and edge types of the semantic-aware heterogeneous graph.
+
+The paper's Section III.A interlinks three primary components; they map
+to node kinds here:
+
+* ``chunk``  — a text chunk (raw document segment);
+* ``entity`` — a named entity (normalized surface form);
+* ``record`` — a structured row or document projected into the graph.
+
+Edges carry a kind plus an optional relation label ("purchased",
+"received") — the *relational cues* of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+NODE_CHUNK = "chunk"
+NODE_ENTITY = "entity"
+NODE_RECORD = "record"
+NODE_KINDS = (NODE_CHUNK, NODE_ENTITY, NODE_RECORD)
+
+EDGE_MENTIONS = "mentions"       # chunk → entity
+EDGE_CO_OCCURS = "co_occurs"     # entity ↔ entity (same chunk)
+EDGE_RELATES = "relates"         # entity ↔ entity (labeled relational cue)
+EDGE_NEXT = "next"               # chunk → chunk (document order)
+EDGE_DESCRIBES = "describes"     # record → entity
+EDGE_KINDS = (
+    EDGE_MENTIONS, EDGE_CO_OCCURS, EDGE_RELATES, EDGE_NEXT, EDGE_DESCRIBES,
+)
+
+
+def chunk_key(chunk_id: str) -> str:
+    """Canonical node id for a text chunk."""
+    return "chunk:%s" % chunk_id
+
+
+def entity_key(norm: str) -> str:
+    """Canonical node id for a normalized entity."""
+    return "entity:%s" % norm
+
+
+def record_key(source: str, record_id: Any) -> str:
+    """Canonical node id for a structured record (table row / document)."""
+    return "record:%s:%s" % (source, record_id)
+
+
+@dataclass
+class GraphNode:
+    """One node of the heterogeneous graph.
+
+    ``payload`` carries kind-specific data: chunk text for chunks, the
+    entity type for entities, source/table info for records.
+    """
+
+    node_id: str
+    kind: str
+    label: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in NODE_KINDS:
+            raise ValueError("unknown node kind %r" % self.kind)
+
+
+@dataclass(frozen=True)
+class GraphEdge:
+    """A typed (optionally labeled, weighted) edge."""
+
+    source: str
+    target: str
+    kind: str
+    label: Optional[str] = None
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in EDGE_KINDS:
+            raise ValueError("unknown edge kind %r" % self.kind)
+        if self.weight <= 0:
+            raise ValueError("edge weight must be positive")
+
+    @property
+    def key(self) -> Tuple[str, str, str, Optional[str]]:
+        """Identity tuple used for deduplication."""
+        return (self.source, self.target, self.kind, self.label)

@@ -1,0 +1,85 @@
+"""Abstract cost accounting for efficiency experiments.
+
+The paper's efficiency claims (E1, E6) compare *work*, not wall time on
+the authors' hardware: how many model inference passes, embedding
+computations, nodes scored, rows scanned. Every subsystem charges its
+work to a :class:`CostMeter`, so benchmarks can report deterministic,
+machine-independent cost columns alongside pytest-benchmark wall time.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+# Canonical counter names used across the library.
+EMBEDDING_CALLS = "embedding_calls"
+GENERATION_CALLS = "generation_calls"
+TAGGING_CALLS = "tagging_calls"
+ENTAILMENT_CALLS = "entailment_calls"
+NODES_SCORED = "nodes_scored"
+EDGES_TRAVERSED = "edges_traversed"
+VECTORS_COMPARED = "vectors_compared"
+ROWS_SCANNED = "rows_scanned"
+CHUNKS_READ = "chunks_read"
+TOKENS_PROCESSED = "tokens_processed"
+
+
+@dataclass
+class CostMeter:
+    """A named bag of monotonically increasing work counters."""
+
+    counters: Counter = field(default_factory=Counter)
+
+    def charge(self, name: str, amount: int = 1) -> None:
+        """Add *amount* units of work to counter *name*."""
+        if amount < 0:
+            raise ValueError("cost amounts must be non-negative")
+        self.counters[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter *name* (0 if never charged)."""
+        return self.counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy of all counters."""
+        return dict(self.counters)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.counters.clear()
+
+    def diff(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Work done since *before* (a prior :meth:`snapshot`)."""
+        return {
+            name: self.counters[name] - before.get(name, 0)
+            for name in self.counters
+            if self.counters[name] != before.get(name, 0)
+        }
+
+    @contextmanager
+    def measure(self) -> Iterator[Dict[str, int]]:
+        """Context manager yielding a dict filled with the work done inside.
+
+        >>> meter = CostMeter()
+        >>> with meter.measure() as work:
+        ...     meter.charge(ROWS_SCANNED, 5)
+        >>> work[ROWS_SCANNED]
+        5
+        """
+        before = self.snapshot()
+        result: Dict[str, int] = {}
+        try:
+            yield result
+        finally:
+            result.update(self.diff(before))
+
+    def merge(self, other: "CostMeter") -> None:
+        """Fold another meter's counters into this one."""
+        self.counters.update(other.counters)
+
+
+GLOBAL_METER = CostMeter()
+"""Process-wide default meter used when a component gets none."""

@@ -1,0 +1,197 @@
+"""Comparative Multi-Entity QA (paper Sections I, III.C).
+
+The paper's flagship example is a *comparison* spanning entities and
+modalities: "Compare the efficacy of Drug A (from clinical trial
+tables) with patient-reported side effects (from unstructured
+forums)". This module implements the decomposition strategy:
+
+1. detect a comparison question and its entity mentions;
+2. rewrite it into one sub-question per entity (drop the other
+   entity's span, normalize the interrogative);
+3. answer each sub-question through the full hybrid pipeline;
+4. compose a verdict (who is higher/lower, by how much) with combined
+   provenance.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..slm.model import SmallLanguageModel
+from ..text.ner import Entity
+from .answer import ANSWER_SYSTEM_HYBRID, Answer
+
+_COMPARE_CUES = ("compare", " versus ", " vs ", " vs. ", "or the")
+_MEASURE_KINDS = {"PERCENT", "MONEY", "DATE", "QUARTER", "NUMBER", "ID",
+                  "YEAR", "METRIC"}
+
+_LEAD_RE = re.compile(r"^\s*compare\s+", re.IGNORECASE)
+
+
+@dataclass
+class ComparisonFrame:
+    """A detected comparison: the entity spans being compared."""
+
+    question: str
+    entities: List[Entity]
+
+    @property
+    def entity_names(self) -> List[str]:
+        """Normalized names of the compared entities."""
+        return [e.norm for e in self.entities]
+
+
+def detect_comparison(question: str,
+                      slm: SmallLanguageModel) -> Optional[ComparisonFrame]:
+    """Return a :class:`ComparisonFrame` when *question* compares
+    two or more named entities, else None."""
+    low = question.lower()
+    if not any(cue in low for cue in _COMPARE_CUES):
+        return None
+    entities = [
+        e for e in slm.tag_entities(question)
+        if e.etype not in _MEASURE_KINDS
+    ]
+    # Deduplicate by normalized name, keep first mention order.
+    seen = []
+    unique: List[Entity] = []
+    for entity in entities:
+        if entity.norm not in seen:
+            seen.append(entity.norm)
+            unique.append(entity)
+    if len(unique) < 2:
+        return None
+    return ComparisonFrame(question, unique[:2])
+
+
+def _strip_entity(question: str, entity: Entity) -> str:
+    """Remove one entity span plus its joining conjunction/article."""
+    start, end = entity.start, entity.end
+    prefix = question[:start]
+    # Swallow a preceding "and the" / "and" / "or" / "with the".
+    prefix = re.sub(
+        r"(?:\s+(?:and|or|with|versus|vs\.?)(?:\s+the)?\s*)$", " ",
+        prefix, flags=re.IGNORECASE,
+    )
+    suffix = question[end:]
+    suffix = re.sub(
+        r"^(?:\s*(?:and|or|versus|vs\.?)(?:\s+the)?\s+)", " ",
+        suffix, flags=re.IGNORECASE,
+    )
+    text = (prefix + suffix).strip()
+    return re.sub(r"\s{2,}", " ", text)
+
+
+def decompose(frame: ComparisonFrame) -> List[Tuple[str, str]]:
+    """(entity_norm, sub_question) pairs, one per compared entity.
+
+    >>> # "Compare the sales of A and B in Q2" →
+    >>> #   ("a", "What is the sales of A in Q2"), ("b", ...)
+    """
+    out = []
+    for keep in frame.entities:
+        text = frame.question
+        for other in frame.entities:
+            if other.norm == keep.norm:
+                continue
+            # Recompute the span in the current text (offsets shift as
+            # earlier removals happen; search by surface form).
+            position = text.find(other.text)
+            if position < 0:
+                continue
+            shifted = Entity(other.etype, other.text, position,
+                             position + len(other.text), other.norm)
+            text = _strip_entity(text, shifted)
+        text = _LEAD_RE.sub("What is ", text).strip()
+        if not text.endswith("?"):
+            text = text.rstrip(".") + "?"
+        out.append((keep.norm, text))
+    return out
+
+
+class ComparativeQA:
+    """Answer comparison questions by per-entity decomposition."""
+
+    def __init__(self, slm: SmallLanguageModel,
+                 answer_fn: Callable[[str], Answer]):
+        self._slm = slm
+        self._answer_fn = answer_fn
+
+    def try_answer(self, question: str) -> Optional[Answer]:
+        """Comparison answer, or None when not a comparison question."""
+        frame = detect_comparison(question, self._slm)
+        if frame is None:
+            return None
+        sub_answers: List[Tuple[str, Answer]] = []
+        for entity_norm, sub_question in decompose(frame):
+            sub_answers.append((entity_norm, self._answer_fn(sub_question)))
+        return self._compose(question, sub_answers)
+
+    @staticmethod
+    def _numeric(answer: Answer) -> Optional[float]:
+        from ..text.patterns import extract_first_scalar
+
+        value = answer.value
+        if isinstance(value, (list, tuple)) and len(value) == 1:
+            value = value[0]
+        if isinstance(value, bool):
+            return None
+        if isinstance(value, (int, float)):
+            return float(value)
+        return extract_first_scalar(answer.text or "")
+
+    def _compose(self, question: str,
+                 sub_answers: Sequence[Tuple[str, Answer]]) -> Answer:
+        live = [
+            (name, ans) for name, ans in sub_answers if not ans.abstained
+        ]
+        if len(live) < 2:
+            return Answer.abstain(
+                ANSWER_SYSTEM_HYBRID,
+                "comparison sub-questions unanswerable",
+            )
+        values = [(name, ans, self._numeric(ans)) for name, ans in live]
+        provenance = tuple(
+            p for _, ans, _ in values for p in ans.provenance
+        )
+        grounded = all(ans.grounded for _, ans, _ in values)
+        confidence = min(ans.confidence for _, ans, _ in values)
+        if all(v is not None for _, _, v in values):
+            (name_a, _, val_a), (name_b, _, val_b) = values[:2]
+            if val_a == val_b:
+                verdict = "both equal at %s" % _fmt(val_a)
+                winner = None
+            else:
+                winner = name_a if val_a > val_b else name_b
+                verdict = "%s is higher" % winner
+            text = "%s: %s; %s: %s — %s." % (
+                name_a, _fmt(val_a), name_b, _fmt(val_b), verdict,
+            )
+            metadata = {
+                "comparison": {name_a: val_a, name_b: val_b},
+                "winner": winner,
+            }
+        else:
+            text = "; ".join(
+                "%s: %s" % (name, ans.text) for name, ans, _ in values
+            )
+            metadata = {"comparison": None, "winner": None}
+        return Answer(
+            text=text,
+            value={name: v for name, _, v in values},
+            confidence=confidence,
+            grounded=grounded,
+            system=ANSWER_SYSTEM_HYBRID,
+            provenance=provenance,
+            metadata=metadata,
+        )
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "?"
+    if float(value).is_integer():
+        return str(int(value))
+    return "%.4g" % value

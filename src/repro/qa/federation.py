@@ -1,0 +1,89 @@
+"""Federated query routing across heterogeneous engines.
+
+The router classifies each question by which side of the lake can
+answer it — structured (schema elements bind), unstructured (no
+binding, textual), or hybrid (both) — and dispatches accordingly.
+This is the "unified semantic queries across heterogeneous databases"
+entry point: one question in, the right engine(s) underneath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..semql.catalog import SchemaCatalog
+from ..semql.intents import analyze
+from .answer import Answer
+
+ROUTE_STRUCTURED = "structured"
+ROUTE_UNSTRUCTURED = "unstructured"
+ROUTE_HYBRID = "hybrid"
+
+
+@dataclass
+class RouteDecision:
+    """Where a question was routed and why."""
+
+    route: str
+    reason: str
+    bound_tables: Tuple[str, ...] = ()
+
+
+class FederatedRouter:
+    """Classify questions against a catalog's binding surface."""
+
+    def __init__(self, catalog: SchemaCatalog):
+        self._catalog = catalog
+
+    def route(self, question: str) -> RouteDecision:
+        """Pick structured / unstructured / hybrid for *question*."""
+        frame = analyze(question)
+        value_hits = self._catalog.find_values(question)
+        bound_tables = tuple(sorted({hit.table for hit in value_hits}))
+
+        metric_bound = False
+        for term in frame.metric_terms:
+            if self._catalog.resolve_column(term):
+                metric_bound = True
+                break
+
+        if frame.is_aggregate and metric_bound:
+            if value_hits or frame.quarter or frame.comparisons:
+                return RouteDecision(
+                    ROUTE_STRUCTURED,
+                    "aggregate over bound metric with bound filters",
+                    bound_tables,
+                )
+            return RouteDecision(
+                ROUTE_STRUCTURED, "aggregate over bound metric",
+                bound_tables,
+            )
+        if metric_bound and (value_hits or frame.comparisons):
+            return RouteDecision(
+                ROUTE_HYBRID, "metric binds but question is not aggregate",
+                bound_tables,
+            )
+        if value_hits:
+            return RouteDecision(
+                ROUTE_HYBRID, "entities bind but no metric column does",
+                bound_tables,
+            )
+        return RouteDecision(
+            ROUTE_UNSTRUCTURED, "no schema element binds", (),
+        )
+
+
+def best_answer(answers: List[Answer]) -> Answer:
+    """Pick the most trustworthy non-abstaining answer.
+
+    Grounded beats ungrounded, then higher confidence wins; all-abstain
+    input returns the first abstention.
+    """
+    if not answers:
+        raise ValueError("need at least one answer")
+    live = [a for a in answers if not a.abstained]
+    if not live:
+        return answers[0]
+    live.sort(key=lambda a: (a.grounded, a.confidence), reverse=True)
+    return live[0]

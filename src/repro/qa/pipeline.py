@@ -1,0 +1,450 @@
+"""The hybrid Multi-Entity QA pipeline (paper Section III.C).
+
+End-to-end orchestration over one heterogeneous data lake:
+
+* **ingest** — curated relational tables, JSON documents and free text
+  enter their respective stores; unstructured documents additionally
+  pass through Relational Table Generation, so their facts become
+  queryable rows;
+* **index** — the graph index is built over chunks + tables + documents
+  and a topology retriever is stood up on it;
+* **answer** — questions are routed (structured / unstructured /
+  hybrid); structured ones run through Semantic Operator Synthesis over
+  curated *and generated* tables, textual ones through topology-RAG,
+  hybrid ones through both with the best-grounded answer winning.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..entropy.semantic_entropy import (
+    EntropyEstimate, SemanticEntropyEstimator,
+)
+from ..errors import ExtractionError, ReproError
+from ..extraction.table_gen import TableGenerator
+from ..graphindex.builder import BuilderConfig, GraphIndexBuilder
+from ..graphindex.hetgraph import HeterogeneousGraph
+from ..metering import CostMeter, GLOBAL_METER
+from ..retrieval.topology import TopologyConfig, TopologyRetriever
+from ..semql.catalog import SchemaCatalog
+from ..slm.model import SmallLanguageModel
+from ..storage.document.store import DocumentStore
+from ..storage.relational.database import Database
+from ..storage.textstore import TextStore
+from .answer import ANSWER_SYSTEM_HYBRID, Answer
+from .compare import ComparativeQA
+from .federation import (
+    ROUTE_STRUCTURED, ROUTE_UNSTRUCTURED, FederatedRouter, best_answer,
+)
+from .tableqa import TableQAEngine
+from .textqa import TextQAEngine
+
+# Column synonyms auto-registered for generated tables, mirroring the
+# attribute vocabulary of repro.extraction.attributes.
+_GENERATED_SYNONYMS = (
+    ("increase", "change_percent"),
+    ("decrease", "change_percent"),
+    ("change", "change_percent"),
+    ("growth", "change_percent"),
+    ("product", "subject"),
+    ("drug", "subject"),
+    ("amount", "amount"),
+    ("revenue", "amount"),
+)
+
+
+class HybridQAPipeline:
+    """One object from raw lake to answered question."""
+
+    def __init__(self, slm: SmallLanguageModel,
+                 meter: Optional[CostMeter] = None,
+                 builder_config: Optional[BuilderConfig] = None,
+                 topology_config: Optional[TopologyConfig] = None,
+                 min_column_support: int = 1,
+                 resolve_entity_aliases: bool = False):
+        self._slm = slm
+        self._meter = meter if meter is not None else GLOBAL_METER
+        self.db = Database(meter=self._meter)
+        self.text_store = TextStore(meter=self._meter)
+        self.doc_store = DocumentStore(meter=self._meter)
+        self._builder_config = builder_config
+        self._topology_config = topology_config
+        self._table_generator = TableGenerator(
+            slm, min_column_support=min_column_support
+        )
+        self._resolve_aliases = resolve_entity_aliases
+        self._generated_tables: List[str] = []
+        self._table_entity_columns: Dict[str, List[str]] = {}
+        self._pending_synonyms: List[Tuple[str, str, str]] = []
+        self._pending_joins: List[Tuple[str, str, str, str]] = []
+        self._pending_display: List[Tuple[str, str]] = []
+        self._builder: Optional[GraphIndexBuilder] = None
+        self._graph: Optional[HeterogeneousGraph] = None
+        self._retriever: Optional[TopologyRetriever] = None
+        self._text_qa: Optional[TextQAEngine] = None
+        self._table_qa: Optional[TableQAEngine] = None
+        self._router: Optional[FederatedRouter] = None
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def add_sql(self, statements: Iterable[str]) -> None:
+        """Run CREATE/INSERT statements to load curated tables."""
+        for statement in statements:
+            self.db.execute(statement)
+
+    def declare_entity_columns(self, table: str,
+                               columns: Sequence[str]) -> None:
+        """Mark which columns of a curated table name graph entities."""
+        for column in columns:
+            self.db.table(table).schema.index_of(column)
+        self._table_entity_columns[table] = list(columns)
+        names = set()
+        for column in columns:
+            for value in self.db.table(table).column_values(column):
+                if isinstance(value, str):
+                    names.add(value)
+        if names:
+            self._slm.add_gazetteer("VALUE", sorted(names))
+
+    def register_synonym(self, term: str, table: str, column: str) -> None:
+        """Declare an NL term → column mapping (applied at build time)."""
+        self._pending_synonyms.append((term, table, column))
+
+    def register_join(self, table_a: str, column_a: str,
+                      table_b: str, column_b: str) -> None:
+        """Declare a joinable key pair (applied at build time)."""
+        self._pending_joins.append((table_a, column_a, table_b, column_b))
+
+    def register_display_column(self, table: str, column: str) -> None:
+        """Column used to verbalize "list <table>" answers."""
+        self._pending_display.append((table, column))
+
+    def add_documents(self, docs: Iterable[Tuple[str, Any]]) -> None:
+        """Load semi-structured documents."""
+        self.doc_store.put_many(docs)
+
+    def add_csv(self, table_name: str, csv_text: str,
+                entity_columns: Optional[Sequence[str]] = None) -> int:
+        """Load a CSV file as a curated table (schema inferred).
+
+        Returns the row count; *entity_columns* are declared for graph
+        projection when given.
+        """
+        from ..storage.csvio import read_csv
+
+        table = read_csv(table_name, csv_text)
+        self.db.create_table(table.schema)
+        target = self.db.table(table_name)
+        for row in table.rows():
+            target.insert(row)
+        if entity_columns:
+            self.declare_entity_columns(table_name, entity_columns)
+        return len(target)
+
+    def add_texts(self, docs: Iterable[Tuple[str, str]]) -> None:
+        """Load unstructured text documents (chunked on ingest)."""
+        self.text_store.add_many(docs)
+
+    def generate_table(self, name: str,
+                       doc_ids: Optional[Sequence[str]] = None) -> int:
+        """Run Relational Table Generation over stored texts.
+
+        Returns the generated row count (0 when nothing extractable —
+        the pipeline still works, via the RAG path).
+        """
+        ids = list(doc_ids) if doc_ids is not None \
+            else self.text_store.doc_ids()
+        documents = [(i, self.text_store.document(i)) for i in ids]
+        try:
+            generated = self._table_generator.generate_into(
+                self.db, name, documents
+            )
+        except ExtractionError:
+            return 0
+        self._generated_tables.append(name)
+        return len(generated.table)
+
+    # ------------------------------------------------------------------
+    # Index construction
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        """Build the graph index, retriever and QA engines."""
+        chunks = self.text_store.chunks()
+        builder = GraphIndexBuilder(
+            self._slm, config=self._builder_config, meter=self._meter
+        )
+        if chunks:
+            builder.add_chunks(chunks)
+        for table, columns in self._table_entity_columns.items():
+            builder.add_table(self.db.table(table), entity_columns=columns)
+        if len(self.doc_store):
+            entity_paths = self._document_entity_paths()
+            if entity_paths:
+                builder.add_documents(self.doc_store, entity_paths)
+        self._builder = builder
+        self._graph = builder.build()
+        if self._resolve_aliases:
+            from ..graphindex.resolution import resolve_aliases
+
+            resolve_aliases(self._graph, embedder=self._slm.embedder)
+        self._index_retriever()
+        self._build_engines()
+
+    def _index_retriever(self) -> None:
+        chunks = self.text_store.chunks()
+        if not chunks:
+            return
+        self._retriever = TopologyRetriever(
+            self._graph, self._slm, config=self._topology_config,
+            meter=self._meter,
+        )
+        self._retriever.index(chunks)
+        self._text_qa = TextQAEngine(self._retriever, self._slm)
+
+    def _build_engines(self) -> None:
+        catalog = SchemaCatalog(self.db)
+        for name in self._generated_tables:
+            schema = self.db.table(name).schema
+            for term, column in _GENERATED_SYNONYMS:
+                if schema.has_column(column):
+                    catalog.register_synonym(term, name, column)
+        for term, table, column in self._pending_synonyms:
+            catalog.register_synonym(term, table, column)
+        for table_a, column_a, table_b, column_b in self._pending_joins:
+            catalog.register_join(table_a, column_a, table_b, column_b)
+        for table, column in self._pending_display:
+            catalog.register_display_column(table, column)
+        catalog.build_value_index()
+        self._table_qa = TableQAEngine(
+            self.db, catalog, system_name=ANSWER_SYSTEM_HYBRID
+        )
+        self._router = FederatedRouter(catalog)
+
+    def _document_entity_paths(self) -> List[str]:
+        # Use shallow scalar keys that appear in most documents.
+        from collections import Counter
+
+        key_counts: Counter = Counter()
+        n_docs = 0
+        for _, document in self.doc_store.scan():
+            n_docs += 1
+            if isinstance(document, dict):
+                for key, value in document.items():
+                    if isinstance(value, str):
+                        key_counts[key] += 1
+        return [
+            key for key, count in key_counts.items()
+            if count >= max(1, n_docs // 2)
+        ]
+
+    # ------------------------------------------------------------------
+    # Answering
+    # ------------------------------------------------------------------
+    def _check_built(self) -> None:
+        if self._table_qa is None or self._router is None:
+            raise ReproError("pipeline.build() must run before answer()")
+
+    @property
+    def graph(self) -> HeterogeneousGraph:
+        """The built graph index."""
+        self._check_built()
+        return self._graph
+
+    @property
+    def table_qa(self) -> TableQAEngine:
+        """The TableQA engine over curated + generated tables."""
+        self._check_built()
+        return self._table_qa
+
+    @property
+    def text_qa(self) -> Optional[TextQAEngine]:
+        """The topology-RAG engine (None when the lake has no text)."""
+        return self._text_qa
+
+    def route(self, question: str):
+        """The router's decision for *question* (for inspection)."""
+        self._check_built()
+        return self._router.route(question)
+
+    def answer(self, question: str) -> Answer:
+        """Answer through the hybrid route.
+
+        Comparison questions ("Compare X and Y ...") are decomposed
+        into per-entity sub-questions first (paper Section III.C's
+        Multi-Entity QA), each answered through the full route.
+        """
+        self._check_built()
+        comparer = ComparativeQA(self._slm, self._answer_single)
+        compared = comparer.try_answer(question)
+        if compared is not None and not compared.abstained:
+            compared.metadata.setdefault("route", "comparison")
+            return compared
+        return self._answer_single(question)
+
+    def _answer_single(self, question: str) -> Answer:
+        decision = self._router.route(question)
+        candidates: List[Answer] = []
+        if decision.route in (ROUTE_STRUCTURED, "hybrid"):
+            candidates.append(self._table_qa.answer(question))
+        if decision.route in (ROUTE_UNSTRUCTURED, "hybrid") or all(
+            a.abstained for a in candidates
+        ):
+            if self._text_qa is not None:
+                candidates.append(self._text_qa.answer(question))
+        if not candidates:
+            return Answer.abstain(ANSWER_SYSTEM_HYBRID, "no engine available")
+        answer = best_answer(candidates)
+        self._cross_check(answer, candidates)
+        answer.metadata.setdefault("route", decision.route)
+        return answer
+
+    @staticmethod
+    def _cross_check(answer: Answer, candidates: List[Answer]) -> None:
+        """Cross-modal consistency: when both engines answered with a
+        number, agreement raises confidence, disagreement is flagged.
+
+        This is the grounding check the paper motivates — an LLM-ish
+        text answer that *agrees* with an independently computed SQL
+        result is far more trustworthy than either alone.
+        """
+        import re as _re
+
+        def numeric(candidate: Answer):
+            value = candidate.value
+            if isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ):
+                return float(value)
+            match = _re.search(r"[-+]?\d+(?:\.\d+)?",
+                               (candidate.text or "").replace(",", ""))
+            return float(match.group()) if match else None
+
+        live = [c for c in candidates if not c.abstained]
+        if len(live) < 2:
+            return
+        values = [numeric(c) for c in live]
+        if any(v is None for v in values):
+            return
+        if all(abs(abs(v) - abs(values[0])) < 1e-6 for v in values[1:]):
+            answer.confidence = min(1.0, answer.confidence + 0.08)
+            answer.metadata["cross_check"] = "agree"
+        else:
+            answer.metadata["cross_check"] = "disagree"
+
+    def explain(self, question: str) -> str:
+        """Human-readable trace of how *question* would be answered.
+
+        Shows the comparison decomposition (when detected), the routing
+        decision, the synthesized plan (structured path) and the
+        retrieval explanation (text path) — the observability surface a
+        production deployment needs.
+        """
+        self._check_built()
+        lines = ["question: %s" % question]
+        from .compare import decompose, detect_comparison
+
+        frame = detect_comparison(question, self._slm)
+        if frame is not None:
+            lines.append("comparison of: %s"
+                         % ", ".join(frame.entity_names))
+            for entity, sub_question in decompose(frame):
+                lines.append("  sub[%s]: %s" % (entity, sub_question))
+                lines.extend(
+                    "    " + line
+                    for line in self._explain_single(sub_question)
+                )
+            return "\n".join(lines)
+        lines.extend(self._explain_single(question))
+        return "\n".join(lines)
+
+    def _explain_single(self, question: str) -> List[str]:
+        decision = self._router.route(question)
+        lines = ["route: %s (%s)" % (decision.route, decision.reason)]
+        if decision.bound_tables:
+            lines.append("bound tables: %s"
+                         % ", ".join(decision.bound_tables))
+        answer = self._table_qa.answer(question)
+        if answer.abstained:
+            lines.append("tableqa: abstained (%s)"
+                         % answer.metadata.get("reason", ""))
+        else:
+            lines.append("tableqa plan: %s"
+                         % answer.metadata.get("plan", "?"))
+            lines.append("tableqa answer: %s" % answer.text)
+        if self._text_qa is not None and decision.route != ROUTE_STRUCTURED:
+            hits = self._text_qa.retrieve(question)
+            lines.append("retrieval: %d chunks (%s)" % (
+                len(hits), ", ".join(h.chunk_id for h in hits[:3])
+            ))
+        return lines
+
+    def answer_with_uncertainty(
+        self, question: str, n_samples: int = 8,
+        temperature: float = 0.9, review_threshold: float = 0.6,
+        seed: Optional[int] = None,
+    ) -> Tuple[Answer, Optional[EntropyEstimate]]:
+        """Answer plus a semantic-entropy reliability estimate.
+
+        SQL-grounded answers are deterministic — they come back with no
+        entropy estimate (``None``) and are always servable. Text-path
+        answers are re-sampled ``n_samples`` times over the same
+        retrieved context; the estimate's normalized entropy above
+        ``review_threshold`` flags the answer for human review via
+        ``answer.metadata['needs_review']``.
+        """
+        self._check_built()
+        answer = self.answer(question)
+        deterministic = any(
+            p.startswith("sql:") for p in answer.provenance
+        )
+        if deterministic or self._text_qa is None or answer.abstained:
+            answer.metadata["needs_review"] = False
+            return answer, None
+        contexts = [
+            hit.chunk.text for hit in self._text_qa.retrieve(question)
+        ]
+        samples = self._slm.sample_answers(
+            question, contexts, n_samples=n_samples,
+            temperature=temperature, seed=seed,
+        )
+        estimator = SemanticEntropyEstimator(judge=self._slm.judge)
+        estimate = estimator.estimate(samples)
+        answer.metadata["semantic_entropy"] = estimate.entropy
+        answer.metadata["needs_review"] = (
+            estimate.normalized > review_threshold
+        )
+        return answer, estimate
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def ingest_incremental(self, docs: Sequence[Tuple[str, str]],
+                           regenerate_tables: bool = True) -> None:
+        """Add new text documents to a *built* pipeline.
+
+        Only the new documents are chunked and tagged into the existing
+        graph (the builder is incremental); generated tables are
+        refreshed and the retriever/catalog re-pointed. Curated tables
+        and previously indexed chunks are not reprocessed.
+        """
+        self._check_built()
+        if self._builder is None:
+            # Pipelines restored from disk have a graph but no live
+            # builder; rebuild once, then future increments are cheap.
+            self.add_texts(docs)
+            self.build()
+            docs = []
+        new_chunks = []
+        for doc_id, text in docs:
+            new_chunks.extend(self.text_store.add(doc_id, text))
+        if new_chunks:
+            self._builder.add_chunks(new_chunks)
+        self._graph = self._builder.build()
+        if regenerate_tables:
+            for name in list(self._generated_tables):
+                self._generated_tables.remove(name)
+                self.generate_table(name)
+        self._index_retriever()
+        self._build_engines()

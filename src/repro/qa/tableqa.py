@@ -1,0 +1,99 @@
+"""TableQA engine: answer questions by synthesized queries.
+
+This is both (a) the engine the hybrid pipeline runs over curated *and
+generated* tables, and (b) — restricted to curated tables — the
+Text-to-SQL baseline of E2, which by construction cannot see facts that
+only exist in unstructured text.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import ExecutionError, SynthesisError
+from ..semql.catalog import SchemaCatalog
+from ..semql.compiler import QueryCompiler
+from ..semql.synthesizer import OperatorSynthesizer
+from ..storage.relational.database import Database
+from ..storage.relational.executor import ResultSet
+from .answer import ANSWER_SYSTEM_TEXT2SQL, Answer
+
+
+class TableQAEngine:
+    """Answer NL questions over one relational database."""
+
+    def __init__(self, db: Database, catalog: Optional[SchemaCatalog] = None,
+                 system_name: str = ANSWER_SYSTEM_TEXT2SQL):
+        self._db = db
+        self._catalog = catalog or SchemaCatalog(db)
+        self._synthesizer = OperatorSynthesizer(self._catalog)
+        self._compiler = QueryCompiler(db)
+        self._system = system_name
+
+    @property
+    def catalog(self) -> SchemaCatalog:
+        """The schema catalog (for registering synonyms/joins)."""
+        return self._catalog
+
+    def refresh(self) -> None:
+        """Rebuild the value index after tables changed."""
+        self._catalog.build_value_index()
+
+    # ------------------------------------------------------------------
+    def answer(self, question: str) -> Answer:
+        """Synthesize, compile, execute; abstains on unbound questions."""
+        try:
+            spec = self._synthesizer.synthesize(question)
+            result = self._compiler.execute(spec)
+        except (SynthesisError, ExecutionError) as exc:
+            return Answer.abstain(self._system, reason=str(exc))
+        return self._verbalize(question, spec.describe(), result)
+
+    def _verbalize(self, question: str, plan_text: str,
+                   result: ResultSet) -> Answer:
+        provenance = ("sql:%s" % plan_text,)
+        if len(result.columns) == 1 and len(result.rows) == 1:
+            value = result.rows[0][0]
+            if value is None:
+                return Answer.abstain(
+                    self._system, reason="query returned NULL"
+                )
+            return Answer(
+                text=_format_value(value), value=value, confidence=0.9,
+                grounded=True, system=self._system, provenance=provenance,
+                metadata={"plan": plan_text},
+            )
+        if not result.rows:
+            return Answer(
+                text="no matching rows", value=[], confidence=0.6,
+                grounded=True, system=self._system, provenance=provenance,
+                metadata={"plan": plan_text},
+            )
+        if len(result.columns) == 1:
+            values = [row[0] for row in result.rows]
+            return Answer(
+                text=", ".join(_format_value(v) for v in values),
+                value=values, confidence=0.85, grounded=True,
+                system=self._system, provenance=provenance,
+                metadata={"plan": plan_text},
+            )
+        rows = result.to_dicts()
+        text = "; ".join(
+            ", ".join("%s=%s" % (k, _format_value(v)) for k, v in row.items())
+            for row in rows[:5]
+        )
+        return Answer(
+            text=text, value=rows, confidence=0.8, grounded=True,
+            system=self._system, provenance=provenance,
+            metadata={"plan": plan_text},
+        )
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        if value.is_integer():
+            return str(int(value))
+        return "%.4g" % value
+    return str(value)

@@ -1,0 +1,21 @@
+"""Retrieval: topology-enhanced (paper III.B) plus dense/BM25 baselines."""
+
+from .base import RetrievedChunk, Retriever, top_k
+from .dense import DenseRetriever, IVFDenseRetriever
+from .fusion import FusionRetriever, KeywordReranker, reciprocal_rank_fusion
+from .lexical import BM25Retriever
+from .metrics import (
+    aggregate_rankings, evaluate_ranking, hit_at_k, mean_metric, ndcg_at_k,
+    precision_at_k, recall_at_k, reciprocal_rank,
+)
+from .topology import TopologyConfig, TopologyRetriever
+
+__all__ = [
+    "RetrievedChunk", "Retriever", "top_k",
+    "DenseRetriever", "IVFDenseRetriever",
+    "FusionRetriever", "KeywordReranker", "reciprocal_rank_fusion",
+    "BM25Retriever",
+    "aggregate_rankings", "evaluate_ranking", "hit_at_k", "mean_metric",
+    "ndcg_at_k", "precision_at_k", "recall_at_k", "reciprocal_rank",
+    "TopologyConfig", "TopologyRetriever",
+]

@@ -1,0 +1,69 @@
+"""Retriever interface and result type.
+
+All retrievers index a corpus of :class:`~repro.text.chunker.Chunk`
+objects and answer ``retrieve(query, k)`` with scored hits. Indexing
+and query work is charged to a shared :class:`CostMeter`, which is how
+E1/E6 compare the *work* of dense vs topology retrieval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import RetrievalError
+from ..text.chunker import Chunk
+
+
+@dataclass(frozen=True)
+class RetrievedChunk:
+    """One retrieval hit: the chunk, its score and score breakdown."""
+
+    chunk: Chunk
+    score: float
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def chunk_id(self) -> str:
+        """Id of the retrieved chunk."""
+        return self.chunk.chunk_id
+
+
+class Retriever:
+    """Abstract retriever: ``index`` then ``retrieve``."""
+
+    name = "abstract"
+
+    def index(self, chunks: Sequence[Chunk]) -> None:
+        """Build the index over *chunks* (replaces any prior index)."""
+        raise NotImplementedError
+
+    def retrieve(self, query: str, k: int = 5) -> List[RetrievedChunk]:
+        """Top-*k* chunks for *query*, highest score first."""
+        raise NotImplementedError
+
+    def _check_ready(self, indexed: bool) -> None:
+        if not indexed:
+            raise RetrievalError(
+                "%s: retrieve() called before index()" % self.name
+            )
+
+    @staticmethod
+    def _check_k(k: int) -> None:
+        if k < 1:
+            raise RetrievalError("k must be >= 1, got %d" % k)
+
+
+def top_k(scored: Dict[str, float], chunks_by_id: Dict[str, Chunk],
+          k: int, components: Optional[Dict[str, Dict[str, float]]] = None
+          ) -> List[RetrievedChunk]:
+    """Materialize the k best (id → score) entries as results.
+
+    Ties break on chunk id so rankings are deterministic.
+    """
+    ordered = sorted(scored.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+    out = []
+    for chunk_id, score in ordered:
+        parts = components.get(chunk_id, {}) if components else {}
+        out.append(RetrievedChunk(chunks_by_id[chunk_id], score, parts))
+    return out

@@ -1,0 +1,156 @@
+"""Dense vector retrieval: the conventional-RAG baseline.
+
+Two variants:
+
+* :class:`DenseRetriever` — brute-force cosine over all chunk vectors;
+* :class:`IVFDenseRetriever` — k-means coarse quantizer (inverted file)
+  probing ``n_probe`` clusters per query.
+
+Indexing embeds every chunk (one ``embedding_calls`` unit each) — this
+is exactly the up-front cost the paper's topology-guided approach
+avoids, and what E1 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import RetrievalError
+from ..metering import (
+    CostMeter, GLOBAL_METER, NODES_SCORED, VECTORS_COMPARED,
+)
+from ..slm.embeddings import EmbeddingModel
+from ..text.chunker import Chunk
+from .base import RetrievedChunk, Retriever, top_k
+
+
+class DenseRetriever(Retriever):
+    """Brute-force cosine retrieval over embedded chunks."""
+
+    name = "dense"
+
+    def __init__(self, embedder: EmbeddingModel,
+                 meter: Optional[CostMeter] = None):
+        self._embedder = embedder
+        self._meter = meter if meter is not None else GLOBAL_METER
+        self._chunks: Dict[str, Chunk] = {}
+        self._ids: List[str] = []
+        self._matrix = np.zeros((0, embedder.dim))
+        self._indexed = False
+
+    def index(self, chunks: Sequence[Chunk]) -> None:
+        """Embed every chunk into the index matrix."""
+        self._chunks = {c.chunk_id: c for c in chunks}
+        self._ids = [c.chunk_id for c in chunks]
+        self._matrix = self._embedder.embed_batch(
+            [c.text for c in chunks]
+        )
+        self._indexed = True
+
+    def retrieve(self, query: str, k: int = 5) -> List[RetrievedChunk]:
+        """Cosine-score the query against every indexed vector."""
+        self._check_ready(self._indexed)
+        self._check_k(k)
+        if not self._ids:
+            return []
+        query_vec = self._embedder.embed(query)
+        sims = self._matrix @ query_vec
+        self._meter.charge(VECTORS_COMPARED, len(self._ids))
+        self._meter.charge(NODES_SCORED, len(self._ids))
+        scores = {cid: float(s) for cid, s in zip(self._ids, sims)}
+        return top_k(scores, self._chunks, k)
+
+    @property
+    def index_bytes(self) -> int:
+        """Approximate index memory (the E6 memory proxy)."""
+        return int(self._matrix.nbytes)
+
+
+def _kmeans(matrix: np.ndarray, n_clusters: int, seed: int,
+            n_iterations: int = 12) -> np.ndarray:
+    """Plain Lloyd's k-means returning the centroid matrix."""
+    rng = np.random.default_rng(seed)
+    n = matrix.shape[0]
+    choice = rng.choice(n, size=min(n_clusters, n), replace=False)
+    centroids = matrix[choice].copy()
+    for _ in range(n_iterations):
+        sims = matrix @ centroids.T
+        assignment = np.argmax(sims, axis=1)
+        new_centroids = centroids.copy()
+        for c in range(centroids.shape[0]):
+            members = matrix[assignment == c]
+            if len(members):
+                centroid = members.mean(axis=0)
+                norm = np.linalg.norm(centroid)
+                if norm > 0:
+                    new_centroids[c] = centroid / norm
+        if np.allclose(new_centroids, centroids):
+            break
+        centroids = new_centroids
+    return centroids
+
+
+class IVFDenseRetriever(Retriever):
+    """Inverted-file dense retrieval: probe the closest clusters only."""
+
+    name = "dense_ivf"
+
+    def __init__(self, embedder: EmbeddingModel, n_clusters: int = 16,
+                 n_probe: int = 3, seed: int = 0,
+                 meter: Optional[CostMeter] = None):
+        if n_clusters < 1 or n_probe < 1:
+            raise RetrievalError("n_clusters and n_probe must be >= 1")
+        self._embedder = embedder
+        self._n_clusters = n_clusters
+        self._n_probe = n_probe
+        self._seed = seed
+        self._meter = meter if meter is not None else GLOBAL_METER
+        self._chunks: Dict[str, Chunk] = {}
+        self._centroids = np.zeros((0, embedder.dim))
+        self._lists: List[List[int]] = []
+        self._ids: List[str] = []
+        self._matrix = np.zeros((0, embedder.dim))
+        self._indexed = False
+
+    def index(self, chunks: Sequence[Chunk]) -> None:
+        """Embed chunks, cluster them, build inverted lists."""
+        self._chunks = {c.chunk_id: c for c in chunks}
+        self._ids = [c.chunk_id for c in chunks]
+        self._matrix = self._embedder.embed_batch([c.text for c in chunks])
+        if len(chunks) == 0:
+            self._indexed = True
+            return
+        self._centroids = _kmeans(
+            self._matrix, self._n_clusters, self._seed
+        )
+        assignment = np.argmax(self._matrix @ self._centroids.T, axis=1)
+        self._lists = [[] for _ in range(self._centroids.shape[0])]
+        for i, cluster in enumerate(assignment):
+            self._lists[int(cluster)].append(i)
+        self._indexed = True
+
+    def retrieve(self, query: str, k: int = 5) -> List[RetrievedChunk]:
+        """Probe the ``n_probe`` closest clusters and rank their members."""
+        self._check_ready(self._indexed)
+        self._check_k(k)
+        if not self._ids:
+            return []
+        query_vec = self._embedder.embed(query)
+        centroid_sims = self._centroids @ query_vec
+        self._meter.charge(VECTORS_COMPARED, self._centroids.shape[0])
+        probe_order = np.argsort(-centroid_sims)[: self._n_probe]
+        scores: Dict[str, float] = {}
+        for cluster in probe_order:
+            for row in self._lists[int(cluster)]:
+                sim = float(self._matrix[row] @ query_vec)
+                self._meter.charge(VECTORS_COMPARED)
+                self._meter.charge(NODES_SCORED)
+                scores[self._ids[row]] = sim
+        return top_k(scores, self._chunks, k)
+
+    @property
+    def index_bytes(self) -> int:
+        """Approximate index memory including centroids."""
+        return int(self._matrix.nbytes + self._centroids.nbytes)

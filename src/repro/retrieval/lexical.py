@@ -1,0 +1,87 @@
+"""BM25 lexical retrieval (Okapi BM25, k1/b parameterization).
+
+The classic sparse baseline: cheap to build (no model calls), strong on
+keyword queries, blind to paraphrase. Terms are stopword-filtered and
+Porter-stemmed so "increase"/"increased" match.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from ..metering import CostMeter, GLOBAL_METER, NODES_SCORED
+from ..text.chunker import Chunk
+from ..text.stemmer import stem
+from ..text.stopwords import STOPWORDS
+from ..text.tokenizer import words
+from .base import RetrievedChunk, Retriever, top_k
+
+
+def _terms(text: str) -> List[str]:
+    return [stem(w) for w in words(text) if w not in STOPWORDS]
+
+
+class BM25Retriever(Retriever):
+    """Okapi BM25 over chunk text."""
+
+    name = "bm25"
+
+    def __init__(self, k1: float = 1.5, b: float = 0.75,
+                 meter: Optional[CostMeter] = None):
+        if k1 <= 0 or not 0.0 <= b <= 1.0:
+            raise ValueError("need k1 > 0 and 0 <= b <= 1")
+        self._k1 = k1
+        self._b = b
+        self._meter = meter if meter is not None else GLOBAL_METER
+        self._chunks: Dict[str, Chunk] = {}
+        # Inverted index: term → [(chunk_id, term_frequency)].
+        self._postings: Dict[str, List] = {}
+        self._doc_len: Dict[str, int] = {}
+        self._avg_len = 0.0
+        self._indexed = False
+
+    def index(self, chunks: Sequence[Chunk]) -> None:
+        """Tokenize every chunk into posting lists."""
+        self._chunks = {c.chunk_id: c for c in chunks}
+        self._postings = {}
+        self._doc_len = {}
+        total = 0
+        for chunk in chunks:
+            terms = _terms(chunk.text)
+            counts = Counter(terms)
+            self._doc_len[chunk.chunk_id] = len(terms)
+            total += len(terms)
+            for term, tf in counts.items():
+                self._postings.setdefault(term, []).append(
+                    (chunk.chunk_id, tf)
+                )
+        self._avg_len = total / len(chunks) if chunks else 0.0
+        self._indexed = True
+
+    def _idf(self, term: str) -> float:
+        n = len(self._chunks)
+        df = len(self._postings.get(term, ()))
+        return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+
+    def retrieve(self, query: str, k: int = 5) -> List[RetrievedChunk]:
+        """Score only the chunks on the query terms' posting lists."""
+        self._check_ready(self._indexed)
+        self._check_k(k)
+        query_terms = _terms(query)
+        scores: Dict[str, float] = {}
+        for term in set(query_terms):
+            postings = self._postings.get(term)
+            if not postings:
+                continue
+            idf = self._idf(term)
+            for chunk_id, tf in postings:
+                self._meter.charge(NODES_SCORED)
+                length_norm = 1.0 - self._b + self._b * (
+                    self._doc_len[chunk_id] / (self._avg_len or 1.0)
+                )
+                scores[chunk_id] = scores.get(chunk_id, 0.0) + idf * (
+                    tf * (self._k1 + 1.0)
+                ) / (tf + self._k1 * length_norm)
+        return top_k(scores, self._chunks, k)

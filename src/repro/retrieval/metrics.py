@@ -1,0 +1,92 @@
+"""Ranking quality metrics: recall@k, precision@k, MRR, nDCG, hit rate."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Set
+
+from ..errors import BenchmarkError
+
+
+def _check_k(k: int) -> None:
+    if k < 1:
+        raise BenchmarkError("k must be >= 1, got %d" % k)
+
+
+def recall_at_k(ranked_ids: Sequence[str], relevant: Set[str],
+                k: int) -> float:
+    """|top-k ∩ relevant| / |relevant| (0 when nothing is relevant)."""
+    _check_k(k)
+    if not relevant:
+        return 0.0
+    top = set(ranked_ids[:k])
+    return len(top & relevant) / len(relevant)
+
+
+def precision_at_k(ranked_ids: Sequence[str], relevant: Set[str],
+                   k: int) -> float:
+    """|top-k ∩ relevant| / k."""
+    _check_k(k)
+    top = list(ranked_ids[:k])
+    if not top:
+        return 0.0
+    return len(set(top) & relevant) / k
+
+
+def hit_at_k(ranked_ids: Sequence[str], relevant: Set[str], k: int) -> float:
+    """1.0 if any relevant id appears in the top-k else 0.0."""
+    _check_k(k)
+    return 1.0 if set(ranked_ids[:k]) & relevant else 0.0
+
+
+def reciprocal_rank(ranked_ids: Sequence[str], relevant: Set[str]) -> float:
+    """1/rank of the first relevant hit (0 when none)."""
+    for i, chunk_id in enumerate(ranked_ids):
+        if chunk_id in relevant:
+            return 1.0 / (i + 1)
+    return 0.0
+
+
+def ndcg_at_k(ranked_ids: Sequence[str], relevant: Set[str], k: int) -> float:
+    """Binary-relevance nDCG@k."""
+    _check_k(k)
+    if not relevant:
+        return 0.0
+    dcg = 0.0
+    for i, chunk_id in enumerate(ranked_ids[:k]):
+        if chunk_id in relevant:
+            dcg += 1.0 / math.log2(i + 2)
+    ideal = sum(
+        1.0 / math.log2(i + 2) for i in range(min(len(relevant), k))
+    )
+    return dcg / ideal if ideal > 0 else 0.0
+
+
+def mean_metric(values: Iterable[float]) -> float:
+    """Average of a metric list (0 for empty input)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def evaluate_ranking(ranked_ids: Sequence[str], relevant: Set[str],
+                     ks: Sequence[int] = (1, 5, 10)) -> Dict[str, float]:
+    """All metrics for one ranking, keyed like "recall@5"."""
+    out: Dict[str, float] = {"mrr": reciprocal_rank(ranked_ids, relevant)}
+    for k in ks:
+        out["recall@%d" % k] = recall_at_k(ranked_ids, relevant, k)
+        out["precision@%d" % k] = precision_at_k(ranked_ids, relevant, k)
+        out["ndcg@%d" % k] = ndcg_at_k(ranked_ids, relevant, k)
+        out["hit@%d" % k] = hit_at_k(ranked_ids, relevant, k)
+    return out
+
+
+def aggregate_rankings(per_query: List[Dict[str, float]]) -> Dict[str, float]:
+    """Mean of each metric across queries."""
+    if not per_query:
+        return {}
+    keys = per_query[0].keys()
+    return {
+        key: mean_metric(q[key] for q in per_query) for key in keys
+    }

@@ -1,0 +1,221 @@
+"""Topology-enhanced retrieval (paper Section III.B).
+
+Instead of embedding the whole corpus, the retriever:
+
+1. tags the query's entities with the SLM (one lightweight tagging
+   call — *no* per-chunk embedding);
+2. maps them onto anchor entity nodes of the heterogeneous graph
+   (exact normalized match, then fuzzy token-overlap fallback);
+3. BFS-expands from the anchors over MENTIONS/RELATES/CO_OCCURS edges,
+   collecting candidate chunk nodes within a hop budget;
+4. scores candidates by anchor coverage, hop distance, a precomputed
+   centrality prior (PageRank), and keyword overlap — "centrality and
+   connectivity" per the paper.
+
+A BM25 fallback handles entity-free queries, so the retriever never
+returns nothing merely because tagging found no anchors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..errors import RetrievalError
+from ..graphindex.centrality import normalize_scores, pagerank
+from ..graphindex.hetgraph import HeterogeneousGraph
+from ..graphindex.nodes import (
+    EDGE_CO_OCCURS, EDGE_DESCRIBES, EDGE_MENTIONS, EDGE_RELATES,
+    NODE_ENTITY, entity_key,
+)
+from ..metering import CostMeter, GLOBAL_METER, NODES_SCORED
+from ..slm.model import SmallLanguageModel
+from ..text.chunker import Chunk
+from ..text.stemmer import stem
+from ..text.stopwords import STOPWORDS
+from ..text.tokenizer import words
+from .base import RetrievedChunk, Retriever, top_k
+from .lexical import BM25Retriever
+
+_TRAVERSAL_EDGES = (
+    EDGE_MENTIONS, EDGE_RELATES, EDGE_CO_OCCURS, EDGE_DESCRIBES,
+)
+
+
+@dataclass
+class TopologyConfig:
+    """Scoring weights and traversal budget.
+
+    max_depth:
+        BFS hop budget from anchor entities (2 reaches
+        entity → chunk → entity → chunk patterns).
+    max_nodes:
+        Hard cap on expanded nodes per query (work bound).
+    anchor_weight / depth_weight / centrality_weight / lexical_weight:
+        Mixing weights of the four score components.
+    use_centrality:
+        Ablation switch (E7): drop the centrality prior when False.
+    """
+
+    max_depth: int = 3
+    max_nodes: int = 400
+    anchor_weight: float = 1.0
+    depth_weight: float = 0.5
+    centrality_weight: float = 0.3
+    lexical_weight: float = 0.4
+    use_centrality: bool = True
+
+    def __post_init__(self):
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if self.max_nodes < 1:
+            raise ValueError("max_nodes must be >= 1")
+
+
+class TopologyRetriever(Retriever):
+    """Graph-traversal retrieval over a heterogeneous index."""
+
+    name = "topology"
+
+    def __init__(self, graph: HeterogeneousGraph, slm: SmallLanguageModel,
+                 config: Optional[TopologyConfig] = None,
+                 meter: Optional[CostMeter] = None):
+        self._graph = graph
+        self._slm = slm
+        self._config = config or TopologyConfig()
+        self._meter = meter if meter is not None else GLOBAL_METER
+        self._chunks: Dict[str, Chunk] = {}
+        self._centrality: Dict[str, float] = {}
+        self._entity_tokens: Dict[str, Set[str]] = {}
+        self._fallback = BM25Retriever(meter=self._meter)
+        self._indexed = False
+
+    # ------------------------------------------------------------------
+    def index(self, chunks: Sequence[Chunk]) -> None:
+        """Attach chunk bodies and precompute the centrality prior.
+
+        The heavy lifting (tagging, edge construction) already happened
+        in :class:`~repro.graphindex.builder.GraphIndexBuilder`; indexing
+        here costs one PageRank pass and zero model calls.
+        """
+        self._chunks = {c.chunk_id: c for c in chunks}
+        missing = [
+            c.chunk_id for c in chunks
+            if not self._graph.has_node("chunk:%s" % c.chunk_id)
+        ]
+        if missing:
+            raise RetrievalError(
+                "chunks missing from graph: %s" % missing[:3]
+            )
+        if self._config.use_centrality:
+            self._centrality = normalize_scores(pagerank(self._graph))
+        else:
+            self._centrality = {}
+        self._entity_tokens = {
+            node.node_id: {
+                stem(w) for w in words(node.label) if w not in STOPWORDS
+            }
+            for node in self._graph.nodes(NODE_ENTITY)
+        }
+        self._fallback.index(chunks)
+        self._indexed = True
+
+    # ------------------------------------------------------------------
+    def _query_anchors(self, query: str) -> List[str]:
+        """Anchor entity node ids for *query* (exact, then fuzzy)."""
+        anchors: List[str] = []
+        entities = self._slm.tag_entities(query)
+        for entity in entities:
+            key = entity_key(entity.norm)
+            if self._graph.has_node(key):
+                anchors.append(key)
+        if anchors:
+            return sorted(set(anchors))
+        # Fuzzy fallback: entity labels sharing >= half their tokens
+        # with the query.
+        query_stems = {
+            stem(w) for w in words(query) if w not in STOPWORDS
+        }
+        for node_id, tokens in self._entity_tokens.items():
+            if not tokens:
+                continue
+            overlap = len(tokens & query_stems) / len(tokens)
+            if overlap >= 0.5 and len(tokens & query_stems) >= 1:
+                anchors.append(node_id)
+        return sorted(set(anchors))
+
+    def retrieve(self, query: str, k: int = 5) -> List[RetrievedChunk]:
+        """Anchor, traverse and score; falls back to BM25 if anchorless."""
+        self._check_ready(self._indexed)
+        self._check_k(k)
+        cfg = self._config
+        anchors = self._query_anchors(query)
+        if not anchors:
+            return self._fallback.retrieve(query, k)
+
+        # Per-anchor BFS so anchor coverage can be counted.
+        chunk_depths: Dict[str, Dict[str, int]] = {}
+        for anchor in anchors:
+            depths = self._graph.bfs(
+                [anchor], max_depth=cfg.max_depth,
+                edge_kinds=_TRAVERSAL_EDGES,
+                max_nodes=cfg.max_nodes // max(len(anchors), 1),
+            )
+            for node_id, depth in depths.items():
+                if not node_id.startswith("chunk:"):
+                    continue
+                chunk_id = node_id[len("chunk:"):]
+                if chunk_id not in self._chunks:
+                    continue
+                per_chunk = chunk_depths.setdefault(chunk_id, {})
+                prev = per_chunk.get(anchor)
+                if prev is None or depth < prev:
+                    per_chunk[anchor] = depth
+
+        if not chunk_depths:
+            return self._fallback.retrieve(query, k)
+
+        query_stems = {
+            stem(w) for w in words(query) if w not in STOPWORDS
+        }
+        scores: Dict[str, float] = {}
+        components: Dict[str, Dict[str, float]] = {}
+        for chunk_id, per_anchor in chunk_depths.items():
+            self._meter.charge(NODES_SCORED)
+            coverage = len(per_anchor) / len(anchors)
+            min_depth = min(per_anchor.values())
+            depth_score = 1.0 / (1.0 + min_depth)
+            central = self._centrality.get("chunk:%s" % chunk_id, 0.0)
+            chunk_stems = {
+                stem(w) for w in words(self._chunks[chunk_id].text)
+                if w not in STOPWORDS
+            }
+            lexical = (
+                len(chunk_stems & query_stems) / len(query_stems)
+                if query_stems else 0.0
+            )
+            parts = {
+                "anchor": cfg.anchor_weight * coverage,
+                "depth": cfg.depth_weight * depth_score,
+                "centrality": cfg.centrality_weight * central,
+                "lexical": cfg.lexical_weight * lexical,
+            }
+            components[chunk_id] = parts
+            scores[chunk_id] = sum(parts.values())
+        return top_k(scores, self._chunks, k, components)
+
+    # ------------------------------------------------------------------
+    def explain(self, query: str, k: int = 5) -> str:
+        """Human-readable scoring breakdown for debugging/examples."""
+        hits = self.retrieve(query, k)
+        lines = ["anchors: %s" % ", ".join(self._query_anchors(query))]
+        for hit in hits:
+            parts = ", ".join(
+                "%s=%.3f" % (name, value)
+                for name, value in sorted(hit.components.items())
+            )
+            lines.append(
+                "%.3f %s [%s] %s"
+                % (hit.score, hit.chunk_id, parts, hit.chunk.text[:60])
+            )
+        return "\n".join(lines)

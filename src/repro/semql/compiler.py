@@ -1,0 +1,141 @@
+"""Compile a :class:`QuerySpec` to the engine's SQL and execute it.
+
+When a spec involves joins, bare column names are qualified with the
+table that owns them (first owner wins, base table preferred), so the
+generated SQL never trips the executor's ambiguity check.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, List
+
+from ..errors import SynthesisError
+from ..storage.relational.database import Database
+from ..storage.relational.executor import ResultSet
+from .logical import AggregateSpec, FilterSpec, QuerySpec
+
+
+class QueryCompiler:
+    """Render and run query specs against one database."""
+
+    def __init__(self, db: Database):
+        self._db = db
+
+    # ------------------------------------------------------------------
+    def _owner(self, spec: QuerySpec, column: str) -> str:
+        tables = [spec.table] + [j.table for j in spec.joins]
+        for table in tables:
+            if self._db.table(table).schema.has_column(column):
+                return table
+        raise SynthesisError(
+            "column %r not found in %s" % (column, tables)
+        )
+
+    def _qualify(self, spec: QuerySpec, column: str) -> str:
+        if column == "*":
+            return column
+        if not spec.joins:
+            return column
+        return "%s.%s" % (self._owner(spec, column), column)
+
+    @staticmethod
+    def _literal(value: Any) -> str:
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            return "TRUE" if value else "FALSE"
+        if isinstance(value, (int, float)):
+            return repr(value)
+        if isinstance(value, _dt.date):
+            return "'%s'" % value.isoformat()
+        return "'%s'" % str(value).replace("'", "''")
+
+    def _filter_sql(self, spec: QuerySpec, flt: FilterSpec) -> str:
+        column = self._qualify(spec, flt.column)
+        if flt.op == "like":
+            return "%s LIKE %s" % (column, self._literal(str(flt.value)))
+        if isinstance(flt.value, str):
+            # Case-insensitive comparison for text equality filters:
+            # entity mentions were lowered during value indexing.
+            return "LOWER(%s) %s %s" % (
+                column, flt.op, self._literal(flt.value.lower())
+            )
+        return "%s %s %s" % (column, flt.op, self._literal(flt.value))
+
+    def _aggregate_sql(self, spec: QuerySpec, agg: AggregateSpec) -> str:
+        inner = self._qualify(spec, agg.column)
+        if agg.distinct:
+            inner = "DISTINCT " + inner
+        alias = "%s_%s" % (agg.func, "all" if agg.column == "*"
+                           else agg.column)
+        return "%s(%s) AS %s" % (agg.func.upper(), inner, alias)
+
+    # ------------------------------------------------------------------
+    def to_sql(self, spec: QuerySpec) -> str:
+        """Render *spec* as a SQL string for the relational engine."""
+        select_parts: List[str] = []
+        for column in spec.projection:
+            select_parts.append(self._qualify(spec, column))
+        for agg in spec.aggregates:
+            select_parts.append(self._aggregate_sql(spec, agg))
+        if not select_parts:
+            select_parts = ["*"]
+        sql = ["SELECT " + ", ".join(select_parts)]
+        sql.append("FROM " + spec.table)
+        prev_tables = [spec.table]
+        for join in spec.joins:
+            left = self._owner_for_join(spec, join.left_column, prev_tables)
+            sql.append(
+                "JOIN %s ON %s.%s = %s.%s" % (
+                    join.table, left, join.left_column,
+                    join.table, join.right_column,
+                )
+            )
+            prev_tables.append(join.table)
+        if spec.filters:
+            sql.append("WHERE " + " AND ".join(
+                self._filter_sql(spec, f) for f in spec.filters
+            ))
+        if spec.group_by:
+            sql.append("GROUP BY " + ", ".join(
+                self._qualify(spec, c) for c in spec.group_by
+            ))
+        if spec.having:
+            sql.append("HAVING " + " AND ".join(
+                "%s(%s) %s %s" % (
+                    agg.func.upper(), self._qualify(spec, agg.column),
+                    op, self._literal(value),
+                )
+                for agg, op, value in spec.having
+            ))
+        if spec.order_by:
+            agg_aliases = {
+                "%s_%s" % (a.func, "all" if a.column == "*" else a.column)
+                for a in spec.aggregates
+            }
+            if spec.order_by in agg_aliases:
+                # Ordering by an aggregate's output alias, not a base
+                # column — never qualify.
+                order_term = spec.order_by
+            else:
+                order_term = self._qualify(spec, spec.order_by)
+            sql.append("ORDER BY %s%s" % (
+                order_term, " DESC" if spec.descending else "",
+            ))
+        if spec.limit is not None:
+            sql.append("LIMIT %d" % spec.limit)
+        return " ".join(sql)
+
+    def _owner_for_join(self, spec: QuerySpec, column: str,
+                        candidates: List[str]) -> str:
+        for table in candidates:
+            if self._db.table(table).schema.has_column(column):
+                return table
+        raise SynthesisError(
+            "join column %r not found among %s" % (column, candidates)
+        )
+
+    def execute(self, spec: QuerySpec) -> ResultSet:
+        """Compile and run *spec*."""
+        return self._db.execute(self.to_sql(spec))

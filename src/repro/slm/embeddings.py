@@ -1,0 +1,148 @@
+"""Deterministic text embeddings via hashed random projections.
+
+This stands in for the SLM's encoder. Each token deterministically maps
+to a fixed unit vector (seeded by a stable hash of the token), and a
+text embeds as the IDF-weighted mean of its content-token vectors plus
+a character-trigram component that gives morphologically related tokens
+("increase"/"increased") nearby vectors. Cosine similarity over these
+embeddings behaves like a classic distributional model: texts sharing
+vocabulary and morphology are close; unrelated texts are near-orthogonal.
+
+Why this is a faithful substitute: every experiment in the paper uses
+embeddings only through *relative similarity* (dense retrieval ranking,
+answer clustering). Hashed projections preserve exactly that structure
+while being reproducible offline without model weights.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..metering import EMBEDDING_CALLS, CostMeter, GLOBAL_METER
+from ..text.stemmer import stem
+from ..text.stopwords import STOPWORDS
+from ..text.tokenizer import words
+
+
+def _stable_seed(key: str) -> int:
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _unit_vector(key: str, dim: int) -> np.ndarray:
+    rng = np.random.default_rng(_stable_seed(key))
+    vec = rng.standard_normal(dim)
+    norm = np.linalg.norm(vec)
+    return vec / norm
+
+
+def _char_trigrams(token: str) -> List[str]:
+    padded = "#%s#" % token
+    return [padded[i : i + 3] for i in range(len(padded) - 2)]
+
+
+class EmbeddingModel:
+    """Deterministic sentence/text embedder.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality (default 128: small, SLM-like).
+    char_weight:
+        Relative weight of the character-trigram component; 0 disables
+        it (pure bag-of-words hashing).
+    meter:
+        Cost meter charged one ``embedding_calls`` unit per embedded
+        text — the unit the E1 efficiency bench counts.
+    """
+
+    def __init__(self, dim: int = 128, char_weight: float = 0.35,
+                 meter: Optional[CostMeter] = None):
+        if dim < 8:
+            raise ValueError("dim must be >= 8")
+        if not 0.0 <= char_weight <= 1.0:
+            raise ValueError("char_weight must be within [0, 1]")
+        self.dim = dim
+        self._char_weight = char_weight
+        self._meter = meter if meter is not None else GLOBAL_METER
+        self._token_cache: Dict[str, np.ndarray] = {}
+        self._doc_freq: Dict[str, int] = {}
+        self._n_docs = 0
+
+    # ------------------------------------------------------------------
+    # Corpus statistics (optional; improves weighting like a trained
+    # encoder's contextual salience).
+    # ------------------------------------------------------------------
+    def fit_idf(self, texts: Iterable[str]) -> "EmbeddingModel":
+        """Record document frequencies so rare terms weigh more."""
+        for text in texts:
+            self._n_docs += 1
+            for term in set(self._terms(text)):
+                self._doc_freq[term] = self._doc_freq.get(term, 0) + 1
+        return self
+
+    def _idf(self, term: str) -> float:
+        if self._n_docs == 0:
+            return 1.0
+        df = self._doc_freq.get(term, 0)
+        return math.log((self._n_docs + 1) / (df + 1)) + 1.0
+
+    # ------------------------------------------------------------------
+    # Embedding
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _terms(text: str) -> List[str]:
+        return [w for w in words(text) if w not in STOPWORDS]
+
+    def _token_vector(self, token: str) -> np.ndarray:
+        cached = self._token_cache.get(token)
+        if cached is not None:
+            return cached
+        base = _unit_vector("tok:" + stem(token), self.dim)
+        if self._char_weight > 0.0:
+            tri = np.zeros(self.dim)
+            trigrams = _char_trigrams(token)
+            for gram in trigrams:
+                tri += _unit_vector("tri:" + gram, self.dim)
+            if trigrams:
+                tri /= np.linalg.norm(tri) or 1.0
+            vec = (1.0 - self._char_weight) * base + self._char_weight * tri
+        else:
+            vec = base
+        vec = vec / (np.linalg.norm(vec) or 1.0)
+        self._token_cache[token] = vec
+        return vec
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed *text* into a unit vector (zero vector for empty text)."""
+        self._meter.charge(EMBEDDING_CALLS)
+        terms = self._terms(text)
+        if not terms:
+            return np.zeros(self.dim)
+        acc = np.zeros(self.dim)
+        for term in terms:
+            acc += self._idf(term) * self._token_vector(term)
+        norm = np.linalg.norm(acc)
+        if norm == 0.0:
+            return acc
+        return acc / norm
+
+    def embed_batch(self, texts: Sequence[str]) -> np.ndarray:
+        """Embed many texts into an (n, dim) matrix."""
+        if not texts:
+            return np.zeros((0, self.dim))
+        return np.stack([self.embed(t) for t in texts])
+
+    @staticmethod
+    def cosine(a: np.ndarray, b: np.ndarray) -> float:
+        """Cosine similarity, safe for zero vectors."""
+        denom = (np.linalg.norm(a) * np.linalg.norm(b)) or 1.0
+        return float(np.dot(a, b) / denom)
+
+    def similarity(self, text_a: str, text_b: str) -> float:
+        """Cosine similarity of two texts' embeddings."""
+        return self.cosine(self.embed(text_a), self.embed(text_b))

@@ -1,0 +1,158 @@
+"""N-gram language model with interpolated add-k smoothing.
+
+Provides the SLM's *scoring* capability: sequence log-probability,
+perplexity, and temperature-controlled sampling. Used by the answer
+generator (token-level predictive entropy baseline in E3 needs real
+per-token probabilities) and by tests as a toy generative model.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .vocab import BOS, EOS, UNK, Vocabulary
+
+
+class NgramLanguageModel:
+    """Interpolated n-gram LM over word tokens.
+
+    Parameters
+    ----------
+    order:
+        Maximum n-gram order (default 3 = trigram).
+    add_k:
+        Additive smoothing mass per vocabulary item.
+    interpolation:
+        Per-order interpolation weights, highest order first; defaults
+        to geometric decay. Must sum to 1.
+    """
+
+    def __init__(self, order: int = 3, add_k: float = 0.1,
+                 interpolation: Optional[Sequence[float]] = None):
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        if add_k <= 0:
+            raise ValueError("add_k must be positive")
+        self.order = order
+        self.add_k = add_k
+        if interpolation is None:
+            raw = [2.0 ** (-i) for i in range(order)]
+            total = sum(raw)
+            interpolation = [w / total for w in raw]
+        if len(interpolation) != order:
+            raise ValueError("need one interpolation weight per order")
+        if abs(sum(interpolation) - 1.0) > 1e-9:
+            raise ValueError("interpolation weights must sum to 1")
+        self._lambdas = list(interpolation)
+        self.vocab = Vocabulary()
+        # counts[n][context][token] for n-grams of length n+1
+        self._counts: List[Dict[Tuple[str, ...], Counter]] = [
+            defaultdict(Counter) for _ in range(order)
+        ]
+        self._trained = False
+
+    # ------------------------------------------------------------------
+    def fit(self, sentences: Iterable[Sequence[str]]) -> "NgramLanguageModel":
+        """Count n-grams over tokenized *sentences*."""
+        for sentence in sentences:
+            tokens = [t.lower() for t in sentence]
+            self.vocab.add_sentence(tokens)
+            padded = [BOS] * (self.order - 1) + tokens + [EOS]
+            for i in range(self.order - 1, len(padded)):
+                token = padded[i]
+                for n in range(self.order):
+                    context = tuple(padded[i - n : i])
+                    self._counts[n][context][token] += 1
+        self._trained = True
+        return self
+
+    def _order_prob(self, n: int, context: Tuple[str, ...], token: str) -> float:
+        counter = self._counts[n].get(context)
+        vocab_size = max(len(self.vocab), 2)
+        if counter is None:
+            return 1.0 / vocab_size
+        total = sum(counter.values())
+        return (counter.get(token, 0) + self.add_k) / (
+            total + self.add_k * vocab_size
+        )
+
+    def prob(self, context: Sequence[str], token: str) -> float:
+        """Interpolated P(token | context)."""
+        if not self._trained:
+            raise RuntimeError("model must be fit() before scoring")
+        token = token.lower()
+        context = [c.lower() for c in context]
+        padded = [BOS] * (self.order - 1) + list(context)
+        p = 0.0
+        for n in range(self.order):
+            ctx = tuple(padded[len(padded) - n :]) if n else tuple()
+            p += self._lambdas[n] * self._order_prob(n, ctx, token)
+        return p
+
+    def sequence_logprob(self, tokens: Sequence[str]) -> float:
+        """Natural-log probability of a full sentence (with EOS)."""
+        tokens = [t.lower() for t in tokens]
+        history: List[str] = []
+        logp = 0.0
+        for token in list(tokens) + [EOS]:
+            logp += math.log(self.prob(history, token))
+            history.append(token)
+        return logp
+
+    def perplexity(self, tokens: Sequence[str]) -> float:
+        """exp(-logprob / length): lower = better modeled."""
+        n = len(tokens) + 1
+        return math.exp(-self.sequence_logprob(tokens) / n)
+
+    # ------------------------------------------------------------------
+    def _candidate_tokens(self, context: Sequence[str]) -> List[str]:
+        padded = [BOS] * (self.order - 1) + [c.lower() for c in context]
+        candidates: set = set()
+        for n in range(self.order - 1, -1, -1):
+            ctx = tuple(padded[len(padded) - n :]) if n else tuple()
+            counter = self._counts[n].get(ctx)
+            if counter:
+                candidates.update(counter.keys())
+            if len(candidates) >= 50:
+                break
+        candidates.discard(UNK)
+        candidates.discard(BOS)
+        return sorted(candidates)
+
+    def sample(self, rng: random.Random, max_tokens: int = 30,
+               temperature: float = 1.0,
+               prefix: Optional[Sequence[str]] = None) -> List[str]:
+        """Sample a sentence with temperature-scaled probabilities.
+
+        Temperature < 1 sharpens toward the most frequent continuations;
+        > 1 flattens. Stops on EOS or *max_tokens*.
+        """
+        if not self._trained:
+            raise RuntimeError("model must be fit() before sampling")
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        tokens: List[str] = [t.lower() for t in (prefix or [])]
+        for _ in range(max_tokens):
+            candidates = self._candidate_tokens(tokens)
+            if not candidates:
+                break
+            weights = [
+                self.prob(tokens, cand) ** (1.0 / temperature)
+                for cand in candidates
+            ]
+            total = sum(weights)
+            pick = rng.random() * total
+            acc = 0.0
+            chosen = candidates[-1]
+            for cand, weight in zip(candidates, weights):
+                acc += weight
+                if pick <= acc:
+                    chosen = cand
+                    break
+            if chosen == EOS:
+                break
+            tokens.append(chosen)
+        return tokens

@@ -1,0 +1,86 @@
+"""Vocabulary: token ↔ id mapping with frequency statistics.
+
+Shared by the n-gram language model and the embedding table. Ids are
+assigned in first-seen order so builds are deterministic for a given
+corpus ordering.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List
+
+UNK = "<unk>"
+BOS = "<s>"
+EOS = "</s>"
+SPECIALS = (UNK, BOS, EOS)
+
+
+class Vocabulary:
+    """An append-only token vocabulary.
+
+    >>> v = Vocabulary()
+    >>> v.add_sentence(["sales", "rose"])
+    >>> v.id_of("sales") > 2
+    True
+    """
+
+    def __init__(self, min_count: int = 1):
+        if min_count < 1:
+            raise ValueError("min_count must be >= 1")
+        self._min_count = min_count
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+        self._counts: Counter = Counter()
+        for special in SPECIALS:
+            self._intern(special)
+
+    def _intern(self, token: str) -> int:
+        if token not in self._token_to_id:
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+        return self._token_to_id[token]
+
+    def add_sentence(self, tokens: Iterable[str]) -> None:
+        """Count *tokens* and intern those meeting ``min_count``."""
+        for token in tokens:
+            self._counts[token] += 1
+            if self._counts[token] >= self._min_count:
+                self._intern(token)
+
+    def id_of(self, token: str) -> int:
+        """The id of *token*, or the UNK id when unknown."""
+        return self._token_to_id.get(token, self._token_to_id[UNK])
+
+    def token_of(self, token_id: int) -> str:
+        """The surface form for *token_id* (raises IndexError if bad)."""
+        return self._id_to_token[token_id]
+
+    def encode(self, tokens: Iterable[str]) -> List[int]:
+        """Map tokens to ids, UNK-ing unknowns."""
+        return [self.id_of(t) for t in tokens]
+
+    def count(self, token: str) -> int:
+        """Observed frequency of *token* (0 when unseen)."""
+        return self._counts.get(token, 0)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def tokens(self, include_specials: bool = False) -> List[str]:
+        """All interned tokens, optionally with the special symbols."""
+        if include_specials:
+            return list(self._id_to_token)
+        return [t for t in self._id_to_token if t not in SPECIALS]
+
+    @classmethod
+    def from_corpus(cls, sentences: Iterable[Iterable[str]],
+                    min_count: int = 1) -> "Vocabulary":
+        """Build a vocabulary from an iterable of token sequences."""
+        vocab = cls(min_count=min_count)
+        for sentence in sentences:
+            vocab.add_sentence(sentence)
+        return vocab

@@ -1,0 +1,5 @@
+"""Heterogeneous storage substrates: relational, document, text, CSV."""
+
+from .types import DataType, coerce, compatible, sort_key
+
+__all__ = ["DataType", "coerce", "compatible", "sort_key"]

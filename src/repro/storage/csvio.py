@@ -1,0 +1,112 @@
+"""CSV import/export for relational tables.
+
+Loads CSV text into typed tables (with header-driven schema inference)
+and dumps result sets back out — the structured-file leg of the lake.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Optional, Sequence
+
+from ..errors import SchemaError, StorageError
+from .relational.executor import ResultSet
+from .relational.schema import Column, TableSchema
+from .relational.table import Table
+from .types import DataType, coerce
+
+
+def infer_column_type(values: Iterable[str]) -> DataType:
+    """Infer the tightest type that fits every non-empty string value."""
+    saw_any = False
+    could_be = {DataType.INT, DataType.FLOAT, DataType.BOOL, DataType.DATE}
+    for raw in values:
+        text = (raw or "").strip()
+        if not text:
+            continue
+        saw_any = True
+        for dtype in list(could_be):
+            if dtype is DataType.BOOL:
+                # Only word-like booleans count: "0"/"1" should stay INT.
+                if text.lower() not in ("true", "false", "t", "f",
+                                        "yes", "no"):
+                    could_be.discard(dtype)
+                continue
+            try:
+                coerce(text, dtype)
+            except SchemaError:
+                could_be.discard(dtype)
+        if not could_be:
+            return DataType.TEXT
+    if not saw_any:
+        return DataType.TEXT
+    for dtype in (DataType.BOOL, DataType.INT, DataType.DATE, DataType.FLOAT):
+        if dtype in could_be:
+            return dtype
+    return DataType.TEXT
+
+
+def infer_schema(name: str, header: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> TableSchema:
+    """Build a :class:`TableSchema` from a header and sample string rows."""
+    if not header:
+        raise StorageError("CSV needs a header row")
+    columns = []
+    for i, col_name in enumerate(header):
+        col_values = [row[i] if i < len(row) else "" for row in rows]
+        columns.append(
+            Column(_sanitize(col_name), infer_column_type(col_values))
+        )
+    return TableSchema(name, columns)
+
+
+def _sanitize(name: str) -> str:
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name.strip().lower()
+    )
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "c_" + cleaned
+    return cleaned
+
+
+def read_csv(name: str, text: str,
+             schema: Optional[TableSchema] = None) -> Table:
+    """Parse CSV *text* into a :class:`Table`.
+
+    When *schema* is omitted the column types are inferred from the
+    data. Empty cells load as NULL.
+    """
+    reader = csv.reader(io.StringIO(text))
+    rows = list(reader)
+    if not rows:
+        raise StorageError("CSV input is empty")
+    header, data = rows[0], rows[1:]
+    if schema is None:
+        schema = infer_schema(name, header, data)
+    table = Table(schema)
+    for raw in data:
+        if len(raw) != len(header):
+            raise StorageError(
+                "CSV row has %d cells, header has %d" % (len(raw), len(header))
+            )
+        values = [cell.strip() if cell.strip() else None for cell in raw]
+        table.insert(values, coerce=True)
+    return table
+
+
+def write_csv(result: ResultSet) -> str:
+    """Serialize a :class:`ResultSet` to CSV text (NULL → empty cell)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(result.columns)
+    for row in result.rows:
+        writer.writerow(["" if v is None else v for v in row])
+    return buffer.getvalue()
+
+
+def table_to_csv(table: Table) -> str:
+    """Serialize a whole table to CSV text."""
+    return write_csv(
+        ResultSet(table.schema.column_names(), table.rows())
+    )

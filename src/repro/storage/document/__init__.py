@@ -1,0 +1,6 @@
+"""Semi-structured document storage (JSON-like) with path queries."""
+
+from .jsonpath import flatten, parse_path, select, select_one
+from .store import DocumentStore
+
+__all__ = ["DocumentStore", "flatten", "parse_path", "select", "select_one"]

@@ -1,0 +1,320 @@
+"""The relational database facade.
+
+Ties catalog, parser, planner and executor together:
+
+>>> db = Database()
+>>> _ = db.execute("CREATE TABLE t (a INT, b TEXT)")
+>>> _ = db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+>>> db.execute("SELECT b FROM t WHERE a = 2").rows
+[('y',)]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ...errors import ExecutionError, PlanError, SchemaError, StorageError
+from ...metering import CostMeter, GLOBAL_METER
+from .executor import Executor, ResultSet
+from .index import HashIndex
+from .planner import Planner, PlanNode
+from .schema import TableSchema
+from .expressions import predicate_matches
+from .sql_parser import (
+    CreateTableStatement, CreateViewStatement, DeleteStatement,
+    DropTableStatement, DropViewStatement, InsertStatement,
+    SelectStatement, TransactionStatement, UpdateStatement, parse,
+)
+from .table import Table
+
+
+class Database:
+    """An in-memory multi-table SQL database."""
+
+    def __init__(self, meter: Optional[CostMeter] = None):
+        self._meter = meter if meter is not None else GLOBAL_METER
+        self._tables: Dict[str, Table] = {}
+        self._views: Dict[str, SelectStatement] = {}
+        self._snapshot: Optional[tuple] = None  # open transaction
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create a table from a schema object."""
+        if schema.name in self._tables or schema.name in self._views:
+            raise StorageError("table %r already exists" % schema.name)
+        table = Table(schema, meter=self._meter)
+        self._tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and its data."""
+        if self._tables.pop(name.lower(), None) is None:
+            raise StorageError("no table %r" % name)
+
+    def table(self, name: str) -> Table:
+        """Fetch a table by name."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise StorageError(
+                "no table %r (has: %s)"
+                % (name, ", ".join(sorted(self._tables)) or "<none>")
+            ) from None
+
+    def table_names(self) -> List[str]:
+        """Sorted names of all tables."""
+        return sorted(self._tables)
+
+    def has_table(self, name: str) -> bool:
+        """True when *name* exists in the catalog."""
+        return name.lower() in self._tables
+
+    def create_index(self, table: str, column: str,
+                     kind: str = "hash") -> None:
+        """Build a secondary index on *table.column*."""
+        self.table(table).create_index(column, kind=kind)
+
+    def _has_hash_index(self, table: str, column: str) -> bool:
+        tbl = self._tables.get(table)
+        if tbl is None:
+            return False
+        return isinstance(tbl.index_on(column), HashIndex)
+
+    def _columns_of(self, table: str):
+        tbl = self._tables.get(table)
+        if tbl is None:
+            return None
+        return set(tbl.schema.column_names())
+
+    def _planner(self) -> Planner:
+        return Planner(self._has_hash_index, self._columns_of)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> ResultSet:
+        """Parse and run one SQL statement.
+
+        SELECT returns its rows; CREATE/INSERT return small status
+        results ("ok" / rows inserted) so callers can treat everything
+        uniformly.
+        """
+        stmt = parse(sql)
+        if isinstance(stmt, SelectStatement):
+            return self._run_select(stmt)
+        if isinstance(stmt, CreateTableStatement):
+            self.create_table(stmt.schema)
+            return ResultSet(["status"], [("ok",)])
+        if isinstance(stmt, InsertStatement):
+            count = self._run_insert(stmt)
+            return ResultSet(["inserted"], [(count,)])
+        if isinstance(stmt, UpdateStatement):
+            count = self._run_update(stmt)
+            return ResultSet(["updated"], [(count,)])
+        if isinstance(stmt, DeleteStatement):
+            count = self._run_delete(stmt)
+            return ResultSet(["deleted"], [(count,)])
+        if isinstance(stmt, DropTableStatement):
+            self.drop_table(stmt.table)
+            return ResultSet(["status"], [("ok",)])
+        if isinstance(stmt, CreateViewStatement):
+            self.create_view(stmt.name, stmt.select)
+            return ResultSet(["status"], [("ok",)])
+        if isinstance(stmt, DropViewStatement):
+            self.drop_view(stmt.name)
+            return ResultSet(["status"], [("ok",)])
+        if isinstance(stmt, TransactionStatement):
+            getattr(self, stmt.action)()
+            return ResultSet(["status"], [(stmt.action,)])
+        raise PlanError("unsupported statement type %r" % type(stmt).__name__)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def create_view(self, name: str, select: SelectStatement) -> None:
+        """Register *name* as a view over a stored SELECT."""
+        name = name.lower()
+        if name in self._tables or name in self._views:
+            raise StorageError("name %r already exists" % name)
+        # Validate eagerly: the SELECT must run against current state.
+        self._run_select(select)
+        self._views[name] = select
+
+    def drop_view(self, name: str) -> None:
+        """Remove a view definition."""
+        if self._views.pop(name.lower(), None) is None:
+            raise StorageError("no view %r" % name)
+
+    def view_names(self) -> List[str]:
+        """Sorted names of all views."""
+        return sorted(self._views)
+
+    def _materialize_view(self, name: str) -> Table:
+        from ...extraction.schema_infer import infer_value_type, unify_types
+        from .schema import Column
+
+        result = self._run_select(self._views[name])
+        columns = []
+        for i, raw_name in enumerate(result.columns):
+            col_name = "".join(
+                ch if ch.isalnum() or ch == "_" else "_"
+                for ch in raw_name.lower()
+            ) or "c_%d" % i
+            if col_name[0].isdigit():
+                col_name = "c_" + col_name
+            values = [row[i] for row in result.rows if row[i] is not None]
+            dtype = unify_types(infer_value_type(v) for v in values)
+            columns.append(Column(col_name, dtype))
+        table = Table(TableSchema(name, columns), meter=self._meter)
+        for row in result.rows:
+            table.insert(row)
+        return table
+
+    # ------------------------------------------------------------------
+    # Transactions (snapshot-based, single level)
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        """Open a transaction (snapshot of all tables and views)."""
+        if self._snapshot is not None:
+            raise StorageError("a transaction is already open")
+        self._snapshot = (
+            {name: table.clone() for name, table in self._tables.items()},
+            dict(self._views),
+        )
+
+    def commit(self) -> None:
+        """Make the open transaction's changes permanent."""
+        if self._snapshot is None:
+            raise StorageError("no open transaction to commit")
+        self._snapshot = None
+
+    def rollback(self) -> None:
+        """Discard all changes since :meth:`begin`."""
+        if self._snapshot is None:
+            raise StorageError("no open transaction to roll back")
+        self._tables, self._views = self._snapshot
+        self._snapshot = None
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while a transaction is open."""
+        return self._snapshot is not None
+
+    def plan(self, sql: str) -> PlanNode:
+        """Plan a SELECT without executing (for EXPLAIN / tests)."""
+        stmt = parse(sql)
+        if not isinstance(stmt, SelectStatement):
+            raise PlanError("only SELECT statements can be planned")
+        self._validate_select(stmt)
+        return self._planner().plan(stmt)
+
+    def explain(self, sql: str) -> str:
+        """EXPLAIN-style plan rendering."""
+        return self.plan(sql).explain()
+
+    def _run_select(self, stmt: SelectStatement) -> ResultSet:
+        self._validate_select(stmt)
+        mapping = self._resolve_tables(stmt)
+
+        def has_index(table: str, column: str) -> bool:
+            tbl = mapping.get(table)
+            if tbl is None:
+                return False
+            return isinstance(tbl.index_on(column), HashIndex)
+
+        def columns_of(table: str):
+            tbl = mapping.get(table)
+            if tbl is None:
+                return None
+            return set(tbl.schema.column_names())
+
+        plan = Planner(has_index, columns_of).plan(stmt)
+        return Executor(mapping).execute(plan)
+
+    def _resolve_tables(self, stmt: SelectStatement) -> Dict[str, Table]:
+        """Base tables plus materialized views referenced by *stmt*."""
+        mapping = dict(self._tables)
+        for ref in [stmt.table] + [j.table for j in stmt.joins]:
+            if ref.name not in mapping and ref.name in self._views:
+                mapping[ref.name] = self._materialize_view(ref.name)
+        return mapping
+
+    def _validate_select(self, stmt: SelectStatement) -> None:
+        refs = [stmt.table] + [j.table for j in stmt.joins]
+        for ref in refs:
+            if ref.name not in self._tables and ref.name not in self._views:
+                raise ExecutionError("unknown table %r" % ref.name)
+
+    def _run_insert(self, stmt: InsertStatement) -> int:
+        table = self.table(stmt.table)
+        count = 0
+        for values in stmt.rows:
+            if stmt.columns is not None:
+                if len(values) != len(stmt.columns):
+                    raise SchemaError(
+                        "INSERT has %d values for %d columns"
+                        % (len(values), len(stmt.columns))
+                    )
+                record = dict(zip(stmt.columns, values))
+                table.insert_dict(record, coerce=True)
+            else:
+                table.insert(values, coerce=True)
+            count += 1
+        return count
+
+    def _run_update(self, stmt: UpdateStatement) -> int:
+        table = self.table(stmt.table)
+        schema = table.schema
+        for column, _ in stmt.assignments:
+            schema.index_of(column)
+        columns = schema.column_names()
+        count = 0
+        for row_id, row in list(table.scan()):
+            context = dict(zip(columns, row))
+            if stmt.where is not None and not predicate_matches(
+                stmt.where, context
+            ):
+                continue
+            new_row = list(row)
+            for column, expr in stmt.assignments:
+                new_row[schema.index_of(column)] = expr.evaluate(context)
+            table.update(row_id, new_row, coerce=True)
+            count += 1
+        return count
+
+    def _run_delete(self, stmt: DeleteStatement) -> int:
+        table = self.table(stmt.table)
+        columns = table.schema.column_names()
+        doomed = []
+        for row_id, row in table.scan():
+            context = dict(zip(columns, row))
+            if stmt.where is None or predicate_matches(stmt.where, context):
+                doomed.append(row_id)
+        for row_id in doomed:
+            table.delete(row_id)
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    # Bulk loading helpers
+    # ------------------------------------------------------------------
+    def load_rows(self, table: str, rows: Iterable[Sequence[Any]],
+                  coerce: bool = True) -> int:
+        """Bulk-insert raw row tuples; returns count."""
+        tbl = self.table(table)
+        count = 0
+        for row in rows:
+            tbl.insert(row, coerce=coerce)
+            count += 1
+        return count
+
+    def load_dicts(self, table: str, records: Iterable[Dict[str, Any]],
+                   coerce: bool = True) -> int:
+        """Bulk-insert column→value mappings; returns count."""
+        tbl = self.table(table)
+        count = 0
+        for record in records:
+            tbl.insert_dict(record, coerce=coerce)
+            count += 1
+        return count

@@ -1,0 +1,421 @@
+"""Physical execution of logical plans (iterator model).
+
+Rows flow between operators as dicts keyed by *qualified* column names
+("alias.column"); unqualified lookups resolve through the suffix
+fallback in :class:`~.expressions.ColumnRef`. The executor charges
+``rows_scanned`` via the tables it reads, so benchmark cost accounting
+reflects real work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Tuple
+
+from ...errors import ExecutionError, PlanError
+from ..types import sort_key
+from .expressions import ColumnRef, Expression, predicate_matches
+from .planner import (
+    AggregateNode, DistinctNode, FilterNode, HashJoinNode, IndexScanNode,
+    LimitNode, NestedLoopJoinNode, PlanNode, ProjectNode, ScanNode, SortNode,
+)
+from .sql_parser import AggregateCall
+from .table import Table
+
+
+@dataclass
+class ResultSet:
+    """Materialized query result: ordered column names plus row tuples."""
+
+    columns: List[str]
+    rows: List[Tuple[Any, ...]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as column→value dicts."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one output column."""
+        try:
+            pos = self.columns.index(name)
+        except ValueError:
+            raise ExecutionError(
+                "no output column %r (has: %s)"
+                % (name, ", ".join(self.columns))
+            ) from None
+        return [row[pos] for row in self.rows]
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                "scalar() needs a 1x1 result, got %dx%d"
+                % (len(self.rows), len(self.columns))
+            )
+        return self.rows[0][0]
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """Fixed-width text rendering (for examples and reports)."""
+        headers = [str(c) for c in self.columns]
+        shown = self.rows[:max_rows]
+        cells = [[_fmt(v) for v in row] for row in shown]
+        widths = [
+            max([len(h)] + [len(row[i]) for row in cells])
+            for i, h in enumerate(headers)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep
+        ]
+        for row in cells:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths))
+            )
+        if len(self.rows) > max_rows:
+            lines.append("... (%d more rows)" % (len(self.rows) - max_rows))
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return "%.4g" % value
+    return str(value)
+
+
+class _Aggregator:
+    """Incremental state for one AggregateCall."""
+
+    def __init__(self, call: AggregateCall):
+        self._call = call
+        self._count = 0
+        self._sum = 0.0
+        self._min: Any = None
+        self._max: Any = None
+        self._distinct: set = set()
+        self._any_numeric = False
+
+    def update(self, row: Dict[str, Any]) -> None:
+        call = self._call
+        if call.arg is None:  # COUNT(*)
+            self._count += 1
+            return
+        value = call.arg.evaluate(row)
+        if value is None:
+            return
+        if call.distinct:
+            self._distinct.add(value)
+            return
+        self._count += 1
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            self._sum += value
+            self._any_numeric = True
+        if self._min is None or sort_key(value) < sort_key(self._min):
+            self._min = value
+        if self._max is None or sort_key(value) > sort_key(self._max):
+            self._max = value
+
+    def result(self) -> Any:
+        func = self._call.func
+        if self._call.distinct:
+            if func == "count":
+                return len(self._distinct)
+            values = sorted(self._distinct, key=sort_key)
+            if not values:
+                return None
+            if func == "sum":
+                return sum(values)
+            if func == "avg":
+                return sum(values) / len(values)
+            if func == "min":
+                return values[0]
+            if func == "max":
+                return values[-1]
+            raise PlanError("unknown aggregate %r" % func)
+        if func == "count":
+            return self._count
+        if self._count == 0:
+            return None
+        if func == "sum":
+            if not self._any_numeric:
+                raise ExecutionError("SUM over non-numeric values")
+            return self._sum
+        if func == "avg":
+            if not self._any_numeric:
+                raise ExecutionError("AVG over non-numeric values")
+            return self._sum / self._count
+        if func == "min":
+            return self._min
+        if func == "max":
+            return self._max
+        raise PlanError("unknown aggregate %r" % func)
+
+
+class Executor:
+    """Execute plan trees against a catalog of named tables."""
+
+    def __init__(self, tables: Dict[str, Table]):
+        self._tables = tables
+
+    # ------------------------------------------------------------------
+    def _table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise ExecutionError("unknown table %r" % name) from None
+
+    @staticmethod
+    def _row_dict(alias: str, schema_cols: List[str],
+                  row: Tuple[Any, ...]) -> Dict[str, Any]:
+        return {
+            "%s.%s" % (alias, col): value
+            for col, value in zip(schema_cols, row)
+        }
+
+    def _iter(self, node: PlanNode) -> Iterator[Dict[str, Any]]:
+        if isinstance(node, ScanNode):
+            table = self._table(node.table)
+            cols = table.schema.column_names()
+            for _, row in table.scan():
+                yield self._row_dict(node.alias, cols, row)
+        elif isinstance(node, IndexScanNode):
+            table = self._table(node.table)
+            cols = table.schema.column_names()
+            for row in table.lookup(node.column, node.value):
+                yield self._row_dict(node.alias, cols, row)
+        elif isinstance(node, FilterNode):
+            for row in self._iter(node.child):
+                if predicate_matches(node.predicate, row):
+                    yield row
+        elif isinstance(node, NestedLoopJoinNode):
+            yield from self._nested_loop(node)
+        elif isinstance(node, HashJoinNode):
+            yield from self._hash_join(node)
+        else:
+            raise PlanError("cannot iterate node %r" % node.label())
+
+    def _nested_loop(self, node: NestedLoopJoinNode):
+        right_rows = list(self._iter(node.right))
+        for left_row in self._iter(node.left):
+            matched = False
+            for right_row in right_rows:
+                combined = {**left_row, **right_row}
+                if predicate_matches(node.condition, combined):
+                    matched = True
+                    yield combined
+            if node.kind == "left" and not matched:
+                if right_rows:
+                    nulls = {k: None for k in right_rows[0]}
+                else:
+                    nulls = {}
+                yield {**left_row, **nulls}
+
+    def _hash_join(self, node: HashJoinNode):
+        build: Dict[Any, List[Dict[str, Any]]] = {}
+        right_rows = list(self._iter(node.right))
+        right_keys: List[str] = list(right_rows[0].keys()) if right_rows else []
+        for right_row in right_rows:
+            key = node.right_key.evaluate(right_row)
+            if key is None:
+                continue
+            build.setdefault(key, []).append(right_row)
+        for left_row in self._iter(node.left):
+            key = node.left_key.evaluate(left_row)
+            matches = build.get(key, []) if key is not None else []
+            matched = False
+            for right_row in matches:
+                combined = {**left_row, **right_row}
+                if node.residual is not None and not predicate_matches(
+                    node.residual, combined
+                ):
+                    continue
+                matched = True
+                yield combined
+            if node.kind == "left" and not matched:
+                yield {**left_row, **{k: None for k in right_keys}}
+
+    # ------------------------------------------------------------------
+    def execute(self, node: PlanNode) -> ResultSet:
+        """Run the plan to a materialized :class:`ResultSet`."""
+        if isinstance(node, LimitNode):
+            inner = self.execute(node.child)
+            start = node.offset
+            end = None if node.limit is None else start + node.limit
+            return ResultSet(inner.columns, inner.rows[start:end])
+        if isinstance(node, SortNode):
+            child = node.child
+            if isinstance(child, ProjectNode) and not child.star:
+                return self._sort_then_project(node, child)
+            result = self.execute(child)
+            return self._sort(node, result)
+        if isinstance(node, DistinctNode):
+            inner = self.execute(node.child)
+            seen = set()
+            rows = []
+            for row in inner.rows:
+                key = tuple(sort_key(v) for v in row)
+                if key not in seen:
+                    seen.add(key)
+                    rows.append(row)
+            return ResultSet(inner.columns, rows)
+        if isinstance(node, ProjectNode):
+            return self._project(node)
+        if isinstance(node, AggregateNode):
+            return self._aggregate(node)
+        # Bare relational node: expose qualified columns as-is.
+        rows_out: List[Tuple[Any, ...]] = []
+        columns: List[str] = []
+        for row in self._iter(node):
+            if not columns:
+                columns = list(row.keys())
+            rows_out.append(tuple(row.get(c) for c in columns))
+        return ResultSet(columns, rows_out)
+
+    def _sort_then_project(self, sort_node: SortNode,
+                           project: ProjectNode) -> ResultSet:
+        """Sort with access to pre-projection columns, then project.
+
+        Lets ORDER BY reference base-table columns that are not in the
+        select list (e.g. ``SELECT name ... ORDER BY price``).
+        """
+        columns = [item.output_name() for item in project.items]
+        pairs = []  # (context, output_tuple)
+        for row in self._iter(project.child):
+            out = tuple(item.expr.evaluate(row) for item in project.items)
+            ctx = dict(row)
+            ctx.update(zip(columns, out))
+            pairs.append((ctx, out))
+        for item in reversed(sort_node.order_by):
+            def key(pair, _item=item):
+                return sort_key(_item.expr.evaluate(pair[0]))
+            pairs.sort(key=key, reverse=item.descending)
+        return ResultSet(columns, [out for _, out in pairs])
+
+    def _project(self, node: ProjectNode) -> ResultSet:
+        rows_out: List[Tuple[Any, ...]] = []
+        columns: List[str] = []
+        if node.star:
+            for row in self._iter(node.child):
+                if not columns:
+                    columns = [k.split(".", 1)[-1] for k in row]
+                    if len(set(columns)) != len(columns):
+                        columns = list(row.keys())
+                    full_keys = list(row.keys())
+                rows_out.append(tuple(row[k] for k in full_keys))
+            return ResultSet(columns or [], rows_out)
+        columns = [item.output_name() for item in node.items]
+        for row in self._iter(node.child):
+            rows_out.append(
+                tuple(item.expr.evaluate(row) for item in node.items)
+            )
+        return ResultSet(columns, rows_out)
+
+    def _aggregate(self, node: AggregateNode) -> ResultSet:
+        groups: Dict[tuple, Dict[str, Any]] = {}
+        aggs: Dict[tuple, List[_Aggregator]] = {}
+        agg_items = [
+            (i, item) for i, item in enumerate(node.items) if item.is_aggregate
+        ]
+        saw_rows = False
+        for row in self._iter(node.child):
+            saw_rows = True
+            key = tuple(
+                sort_key(c.evaluate(row)) for c in node.group_by
+            )
+            if key not in groups:
+                groups[key] = row
+                aggs[key] = [_Aggregator(item.expr) for _, item in agg_items]
+            for agg, (_, item) in zip(aggs[key], agg_items):
+                agg.update(row)
+        if not node.group_by and not saw_rows:
+            # Global aggregate over empty input still yields one row.
+            groups[()] = {}
+            aggs[()] = [_Aggregator(item.expr) for _, item in agg_items]
+
+        columns = [item.output_name() for item in node.items]
+        rows_out: List[Tuple[Any, ...]] = []
+        for key in groups:
+            sample = groups[key]
+            agg_values = [a.result() for a in aggs[key]]
+            agg_iter = iter(agg_values)
+            out_row = []
+            extended = dict(sample)
+            for item in node.items:
+                if item.is_aggregate:
+                    value = next(agg_iter)
+                else:
+                    value = item.expr.evaluate(sample) if sample else None
+                out_row.append(value)
+                extended[item.output_name()] = value
+            if node.having is not None:
+                if not self._having_matches(node.having, extended, sample,
+                                            aggs[key], agg_items):
+                    continue
+            rows_out.append(tuple(out_row))
+        rows_out.sort(key=lambda r: tuple(sort_key(v) for v in r))
+        return ResultSet(columns, rows_out)
+
+    def _having_matches(self, having: Expression, extended: Dict[str, Any],
+                        sample: Dict[str, Any], aggregators, agg_items) -> bool:
+        # HAVING may reference aggregates directly (e.g. COUNT(*) > 2).
+        # Rewrite: evaluate by substituting aggregate results by sql text.
+        from .sql_parser import AggregateCall as _AC
+
+        class _HavingContext(dict):
+            def __init__(self, base):
+                super().__init__(base)
+
+        ctx = _HavingContext(extended)
+        # Map each aggregate's canonical sql to its computed value.
+        for agg, (_, item) in zip(aggregators, agg_items):
+            ctx[item.expr.sql().lower().replace(" ", "")] = agg.result()
+
+        rewritten = _rewrite_having(having, ctx)
+        return predicate_matches(rewritten, ctx)
+
+
+def _rewrite_having(expr: Expression, ctx: Dict[str, Any]) -> Expression:
+    """Replace AggregateCall leaves with column refs into *ctx*."""
+    from .expressions import BinaryOp, UnaryOp
+    from .sql_parser import AggregateCall as _AC
+
+    if isinstance(expr, _AC):
+        return ColumnRef(expr.sql().lower().replace(" ", ""))
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op, _rewrite_having(expr.left, ctx),
+            _rewrite_having(expr.right, ctx),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _rewrite_having(expr.operand, ctx))
+    return expr
+
+
+def _sort_result(result: ResultSet, order_by) -> ResultSet:
+    """Multi-key stable sort of a materialized result.
+
+    Applies one stable pass per key, last key first, reversing for
+    DESC — this avoids negating non-numeric sort keys.
+    """
+    rows = list(result.rows)
+    for item in reversed(order_by):
+        def key(row, _item=item):
+            ctx = dict(zip(result.columns, row))
+            return sort_key(_item.expr.evaluate(ctx))
+        rows.sort(key=key, reverse=item.descending)
+    return ResultSet(result.columns, rows)
+
+
+def _executor_sort(self, node: SortNode, result: ResultSet) -> ResultSet:
+    # ORDER BY references output column names of the materialized child.
+    return _sort_result(result, node.order_by)
+
+
+Executor._sort = _executor_sort

@@ -1,0 +1,385 @@
+"""Expression AST and evaluator for the SQL subset.
+
+Expressions evaluate against a *row context*: a mapping from column
+name (optionally qualified, "table.column") to value. NULL semantics
+follow SQL pragmatically: NULL propagates through arithmetic and
+comparisons, and a NULL predicate result filters the row out.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ...errors import ExecutionError, PlanError
+
+
+class Expression:
+    """Base class: all expressions implement ``evaluate`` and ``columns``."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        """Value of this expression for *row*."""
+        raise NotImplementedError
+
+    def columns(self) -> List[str]:
+        """All column names referenced (for validation and planning)."""
+        return []
+
+    def sql(self) -> str:
+        """Render back to SQL-ish text (used in EXPLAIN and tests)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, str):
+            return "'%s'" % self.value.replace("'", "''")
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, _dt.date):
+            return "'%s'" % self.value.isoformat()
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A reference to a column, optionally table-qualified."""
+
+    name: str
+    table: Optional[str] = None
+
+    @property
+    def qualified(self) -> str:
+        """The fully qualified name when a table is present."""
+        if self.table:
+            return "%s.%s" % (self.table, self.name)
+        return self.name
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        if self.table:
+            key = self.qualified
+            if key in row:
+                return row[key]
+        if self.name in row:
+            return row[self.name]
+        # Fall back: unique suffix match over qualified keys.
+        suffix = "." + self.name
+        hits = [k for k in row if k.endswith(suffix)]
+        if len(hits) == 1:
+            return row[hits[0]]
+        if len(hits) > 1:
+            raise ExecutionError(
+                "ambiguous column %r (candidates: %s)"
+                % (self.name, ", ".join(sorted(hits)))
+            )
+        raise ExecutionError("unknown column %r" % self.qualified)
+
+    def columns(self) -> List[str]:
+        return [self.qualified]
+
+    def sql(self) -> str:
+        return self.qualified
+
+
+def _null_if_any_none(fn: Callable) -> Callable:
+    def wrapped(a, b):
+        if a is None or b is None:
+            return None
+        return fn(a, b)
+    return wrapped
+
+
+def _cmp_values(a: Any, b: Any) -> Optional[int]:
+    if a is None or b is None:
+        return None
+    if isinstance(a, bool) or isinstance(b, bool):
+        if isinstance(a, bool) and isinstance(b, bool):
+            return (a > b) - (a < b)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return (a > b) - (a < b)
+    if isinstance(a, _dt.date) and isinstance(b, _dt.date):
+        return (a > b) - (a < b)
+    if isinstance(a, str) and isinstance(b, str):
+        return (a > b) - (a < b)
+    raise ExecutionError(
+        "cannot compare %r (%s) with %r (%s)"
+        % (a, type(a).__name__, b, type(b).__name__)
+    )
+
+
+_BINOPS: Dict[str, Callable] = {
+    "+": _null_if_any_none(lambda a, b: a + b),
+    "-": _null_if_any_none(lambda a, b: a - b),
+    "*": _null_if_any_none(lambda a, b: a * b),
+    "/": _null_if_any_none(
+        lambda a, b: (a / b) if b != 0 else None
+    ),
+    "%": _null_if_any_none(lambda a, b: (a % b) if b != 0 else None),
+}
+
+_COMPARISONS = {
+    "=": lambda c: c == 0,
+    "!=": lambda c: c != 0,
+    "<>": lambda c: c != 0,
+    "<": lambda c: c < 0,
+    "<=": lambda c: c <= 0,
+    ">": lambda c: c > 0,
+    ">=": lambda c: c >= 0,
+}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Arithmetic, comparison, or boolean connective."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        op = self.op.upper() if self.op.isalpha() else self.op
+        if op == "AND":
+            lhs = self.left.evaluate(row)
+            if lhs is False:
+                return False
+            rhs = self.right.evaluate(row)
+            if rhs is False:
+                return False
+            if lhs is None or rhs is None:
+                return None
+            return bool(lhs) and bool(rhs)
+        if op == "OR":
+            lhs = self.left.evaluate(row)
+            if lhs is True:
+                return True
+            rhs = self.right.evaluate(row)
+            if rhs is True:
+                return True
+            if lhs is None or rhs is None:
+                return None
+            return bool(lhs) or bool(rhs)
+        lhs = self.left.evaluate(row)
+        rhs = self.right.evaluate(row)
+        if op in _BINOPS:
+            return _BINOPS[op](lhs, rhs)
+        if op in _COMPARISONS:
+            cmp = _cmp_values(lhs, rhs)
+            if cmp is None:
+                return None
+            return _COMPARISONS[op](cmp)
+        raise PlanError("unknown binary operator %r" % self.op)
+
+    def columns(self) -> List[str]:
+        return self.left.columns() + self.right.columns()
+
+    def sql(self) -> str:
+        return "(%s %s %s)" % (self.left.sql(), self.op, self.right.sql())
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """NOT or arithmetic negation."""
+
+    op: str
+    operand: Expression
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        value = self.operand.evaluate(row)
+        op = self.op.upper()
+        if op == "NOT":
+            if value is None:
+                return None
+            return not bool(value)
+        if op == "-":
+            if value is None:
+                return None
+            return -value
+        raise PlanError("unknown unary operator %r" % self.op)
+
+    def columns(self) -> List[str]:
+        return self.operand.columns()
+
+    def sql(self) -> str:
+        return "(%s %s)" % (self.op, self.operand.sql())
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        is_null = self.operand.evaluate(row) is None
+        return (not is_null) if self.negated else is_null
+
+    def columns(self) -> List[str]:
+        return self.operand.columns()
+
+    def sql(self) -> str:
+        return "(%s IS %sNULL)" % (
+            self.operand.sql(), "NOT " if self.negated else ""
+        )
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expression
+    options: Tuple[Expression, ...]
+    negated: bool = False
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return None
+        found = any(
+            _cmp_values(value, opt.evaluate(row)) == 0
+            for opt in self.options
+            if opt.evaluate(row) is not None
+        )
+        return (not found) if self.negated else found
+
+    def columns(self) -> List[str]:
+        cols = self.operand.columns()
+        for opt in self.options:
+            cols.extend(opt.columns())
+        return cols
+
+    def sql(self) -> str:
+        return "(%s %sIN (%s))" % (
+            self.operand.sql(),
+            "NOT " if self.negated else "",
+            ", ".join(o.sql() for o in self.options),
+        )
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """``expr [NOT] LIKE pattern`` with % and _ wildcards."""
+
+    operand: Expression
+    pattern: str
+    negated: bool = False
+
+    def _regex(self) -> "re.Pattern":
+        out = []
+        for ch in self.pattern:
+            if ch == "%":
+                out.append(".*")
+            elif ch == "_":
+                out.append(".")
+            else:
+                out.append(re.escape(ch))
+        return re.compile("^%s$" % "".join(out), re.IGNORECASE)
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return None
+        matched = bool(self._regex().match(str(value)))
+        return (not matched) if self.negated else matched
+
+    def columns(self) -> List[str]:
+        return self.operand.columns()
+
+    def sql(self) -> str:
+        return "(%s %sLIKE '%s')" % (
+            self.operand.sql(), "NOT " if self.negated else "", self.pattern
+        )
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``expr BETWEEN low AND high`` (inclusive)."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        value = self.operand.evaluate(row)
+        lo = self.low.evaluate(row)
+        hi = self.high.evaluate(row)
+        c1 = _cmp_values(value, lo)
+        c2 = _cmp_values(value, hi)
+        if c1 is None or c2 is None:
+            return None
+        return c1 >= 0 and c2 <= 0
+
+    def columns(self) -> List[str]:
+        return (self.operand.columns() + self.low.columns()
+                + self.high.columns())
+
+    def sql(self) -> str:
+        return "(%s BETWEEN %s AND %s)" % (
+            self.operand.sql(), self.low.sql(), self.high.sql()
+        )
+
+
+_SCALAR_FUNCS: Dict[str, Callable] = {
+    "upper": lambda v: None if v is None else str(v).upper(),
+    "lower": lambda v: None if v is None else str(v).lower(),
+    "length": lambda v: None if v is None else len(str(v)),
+    "abs": lambda v: None if v is None else abs(v),
+    "round": lambda v, d=0: None if v is None else round(v, int(d)),
+    "trim": lambda v: None if v is None else str(v).strip(),
+    "year": lambda v: None if v is None else v.year,
+    "month": lambda v: None if v is None else v.month,
+}
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """Scalar function call (UPPER, LOWER, LENGTH, ABS, ROUND, ...)."""
+
+    name: str
+    args: Tuple[Expression, ...]
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        fn = _SCALAR_FUNCS.get(self.name.lower())
+        if fn is None:
+            if self.name.lower() == "coalesce":
+                for arg in self.args:
+                    value = arg.evaluate(row)
+                    if value is not None:
+                        return value
+                return None
+            raise PlanError("unknown function %r" % self.name)
+        try:
+            return fn(*[a.evaluate(row) for a in self.args])
+        except TypeError as exc:
+            raise ExecutionError(
+                "bad arguments for %s(): %s" % (self.name, exc)
+            ) from exc
+
+    def columns(self) -> List[str]:
+        cols: List[str] = []
+        for arg in self.args:
+            cols.extend(arg.columns())
+        return cols
+
+    def sql(self) -> str:
+        return "%s(%s)" % (
+            self.name.upper(), ", ".join(a.sql() for a in self.args)
+        )
+
+
+def predicate_matches(expr: Expression, row: Mapping[str, Any]) -> bool:
+    """Evaluate a WHERE/HAVING predicate: NULL counts as no-match."""
+    result = expr.evaluate(row)
+    return bool(result) if result is not None else False

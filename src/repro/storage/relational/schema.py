@@ -1,0 +1,152 @@
+"""Table schemas: named, typed, optionally-keyed columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ...errors import SchemaError
+from ..types import DataType, coerce, compatible
+
+_IDENT_OK = set("abcdefghijklmnopqrstuvwxyz0123456789_")
+
+
+def validate_identifier(name: str) -> str:
+    """Check that *name* is a legal lower-case SQL identifier."""
+    if not name:
+        raise SchemaError("identifier cannot be empty")
+    low = name.lower()
+    if low[0].isdigit():
+        raise SchemaError("identifier cannot start with a digit: %r" % name)
+    if not set(low) <= _IDENT_OK:
+        raise SchemaError("illegal characters in identifier: %r" % name)
+    return low
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column definition."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+
+    def __post_init__(self):
+        object.__setattr__(self, "name", validate_identifier(self.name))
+
+
+class TableSchema:
+    """An ordered collection of :class:`Column` with an optional key.
+
+    >>> s = TableSchema("t", [Column("a", DataType.INT)])
+    >>> s.index_of("a")
+    0
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column],
+                 primary_key: Optional[str] = None):
+        self.name = validate_identifier(name)
+        if not columns:
+            raise SchemaError("table %r needs at least one column" % name)
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._index: Dict[str, int] = {}
+        for i, col in enumerate(self.columns):
+            if col.name in self._index:
+                raise SchemaError("duplicate column %r" % col.name)
+            self._index[col.name] = i
+        self.primary_key = None
+        if primary_key is not None:
+            primary_key = validate_identifier(primary_key)
+            if primary_key not in self._index:
+                raise SchemaError("primary key %r not a column" % primary_key)
+            self.primary_key = primary_key
+
+    # ------------------------------------------------------------------
+    def column_names(self) -> List[str]:
+        """Column names in declaration order."""
+        return [c.name for c in self.columns]
+
+    def index_of(self, column: str) -> int:
+        """Position of *column*, raising SchemaError when absent."""
+        try:
+            return self._index[column.lower()]
+        except KeyError:
+            raise SchemaError(
+                "no column %r in table %r (has: %s)"
+                % (column, self.name, ", ".join(self._index))
+            ) from None
+
+    def has_column(self, column: str) -> bool:
+        """True when *column* exists."""
+        return column.lower() in self._index
+
+    def column(self, name: str) -> Column:
+        """The :class:`Column` named *name*."""
+        return self.columns[self.index_of(name)]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TableSchema)
+            and self.name == other.name
+            and self.columns == other.columns
+            and self.primary_key == other.primary_key
+        )
+
+    def __repr__(self) -> str:
+        cols = ", ".join(
+            "%s %s" % (c.name, c.dtype.value) for c in self.columns
+        )
+        return "TableSchema(%s: %s)" % (self.name, cols)
+
+    # ------------------------------------------------------------------
+    def validate_row(self, row: Sequence[Any]) -> Tuple[Any, ...]:
+        """Type-check one row tuple; returns it as an immutable tuple."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                "row has %d values, table %r has %d columns"
+                % (len(row), self.name, len(self.columns))
+            )
+        out = []
+        for value, col in zip(row, self.columns):
+            if value is None and not col.nullable:
+                raise SchemaError(
+                    "NULL in non-nullable column %r" % col.name
+                )
+            if not compatible(value, col.dtype):
+                raise SchemaError(
+                    "value %r is not %s (column %r)"
+                    % (value, col.dtype.value, col.name)
+                )
+            out.append(value)
+        return tuple(out)
+
+    def coerce_row(self, row: Sequence[Any]) -> Tuple[Any, ...]:
+        """Coerce each value to its column type (for loading text data)."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                "row has %d values, table %r has %d columns"
+                % (len(row), self.name, len(self.columns))
+            )
+        return tuple(
+            coerce(value, col.dtype) for value, col in zip(row, self.columns)
+        )
+
+    def row_from_dict(self, record: Dict[str, Any],
+                      coerce_values: bool = False) -> Tuple[Any, ...]:
+        """Build a row tuple from a column→value mapping.
+
+        Missing columns become NULL; unknown keys raise SchemaError.
+        """
+        unknown = set(k.lower() for k in record) - set(self._index)
+        if unknown:
+            raise SchemaError(
+                "unknown columns for %r: %s" % (self.name, sorted(unknown))
+            )
+        lowered = {k.lower(): v for k, v in record.items()}
+        row = [lowered.get(c.name) for c in self.columns]
+        if coerce_values:
+            return self.coerce_row(row)
+        return self.validate_row(row)

@@ -1,0 +1,133 @@
+"""Value types shared by every storage backend.
+
+The relational engine, document store and extraction layer all agree on
+this small closed set of scalar types; NULL is represented by ``None``.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from enum import Enum
+from typing import Any
+
+from ..errors import SchemaError
+
+
+class DataType(Enum):
+    """Scalar column types supported by the engine."""
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+    DATE = "date"
+
+    @classmethod
+    def infer(cls, value: Any) -> "DataType":
+        """Infer the tightest type for a Python value.
+
+        >>> DataType.infer(3) is DataType.INT
+        True
+        """
+        if isinstance(value, bool):
+            return cls.BOOL
+        if isinstance(value, int):
+            return cls.INT
+        if isinstance(value, float):
+            return cls.FLOAT
+        if isinstance(value, _dt.date):
+            return cls.DATE
+        if isinstance(value, str):
+            return cls.TEXT
+        raise SchemaError("unsupported value type: %r" % type(value))
+
+
+def coerce(value: Any, dtype: DataType) -> Any:
+    """Coerce *value* to *dtype*, raising :class:`SchemaError` on failure.
+
+    ``None`` passes through unchanged (SQL NULL semantics). Strings are
+    parsed for numeric/bool/date targets, matching how extracted cell
+    text is loaded into generated tables.
+    """
+    if value is None:
+        return None
+    try:
+        if dtype is DataType.INT:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, str):
+                return int(value.replace(",", "").strip())
+            if isinstance(value, float) and value.is_integer():
+                return int(value)
+            if isinstance(value, int):
+                return value
+            raise ValueError(value)
+        if dtype is DataType.FLOAT:
+            if isinstance(value, str):
+                return float(value.replace(",", "").replace("%", "").strip())
+            if isinstance(value, bool):
+                raise ValueError(value)
+            return float(value)
+        if dtype is DataType.TEXT:
+            if isinstance(value, _dt.date):
+                return value.isoformat()
+            return str(value)
+        if dtype is DataType.BOOL:
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, str):
+                low = value.strip().lower()
+                if low in ("true", "t", "yes", "1"):
+                    return True
+                if low in ("false", "f", "no", "0"):
+                    return False
+            if isinstance(value, int) and value in (0, 1):
+                return bool(value)
+            raise ValueError(value)
+        if dtype is DataType.DATE:
+            if isinstance(value, _dt.datetime):
+                return value.date()
+            if isinstance(value, _dt.date):
+                return value
+            if isinstance(value, str):
+                return _dt.date.fromisoformat(value.strip())
+            raise ValueError(value)
+    except (ValueError, TypeError) as exc:
+        raise SchemaError(
+            "cannot coerce %r to %s" % (value, dtype.value)
+        ) from exc
+    raise SchemaError("unknown data type: %r" % dtype)
+
+
+def compatible(value: Any, dtype: DataType) -> bool:
+    """True when *value* is NULL or already of the Python type for *dtype*."""
+    if value is None:
+        return True
+    expected = {
+        DataType.INT: int,
+        DataType.FLOAT: (int, float),
+        DataType.TEXT: str,
+        DataType.BOOL: bool,
+        DataType.DATE: _dt.date,
+    }[dtype]
+    if dtype is DataType.INT and isinstance(value, bool):
+        return False
+    if dtype is DataType.FLOAT and isinstance(value, bool):
+        return False
+    return isinstance(value, expected)
+
+
+SORT_KEY_NULL = (0,)
+
+
+def sort_key(value: Any) -> tuple:
+    """Total-order key placing NULLs first and mixing types safely."""
+    if value is None:
+        return SORT_KEY_NULL
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (2, float(value))
+    if isinstance(value, _dt.date):
+        return (3, value.toordinal())
+    return (4, str(value))

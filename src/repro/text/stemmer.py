@@ -1,0 +1,175 @@
+"""Porter stemmer (classic 1980 algorithm).
+
+Implemented from the original paper's rule tables so that term matching
+in BM25 and the lexical answer-equivalence baseline does not depend on
+external NLP packages.
+"""
+
+from __future__ import annotations
+
+_VOWELS = "aeiou"
+
+
+def _is_consonant(word: str, i: int) -> bool:
+    ch = word[i]
+    if ch in _VOWELS:
+        return False
+    if ch == "y":
+        return i == 0 or not _is_consonant(word, i - 1)
+    return True
+
+
+def _measure(stem: str) -> int:
+    """Count VC sequences ("measure" m in Porter's terms)."""
+    m = 0
+    prev_vowel = False
+    for i in range(len(stem)):
+        if _is_consonant(stem, i):
+            if prev_vowel:
+                m += 1
+            prev_vowel = False
+        else:
+            prev_vowel = True
+    return m
+
+
+def _has_vowel(stem: str) -> bool:
+    return any(not _is_consonant(stem, i) for i in range(len(stem)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (
+        len(word) >= 2
+        and word[-1] == word[-2]
+        and _is_consonant(word, len(word) - 1)
+    )
+
+
+def _ends_cvc(word: str) -> bool:
+    if len(word) < 3:
+        return False
+    if not (
+        _is_consonant(word, len(word) - 3)
+        and not _is_consonant(word, len(word) - 2)
+        and _is_consonant(word, len(word) - 1)
+    ):
+        return False
+    return word[-1] not in "wxy"
+
+
+def _replace(word: str, suffix: str, repl: str, min_measure: int) -> str:
+    stem = word[: len(word) - len(suffix)]
+    if _measure(stem) > min_measure:
+        return stem + repl
+    return word
+
+
+_STEP2_RULES = [
+    ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
+    ("anci", "ance"), ("izer", "ize"), ("abli", "able"), ("alli", "al"),
+    ("entli", "ent"), ("eli", "e"), ("ousli", "ous"), ("ization", "ize"),
+    ("ation", "ate"), ("ator", "ate"), ("alism", "al"), ("iveness", "ive"),
+    ("fulness", "ful"), ("ousness", "ous"), ("aliti", "al"),
+    ("iviti", "ive"), ("biliti", "ble"),
+]
+
+_STEP3_RULES = [
+    ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+    ("ical", "ic"), ("ful", ""), ("ness", ""),
+]
+
+_STEP4_SUFFIXES = [
+    "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+    "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+]
+
+
+def stem(word: str) -> str:
+    """Return the Porter stem of *word* (expects lowercase ASCII).
+
+    >>> stem("relational")
+    'relat'
+    >>> stem("caresses")
+    'caress'
+    """
+    if len(word) <= 2:
+        return word
+    word = word.lower()
+
+    # Step 1a
+    if word.endswith("sses"):
+        word = word[:-2]
+    elif word.endswith("ies"):
+        word = word[:-2]
+    elif word.endswith("ss"):
+        pass
+    elif word.endswith("s"):
+        word = word[:-1]
+
+    # Step 1b
+    if word.endswith("eed"):
+        if _measure(word[:-3]) > 0:
+            word = word[:-1]
+    else:
+        flag = False
+        if word.endswith("ed") and _has_vowel(word[:-2]):
+            word = word[:-2]
+            flag = True
+        elif word.endswith("ing") and _has_vowel(word[:-3]):
+            word = word[:-3]
+            flag = True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                word += "e"
+            elif _ends_double_consonant(word) and not word.endswith(
+                ("l", "s", "z")
+            ):
+                word = word[:-1]
+            elif _measure(word) == 1 and _ends_cvc(word):
+                word += "e"
+
+    # Step 1c
+    if word.endswith("y") and _has_vowel(word[:-1]):
+        word = word[:-1] + "i"
+
+    # Step 2
+    for suffix, repl in _STEP2_RULES:
+        if word.endswith(suffix):
+            word = _replace(word, suffix, repl, 0)
+            break
+
+    # Step 3
+    for suffix, repl in _STEP3_RULES:
+        if word.endswith(suffix):
+            word = _replace(word, suffix, repl, 0)
+            break
+
+    # Step 4
+    if word.endswith("ion") and len(word) > 4 and word[-4] in "st":
+        if _measure(word[:-3]) > 1:
+            word = word[:-3]
+    else:
+        for suffix in _STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem_part = word[: len(word) - len(suffix)]
+                if _measure(stem_part) > 1:
+                    word = stem_part
+                break
+
+    # Step 5a
+    if word.endswith("e"):
+        stem_part = word[:-1]
+        m = _measure(stem_part)
+        if m > 1 or (m == 1 and not _ends_cvc(stem_part)):
+            word = stem_part
+
+    # Step 5b
+    if _measure(word) > 1 and _ends_double_consonant(word) and word.endswith("l"):
+        word = word[:-1]
+
+    return word
+
+
+def stem_all(tokens) -> list:
+    """Stem every token in *tokens*, preserving order."""
+    return [stem(tok) for tok in tokens]

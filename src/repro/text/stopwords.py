@@ -1,0 +1,53 @@
+"""A compact English stopword list.
+
+Used by BM25, the chunk keyword extractor, and the lexical answer
+clustering baseline. The list mirrors the classic SMART subset that
+matters for short business/clinical text.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    a about above after again against all am an and any are aren't as at
+    be because been before being below between both but by can cannot
+    could couldn't did didn't do does doesn't doing don't down during
+    each few for from further had hadn't has hasn't have haven't having
+    he he'd he'll he's her here here's hers herself him himself his how
+    how's i i'd i'll i'm i've if in into is isn't it it's its itself
+    let's me more most mustn't my myself no nor not of off on once only
+    or other ought our ours ourselves out over own same shan't she she'd
+    she'll she's should shouldn't so some such than that that's the
+    their theirs them themselves then there there's these they they'd
+    they'll they're they've this those through to too under until up
+    very was wasn't we we'd we'll we're we've were weren't what what's
+    when when's where where's which while who who's whom why why's with
+    won't would wouldn't you you'd you'll you're you've your yours
+    yourself yourselves
+    """.split()
+)
+
+
+def is_stopword(word: str) -> bool:
+    """Return True when *word* (case-insensitive) is a stopword."""
+    return word.lower() in STOPWORDS
+
+
+def content_words(tokens, keep_numbers: bool = True):
+    """Filter a token-string sequence down to content-bearing terms.
+
+    Keeps words not in the stopword list; numeric tokens are kept when
+    *keep_numbers* is set because values like "20%" carry the payload in
+    business reports.
+    """
+    kept = []
+    for tok in tokens:
+        low = tok.lower()
+        if low in STOPWORDS:
+            continue
+        if not keep_numbers and any(ch.isdigit() for ch in low):
+            continue
+        kept.append(tok)
+    return kept

@@ -1,0 +1,12 @@
+"""Shared test configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# Property tests exercise real subsystem code (graph builds, SQL
+# execution); wall-clock deadlines make them flaky on loaded machines.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

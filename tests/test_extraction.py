@@ -1,0 +1,259 @@
+"""Tests for normalization, attribute extraction and table generation."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import ExtractionError
+from repro.metering import CostMeter
+from repro.extraction import (
+    ATTR_CHANGE_PERCENT, ATTR_DATE, ATTR_DIRECTION, ATTR_METRIC,
+    ATTR_QUARTER, ATTR_SUBJECT, ATTR_YEAR, AttributeExtractor,
+    PROVENANCE_COLUMN, TableGenerator, detect_direction, facts_to_rows,
+    infer_fact_schema, infer_value_type, normalize_date, normalize_value,
+    score_generated_cells, unify_types,
+)
+from repro.extraction.attributes import ExtractedFact
+from repro.slm import SLMConfig, SmallLanguageModel
+from repro.storage.relational import Database
+from repro.storage.types import DataType
+from repro.text.ner import TYPE_PRODUCT, Gazetteer
+from repro.text.patterns import KIND_MONEY, KIND_PERCENT, KIND_QUARTER
+
+
+def make_slm(**config):
+    gaz = Gazetteer()
+    gaz.add(TYPE_PRODUCT, ["Alpha Widget", "Beta Gadget"])
+    return SmallLanguageModel(SLMConfig(**config), gazetteer=gaz,
+                              meter=CostMeter())
+
+
+class TestNormalize:
+    def test_normalize_date_iso(self):
+        assert normalize_date("2024-03-15") == dt.date(2024, 3, 15)
+
+    def test_normalize_date_text(self):
+        assert normalize_date("March 15, 2024") == dt.date(2024, 3, 15)
+        assert normalize_date("Mar 1 2024") == dt.date(2024, 3, 1)
+
+    def test_normalize_date_failure(self):
+        assert normalize_date("not a date") is None
+        assert normalize_date("February 31, 2024") is None
+
+    def test_normalize_percent_value(self):
+        value, dtype = normalize_value(KIND_PERCENT, "20%")
+        assert value == 20.0 and dtype is DataType.FLOAT
+
+    def test_normalize_money_value(self):
+        value, dtype = normalize_value(KIND_MONEY, "$1.5 million")
+        assert value == 1.5e6 and dtype is DataType.FLOAT
+
+    def test_normalize_quarter_value(self):
+        value, dtype = normalize_value(KIND_QUARTER, "second quarter of 2024")
+        assert value == "Q2 2024" and dtype is DataType.TEXT
+
+    def test_detect_direction(self):
+        assert detect_direction("sales rose sharply") == "up"
+        assert detect_direction("revenue declined") == "down"
+        assert detect_direction("weather was mild") is None
+
+
+class TestAttributeExtraction:
+    def extract_one(self, sentence):
+        return AttributeExtractor(make_slm()).extract_sentence(sentence)
+
+    def test_paper_example(self):
+        fact = self.extract_one("Q2 sales increased 20%")
+        assert fact.get(ATTR_QUARTER) == "Q2"
+        assert fact.get(ATTR_METRIC) == "sales"
+        assert fact.get(ATTR_CHANGE_PERCENT) == 20.0
+        assert fact.get(ATTR_DIRECTION) == "up"
+
+    def test_subject_entity(self):
+        fact = self.extract_one(
+            "Alpha Widget sales increased 20% in Q2 2024"
+        )
+        assert fact.get(ATTR_SUBJECT) == "alpha widget"
+        assert fact.get(ATTR_YEAR) == 2024
+
+    def test_negative_change_for_decline(self):
+        fact = self.extract_one("Beta Gadget sales decreased 15% in Q3")
+        assert fact.get(ATTR_CHANGE_PERCENT) == -15.0
+        assert fact.get(ATTR_DIRECTION) == "down"
+
+    def test_date_extraction(self):
+        fact = self.extract_one(
+            "Alpha Widget revenue was reported on 2024-03-15"
+        )
+        assert fact.get(ATTR_DATE) == dt.date(2024, 3, 15)
+
+    def test_empty_for_unrelated_text(self):
+        fact = self.extract_one("The weather was mild this spring")
+        assert not fact
+
+    def test_extract_multi_sentence(self):
+        facts = AttributeExtractor(make_slm()).extract(
+            "Alpha Widget sales rose 10% in Q1. "
+            "The weather was mild. "
+            "Beta Gadget sales fell 5% in Q2."
+        )
+        assert len(facts) == 2
+        assert facts[0].get(ATTR_SUBJECT) == "alpha widget"
+        assert facts[1].get(ATTR_CHANGE_PERCENT) == -5.0
+
+    def test_provenance_sentence_kept(self):
+        facts = AttributeExtractor(make_slm()).extract(
+            "Alpha Widget sales rose 10% in Q1."
+        )
+        assert "Alpha Widget" in facts[0].source_sentence
+
+
+class TestSchemaInference:
+    def facts(self):
+        return [
+            ExtractedFact({"subject": "a", "change_percent": 10.0}),
+            ExtractedFact({"subject": "b", "change_percent": -5,
+                           "quarter": "Q2"}),
+            ExtractedFact({"subject": "c", "year": 2024}),
+        ]
+
+    def test_infer_value_type(self):
+        assert infer_value_type(True) is DataType.BOOL
+        assert infer_value_type(1) is DataType.INT
+        assert infer_value_type(1.5) is DataType.FLOAT
+        assert infer_value_type(dt.date.today()) is DataType.DATE
+        assert infer_value_type("x") is DataType.TEXT
+
+    def test_unify_types(self):
+        assert unify_types([DataType.INT, DataType.FLOAT]) is DataType.FLOAT
+        assert unify_types([DataType.INT, DataType.TEXT]) is DataType.TEXT
+        assert unify_types([DataType.INT]) is DataType.INT
+        assert unify_types([]) is DataType.TEXT
+
+    def test_schema_ordered_by_frequency(self):
+        schema = infer_fact_schema("t", self.facts())
+        assert schema.column_names()[0] == "subject"
+
+    def test_mixed_numeric_widened(self):
+        schema = infer_fact_schema("t", self.facts())
+        assert schema.column("change_percent").dtype is DataType.FLOAT
+
+    def test_min_support_drops_rare(self):
+        schema = infer_fact_schema("t", self.facts(), min_column_support=2)
+        assert "year" not in schema.column_names()
+        assert "quarter" not in schema.column_names()
+
+    def test_no_facts_rejected(self):
+        with pytest.raises(ExtractionError):
+            infer_fact_schema("t", [])
+
+    def test_unsupportable_threshold(self):
+        with pytest.raises(ExtractionError):
+            infer_fact_schema("t", self.facts(), min_column_support=10)
+
+    def test_facts_to_rows_nulls(self):
+        schema = infer_fact_schema("t", self.facts())
+        rows = facts_to_rows(self.facts(), schema)
+        assert len(rows) == 3
+        pos = schema.index_of("quarter")
+        assert rows[0][pos] is None and rows[1][pos] == "Q2"
+
+    def test_facts_to_rows_int_widening(self):
+        schema = infer_fact_schema("t", self.facts())
+        rows = facts_to_rows(self.facts(), schema)
+        pos = schema.index_of("change_percent")
+        assert rows[1][pos] == -5.0 and isinstance(rows[1][pos], float)
+
+
+REPORTS = [
+    ("r1", "Alpha Widget sales increased 20% in Q2 2024."),
+    ("r2", "Beta Gadget sales decreased 10% in Q2 2024."),
+    ("r3", "Alpha Widget revenue rose 5% in Q3 2024."),
+]
+
+
+class TestTableGenerator:
+    def test_generate_basic(self):
+        generated = TableGenerator(make_slm()).generate("reports", REPORTS)
+        assert len(generated.table) == 3
+        names = generated.table.schema.column_names()
+        assert "subject" in names and "change_percent" in names
+        assert PROVENANCE_COLUMN in names
+
+    def test_generated_rows_queryable(self):
+        db = Database(meter=CostMeter())
+        TableGenerator(make_slm()).generate_into(db, "reports", REPORTS)
+        rs = db.execute(
+            "SELECT subject FROM reports WHERE change_percent > 15"
+        )
+        assert rs.column("subject") == ["alpha widget"]
+
+    def test_generate_into_replaces(self):
+        db = Database(meter=CostMeter())
+        gen = TableGenerator(make_slm())
+        gen.generate_into(db, "reports", REPORTS)
+        gen.generate_into(db, "reports", REPORTS[:1])
+        assert db.execute("SELECT COUNT(*) FROM reports").scalar() == 1
+
+    def test_no_facts_raises(self):
+        with pytest.raises(ExtractionError):
+            TableGenerator(make_slm()).generate(
+                "t", [("d", "Nothing relevant here at all")]
+            )
+
+    def test_without_provenance(self):
+        generated = TableGenerator(
+            make_slm(), include_provenance=False
+        ).generate("t", REPORTS)
+        assert PROVENANCE_COLUMN not in generated.table.schema.column_names()
+
+    def test_cell_count(self):
+        generated = TableGenerator(make_slm()).generate("t", REPORTS[:1])
+        assert generated.cell_count() >= 4
+
+    def test_entity_dropout_reduces_extraction(self):
+        full = TableGenerator(make_slm()).generate("t", REPORTS)
+        lossy_slm = make_slm(entity_dropout=0.7, seed=5)
+        try:
+            lossy = TableGenerator(lossy_slm).generate("t", REPORTS)
+            lossy_cells = lossy.cell_count()
+        except ExtractionError:
+            lossy_cells = 0
+        assert lossy_cells < full.cell_count()
+
+
+class TestCellScoring:
+    def test_perfect_match(self):
+        records = [{"subject": "a", "change_percent": 20.0}]
+        scores = score_generated_cells(records, records)
+        assert scores == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    def test_numeric_canonicalization(self):
+        gen = [{"x": 20.0}]
+        gold = [{"x": 20}]
+        assert score_generated_cells(gen, gold)["f1"] == 1.0
+
+    def test_case_insensitive_text(self):
+        gen = [{"s": "Alpha Widget"}]
+        gold = [{"s": "alpha widget"}]
+        assert score_generated_cells(gen, gold)["f1"] == 1.0
+
+    def test_partial_match(self):
+        gen = [{"a": 1, "b": 2}]
+        gold = [{"a": 1, "b": 3}]
+        scores = score_generated_cells(gen, gold)
+        assert scores["precision"] == 0.5 and scores["recall"] == 0.5
+
+    def test_missing_record_hurts_recall(self):
+        gen = [{"a": 1}]
+        gold = [{"a": 1}, {"a": 2}]
+        scores = score_generated_cells(gen, gold)
+        assert scores["recall"] == 0.5 and scores["precision"] == 1.0
+
+    def test_provenance_ignored(self):
+        gen = [{"a": 1, PROVENANCE_COLUMN: "d9"}]
+        gold = [{"a": 1}]
+        assert score_generated_cells(gen, gold)["f1"] == 1.0
+
+    def test_empty_inputs(self):
+        assert score_generated_cells([], [])["f1"] == 0.0

@@ -1,0 +1,64 @@
+"""Tests for the federated router."""
+
+import pytest
+
+from repro.metering import CostMeter
+from repro.qa.federation import (
+    ROUTE_HYBRID, ROUTE_STRUCTURED, ROUTE_UNSTRUCTURED, FederatedRouter,
+)
+from repro.semql import SchemaCatalog
+from repro.storage.relational import Database
+
+
+@pytest.fixture
+def router():
+    db = Database(meter=CostMeter())
+    db.execute(
+        "CREATE TABLE products (pid INT PRIMARY KEY, name TEXT, "
+        "manufacturer TEXT)"
+    )
+    db.execute(
+        "CREATE TABLE sales (sid INT PRIMARY KEY, pid INT, "
+        "quarter TEXT, amount FLOAT)"
+    )
+    db.execute(
+        "INSERT INTO products VALUES (1, 'Alpha Widget', 'Acme')"
+    )
+    db.execute("INSERT INTO sales VALUES (1, 1, 'q2', 100.0)")
+    catalog = SchemaCatalog(db)
+    catalog.register_synonym("sales", "sales", "amount")
+    catalog.build_value_index()
+    return FederatedRouter(catalog)
+
+
+class TestRouting:
+    def test_aggregate_with_bound_metric_is_structured(self, router):
+        decision = router.route("Find the total sales in Q2")
+        assert decision.route == ROUTE_STRUCTURED
+
+    def test_unbound_text_question_is_unstructured(self, router):
+        decision = router.route(
+            "What tone did reviewers use when describing support?"
+        )
+        assert decision.route == ROUTE_UNSTRUCTURED
+        assert decision.bound_tables == ()
+
+    def test_entity_without_metric_is_hybrid(self, router):
+        decision = router.route("Tell me about the Alpha Widget")
+        assert decision.route == ROUTE_HYBRID
+        assert "products" in decision.bound_tables
+
+    def test_metric_with_comparison_non_aggregate_is_hybrid(self, router):
+        decision = router.route(
+            "Did sales move more than 10% recently?"
+        )
+        assert decision.route == ROUTE_HYBRID
+
+    def test_reason_attached(self, router):
+        assert router.route("total sales in Q2").reason
+
+    def test_bound_tables_sorted_unique(self, router):
+        decision = router.route(
+            "the Alpha Widget and again the Alpha Widget"
+        )
+        assert decision.bound_tables == ("products",)

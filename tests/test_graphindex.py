@@ -1,0 +1,289 @@
+"""Tests for the heterogeneous graph: structure, centrality, builder."""
+
+import pytest
+
+from repro.errors import GraphIndexError
+from repro.metering import EDGES_TRAVERSED, CostMeter
+from repro.graphindex import (
+    BuilderConfig, EDGE_CO_OCCURS, EDGE_MENTIONS, EDGE_NEXT, EDGE_RELATES,
+    GraphEdge, GraphIndexBuilder, GraphNode, HeterogeneousGraph,
+    NODE_CHUNK, NODE_ENTITY, NODE_RECORD, chunk_key, degree_centrality,
+    entity_key, graph_from_json, graph_to_json, harmonic_centrality,
+    normalize_scores, pagerank,
+)
+from repro.slm import SLMConfig, SmallLanguageModel
+from repro.storage.document import DocumentStore
+from repro.storage.relational import Column, Database, TableSchema
+from repro.storage.types import DataType
+from repro.text.chunker import Chunker, ChunkerConfig
+from repro.text.ner import TYPE_PRODUCT, Gazetteer
+
+
+def make_graph():
+    g = HeterogeneousGraph(meter=CostMeter())
+    for i in range(3):
+        g.add_node(GraphNode("chunk:c%d" % i, NODE_CHUNK, "c%d" % i))
+    for name in ("alpha", "beta"):
+        g.add_node(GraphNode("entity:%s" % name, NODE_ENTITY, name))
+    g.add_edge(GraphEdge("chunk:c0", "entity:alpha", EDGE_MENTIONS))
+    g.add_edge(GraphEdge("chunk:c1", "entity:alpha", EDGE_MENTIONS))
+    g.add_edge(GraphEdge("chunk:c1", "entity:beta", EDGE_MENTIONS))
+    g.add_edge(GraphEdge("entity:alpha", "entity:beta", EDGE_CO_OCCURS))
+    g.add_edge(GraphEdge("chunk:c0", "chunk:c1", EDGE_NEXT))
+    return g
+
+
+class TestGraphStructure:
+    def test_counts(self):
+        g = make_graph()
+        assert g.n_nodes == 5 and g.n_edges == 5
+
+    def test_duplicate_node_ignored(self):
+        g = make_graph()
+        assert not g.add_node(GraphNode("chunk:c0", NODE_CHUNK, "dup"))
+
+    def test_duplicate_edge_ignored_both_orientations(self):
+        g = make_graph()
+        assert not g.add_edge(
+            GraphEdge("chunk:c0", "entity:alpha", EDGE_MENTIONS)
+        )
+        assert not g.add_edge(
+            GraphEdge("entity:alpha", "chunk:c0", EDGE_MENTIONS)
+        )
+
+    def test_edge_requires_nodes(self):
+        g = make_graph()
+        with pytest.raises(GraphIndexError):
+            g.add_edge(GraphEdge("chunk:c0", "entity:nope", EDGE_MENTIONS))
+
+    def test_neighbors_filtered(self):
+        g = make_graph()
+        ents = g.neighbors("chunk:c1", node_kind=NODE_ENTITY)
+        assert {n.node_id for _, n in ents} == {"entity:alpha", "entity:beta"}
+        nexts = g.neighbors("chunk:c1", edge_kinds=[EDGE_NEXT])
+        assert [n.node_id for _, n in nexts] == ["chunk:c0"]
+
+    def test_degree(self):
+        g = make_graph()
+        assert g.degree("entity:alpha") == 3
+        assert g.degree("entity:alpha", edge_kinds=[EDGE_MENTIONS]) == 2
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            GraphNode("x", "bogus", "x")
+        with pytest.raises(ValueError):
+            GraphEdge("a", "b", "bogus")
+        with pytest.raises(ValueError):
+            GraphEdge("a", "b", EDGE_NEXT, weight=0)
+
+    def test_nodes_by_kind(self):
+        g = make_graph()
+        assert len(g.nodes(NODE_ENTITY)) == 2
+        with pytest.raises(GraphIndexError):
+            g.nodes("bogus")
+
+    def test_meter_charged_on_traversal(self):
+        meter = CostMeter()
+        g = HeterogeneousGraph(meter=meter)
+        g.add_node(GraphNode("chunk:a", NODE_CHUNK, "a"))
+        g.add_node(GraphNode("chunk:b", NODE_CHUNK, "b"))
+        g.add_edge(GraphEdge("chunk:a", "chunk:b", EDGE_NEXT))
+        g.neighbors("chunk:a")
+        assert meter.get(EDGES_TRAVERSED) == 1
+
+
+class TestTraversal:
+    def test_bfs_depths(self):
+        g = make_graph()
+        depths = g.bfs(["chunk:c0"], max_depth=2)
+        assert depths["chunk:c0"] == 0
+        assert depths["entity:alpha"] == 1
+        assert depths["chunk:c1"] == 1
+        assert depths["entity:beta"] == 2
+
+    def test_bfs_max_nodes(self):
+        g = make_graph()
+        depths = g.bfs(["chunk:c0"], max_depth=3, max_nodes=2)
+        assert len(depths) == 2
+
+    def test_bfs_ignores_unknown_sources(self):
+        g = make_graph()
+        assert g.bfs(["nope"], max_depth=1) == {}
+
+    def test_bfs_negative_depth(self):
+        with pytest.raises(GraphIndexError):
+            make_graph().bfs(["chunk:c0"], max_depth=-1)
+
+    def test_shortest_path(self):
+        g = make_graph()
+        assert g.shortest_path_length("chunk:c0", "entity:beta") == 2
+        assert g.shortest_path_length("chunk:c0", "chunk:c0") == 0
+        assert g.shortest_path_length("chunk:c0", "chunk:c2") is None
+
+    def test_components(self):
+        g = make_graph()
+        comps = g.connected_components()
+        assert len(comps) == 2
+        assert len(comps[0]) == 4  # largest first
+
+    def test_stats(self):
+        stats = make_graph().stats()
+        assert stats["n_chunks"] == 3 and stats["n_entities"] == 2
+        assert stats["n_components"] == 2
+
+
+class TestCentrality:
+    def test_degree_centrality(self):
+        scores = degree_centrality(make_graph())
+        assert scores["entity:alpha"] == pytest.approx(3 / 4)
+        assert scores["chunk:c2"] == 0.0
+
+    def test_pagerank_sums_to_one(self):
+        ranks = pagerank(make_graph())
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_pagerank_hub_ranks_high(self):
+        ranks = pagerank(make_graph())
+        assert ranks["entity:alpha"] > ranks["chunk:c2"]
+
+    def test_pagerank_bad_damping(self):
+        with pytest.raises(GraphIndexError):
+            pagerank(make_graph(), damping=1.5)
+
+    def test_pagerank_empty_graph(self):
+        assert pagerank(HeterogeneousGraph(meter=CostMeter())) == {}
+
+    def test_harmonic_subset(self):
+        g = make_graph()
+        scores = harmonic_centrality(g, nodes=["entity:alpha", "chunk:c2"])
+        assert scores["entity:alpha"] > scores["chunk:c2"] == 0.0
+
+    def test_harmonic_unknown_node(self):
+        with pytest.raises(GraphIndexError):
+            harmonic_centrality(make_graph(), nodes=["zzz"])
+
+    def test_normalize(self):
+        out = normalize_scores({"a": 1.0, "b": 3.0})
+        assert out == {"a": 0.0, "b": 1.0}
+        assert normalize_scores({"a": 2.0, "b": 2.0}) == {"a": 0.0, "b": 0.0}
+        assert normalize_scores({}) == {}
+
+
+def make_slm():
+    gaz = Gazetteer()
+    gaz.add(TYPE_PRODUCT, ["Alpha Widget", "Beta Gadget"])
+    return SmallLanguageModel(SLMConfig(seed=0), gazetteer=gaz,
+                              meter=CostMeter())
+
+
+class TestBuilder:
+    def build_from_text(self, config=None):
+        slm = make_slm()
+        chunker = Chunker(ChunkerConfig(max_tokens=40, overlap_sentences=0))
+        chunks = chunker.chunk_corpus({
+            "r1": "The Alpha Widget sales increased 20% in Q2. "
+                  "Customers liked the Alpha Widget.",
+            "r2": "The Beta Gadget sold poorly. Q2 returns rose.",
+        })
+        builder = GraphIndexBuilder(slm, config=config, meter=CostMeter())
+        builder.add_chunks(chunks)
+        return builder.build()
+
+    def test_chunk_and_entity_nodes(self):
+        g = self.build_from_text()
+        assert len(g.nodes(NODE_CHUNK)) >= 2
+        entity_ids = {n.node_id for n in g.nodes(NODE_ENTITY)}
+        assert entity_key("alpha widget") in entity_ids
+        assert entity_key("beta gadget") in entity_ids
+
+    def test_mentions_edges(self):
+        g = self.build_from_text()
+        ek = entity_key("alpha widget")
+        mentions = g.neighbors(ek, edge_kinds=[EDGE_MENTIONS])
+        assert len(mentions) >= 1
+
+    def test_relation_cue_extracted(self):
+        g = self.build_from_text()
+        # "Alpha Widget sales increased 20%" links entities via a verb.
+        relates = [e for e in g.edges() if e.kind == EDGE_RELATES]
+        assert relates, "expected at least one relational cue edge"
+        assert all(e.label for e in relates)
+
+    def test_chunk_only_ablation(self):
+        g = self.build_from_text(
+            BuilderConfig(entity_nodes=False)
+        )
+        assert g.nodes(NODE_ENTITY) == []
+        assert len(g.nodes(NODE_CHUNK)) >= 2
+
+    def test_no_cooccurrence_ablation(self):
+        g = self.build_from_text(BuilderConfig(cooccurrence_edges=False))
+        assert not [e for e in g.edges() if e.kind == EDGE_CO_OCCURS]
+
+    def test_empty_build_rejected(self):
+        builder = GraphIndexBuilder(make_slm(), meter=CostMeter())
+        with pytest.raises(GraphIndexError):
+            builder.build()
+
+    def test_add_table(self):
+        db = Database(meter=CostMeter())
+        db.create_table(TableSchema(
+            "purchases",
+            [Column("customer", DataType.TEXT),
+             Column("product", DataType.TEXT)],
+        ))
+        db.load_rows("purchases", [("cust-1", "Alpha Widget")])
+        builder = GraphIndexBuilder(make_slm(), meter=CostMeter())
+        builder.add_table(db.table("purchases"),
+                          entity_columns=["customer", "product"])
+        builder.add_table_relations(db.table("purchases"), "customer",
+                                    "product", relation="purchased")
+        g = builder.build()
+        assert len(g.nodes(NODE_RECORD)) == 1
+        relates = [e for e in g.edges() if e.kind == EDGE_RELATES]
+        assert relates and relates[0].label == "purchased"
+        # Table entity unifies with text entity via normalization.
+        assert g.has_node(entity_key("alpha widget"))
+
+    def test_add_documents(self):
+        store = DocumentStore(meter=CostMeter())
+        store.put("log1", {"customer": "cust-1", "event": "return"})
+        builder = GraphIndexBuilder(make_slm(), meter=CostMeter())
+        builder.add_documents(store, entity_paths=["customer"])
+        g = builder.build()
+        assert g.has_node(entity_key("cust-1"))
+        assert len(g.nodes(NODE_RECORD)) == 1
+
+
+class TestPersistence:
+    def test_roundtrip(self):
+        g = make_graph()
+        clone = graph_from_json(graph_to_json(g), meter=CostMeter())
+        assert clone.n_nodes == g.n_nodes
+        assert clone.n_edges == g.n_edges
+        assert clone.stats() == g.stats()
+
+    def test_bad_json(self):
+        with pytest.raises(GraphIndexError):
+            graph_from_json("not json at all {")
+        with pytest.raises(GraphIndexError):
+            graph_from_json("[]")
+
+    def test_version_check(self):
+        with pytest.raises(GraphIndexError):
+            graph_from_json('{"version": 99, "nodes": [], "edges": []}')
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.graphindex import load_graph, save_graph
+        g = make_graph()
+        path = str(tmp_path / "graph.json")
+        save_graph(g, path)
+        clone = load_graph(path, meter=CostMeter())
+        assert clone.n_nodes == g.n_nodes
+
+    def test_networkx_export(self):
+        pytest.importorskip("networkx")
+        g = make_graph()
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == g.n_nodes
+        assert nxg.number_of_edges() == g.n_edges

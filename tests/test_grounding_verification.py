@@ -1,0 +1,66 @@
+"""Tests for TextQA answer-grounding verification."""
+
+import pytest
+
+from repro.metering import CostMeter
+from repro.retrieval import BM25Retriever
+from repro.qa import TextQAEngine
+from repro.slm import SLMConfig, SmallLanguageModel
+from repro.text.chunker import Chunker, ChunkerConfig
+from repro.text.ner import TYPE_PRODUCT, Gazetteer
+
+CORPUS = {
+    "doc1": "Satisfaction with the Alpha Widget increased 12% in Q2 "
+            "2024. Stores were pleased.",
+    "doc2": "General commentary about retail weather patterns and "
+            "seasonal foot traffic.",
+}
+
+
+def make_engine(verify=True, hallucination_bias=0.0):
+    gaz = Gazetteer()
+    gaz.add(TYPE_PRODUCT, ["Alpha Widget"])
+    slm = SmallLanguageModel(
+        SLMConfig(seed=0, hallucination_bias=hallucination_bias),
+        gazetteer=gaz, meter=CostMeter(),
+    )
+    chunks = Chunker(
+        ChunkerConfig(max_tokens=40, overlap_sentences=0)
+    ).chunk_corpus(CORPUS)
+    retriever = BM25Retriever(meter=CostMeter())
+    retriever.index(chunks)
+    return TextQAEngine(retriever, slm, k=2, temperature=0.1,
+                        verify_grounding=verify)
+
+
+class TestGroundingVerification:
+    def test_supported_answer_verified(self):
+        engine = make_engine()
+        answer = engine.answer(
+            "How much did satisfaction with the Alpha Widget increase?"
+        )
+        assert answer.metadata.get("verified") is True
+        assert answer.grounded
+
+    def test_fabricated_answer_flagged(self):
+        # Force fabrication: maximal hallucination bias.
+        engine = make_engine(hallucination_bias=0.95)
+        answer = engine.answer(
+            "How much did satisfaction with the Alpha Widget increase?"
+        )
+        assert answer.metadata.get("verified") is False
+        assert answer.confidence < 0.6
+
+    def test_verification_can_be_disabled(self):
+        engine = make_engine(verify=False)
+        answer = engine.answer(
+            "How much did satisfaction with the Alpha Widget increase?"
+        )
+        assert "verified" not in answer.metadata
+
+    def test_unverified_answer_not_grounded(self):
+        engine = make_engine(hallucination_bias=0.95)
+        answer = engine.answer(
+            "How much did satisfaction with the Alpha Widget increase?"
+        )
+        assert not answer.grounded

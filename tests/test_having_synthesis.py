@@ -1,0 +1,87 @@
+"""Tests for grouped-HAVING synthesis ("groups with total X above N")."""
+
+import pytest
+
+from repro.metering import CostMeter
+from repro.semql import (
+    OperatorSynthesizer, QueryCompiler, SchemaCatalog,
+)
+from repro.storage.relational import Database
+
+
+@pytest.fixture
+def setting():
+    db = Database(meter=CostMeter())
+    db.execute(
+        "CREATE TABLE products (pid INT PRIMARY KEY, name TEXT, "
+        "manufacturer TEXT)"
+    )
+    db.execute(
+        "CREATE TABLE sales (sid INT PRIMARY KEY, pid INT, "
+        "quarter TEXT, amount FLOAT)"
+    )
+    db.execute(
+        "INSERT INTO products VALUES (1, 'A', 'Acme'), "
+        "(2, 'B', 'Globex'), (3, 'C', 'Acme')"
+    )
+    db.execute(
+        "INSERT INTO sales VALUES (1, 1, 'q1', 300.0), "
+        "(2, 2, 'q1', 300.0), (3, 3, 'q1', 250.0), (4, 2, 'q2', 100.0)"
+    )
+    catalog = SchemaCatalog(db)
+    catalog.register_synonym("sales", "sales", "amount")
+    catalog.register_join("sales", "pid", "products", "pid")
+    catalog.register_display_column("products", "name")
+    catalog.build_value_index()
+    return OperatorSynthesizer(catalog), QueryCompiler(db)
+
+
+class TestHavingSynthesis:
+    def test_sum_having(self, setting):
+        synthesizer, compiler = setting
+        spec = synthesizer.synthesize(
+            "List manufacturers with total sales above 500"
+        )
+        assert spec.group_by == ("manufacturer",)
+        assert spec.having and spec.having[0][1] == ">"
+        result = compiler.execute(spec)
+        assert [r[0] for r in result.rows] == ["Acme"]
+
+    def test_avg_having(self, setting):
+        synthesizer, compiler = setting
+        spec = synthesizer.synthesize(
+            "Which manufacturers have an average sales below 290?"
+        )
+        assert spec.having[0][0].func == "avg"
+        result = compiler.execute(spec)
+        # Acme avg 275, Globex avg 200 — both below 290.
+        assert sorted(r[0] for r in result.rows) == ["Acme", "Globex"]
+
+    def test_having_with_where_filter(self, setting):
+        synthesizer, compiler = setting
+        spec = synthesizer.synthesize(
+            "List manufacturers with total sales above 250 in Q1"
+        )
+        # Quarter binds as WHERE; the aggregate threshold as HAVING.
+        assert any(f.column == "quarter" for f in spec.filters)
+        result = compiler.execute(spec)
+        assert sorted(r[0] for r in result.rows) == ["Acme", "Globex"]
+
+    def test_table_noun_stays_row_listing(self, setting):
+        synthesizer, compiler = setting
+        # "products with ..." lists rows, not groups.
+        spec = synthesizer.synthesize(
+            "List products with an amount above 250"
+        )
+        assert spec.group_by == ()
+        assert not spec.having
+
+    def test_signature_includes_having(self, setting):
+        synthesizer, _ = setting
+        a = synthesizer.synthesize(
+            "List manufacturers with total sales above 500"
+        )
+        b = synthesizer.synthesize(
+            "List manufacturers with total sales above 400"
+        )
+        assert not a.matches(b)

@@ -1,0 +1,73 @@
+"""Tests: healthcare indirect retrieval through the drug catalog."""
+
+import pytest
+
+from repro.bench import HealthSpec, generate_healthcare_lake
+from repro.graphindex import GraphIndexBuilder
+from repro.metering import CostMeter
+from repro.retrieval import (
+    TopologyRetriever, aggregate_rankings, evaluate_ranking,
+)
+from repro.slm import SLMConfig, SmallLanguageModel
+from repro.storage.relational import Database
+from repro.text.chunker import Chunker, ChunkerConfig
+from repro.text.ner import Gazetteer
+
+
+@pytest.fixture(scope="module")
+def setting():
+    lake = generate_healthcare_lake(HealthSpec(n_drugs=8, seed=55))
+    chunks = Chunker(
+        ChunkerConfig(max_tokens=48, overlap_sentences=0)
+    ).chunk_corpus(lake.note_texts)
+    db = Database(meter=CostMeter())
+    for statement in lake.sql_statements():
+        db.execute(statement)
+    meter = CostMeter()
+    gazetteer = Gazetteer()
+    gazetteer.add("VALUE", lake.drug_names())
+    gazetteer.add("VALUE", sorted({d["condition"] for d in lake.drugs}))
+    slm = SmallLanguageModel(SLMConfig(seed=0), gazetteer=gazetteer,
+                             meter=meter)
+    builder = GraphIndexBuilder(slm, meter=meter)
+    builder.add_chunks(chunks)
+    builder.add_table(db.table("drugs"),
+                      entity_columns=["name_key", "condition"])
+    retriever = TopologyRetriever(builder.build(), slm, meter=meter)
+    retriever.index(chunks)
+    return lake, retriever
+
+
+class TestHealthcareIndirect:
+    def test_queries_exist_with_gold(self, setting):
+        lake, _ = setting
+        queries = lake.indirect_retrieval_queries()
+        assert queries
+        for query in queries:
+            assert query.query_class == "indirect"
+            assert query.relevant_docs
+
+    def test_condition_never_in_notes(self, setting):
+        lake, _ = setting
+        texts = dict(lake.note_texts)
+        for query in lake.indirect_retrieval_queries():
+            condition = query.query.split(" for ")[1].split(
+                " treatments")[0]
+            for doc_id in query.relevant_docs:
+                assert condition not in texts[doc_id].lower()
+
+    def test_graph_reaches_indirect_evidence(self, setting):
+        lake, retriever = setting
+        per_query = []
+        for query in lake.indirect_retrieval_queries():
+            hits = retriever.retrieve(query.query, k=8)
+            ranked = []
+            for hit in hits:
+                if hit.chunk.doc_id not in ranked:
+                    ranked.append(hit.chunk.doc_id)
+            per_query.append(
+                evaluate_ranking(ranked, query.relevant_docs, ks=(5,))
+            )
+        agg = aggregate_rankings(per_query)
+        assert agg["recall@5"] >= 0.3
+        assert agg["mrr"] >= 0.5

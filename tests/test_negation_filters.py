@@ -1,0 +1,66 @@
+"""Tests for negated entity filters ("not from Acme")."""
+
+import pytest
+
+from repro.metering import CostMeter
+from repro.semql import (
+    FilterSpec, OperatorSynthesizer, QueryCompiler, SchemaCatalog,
+)
+from repro.semql.synthesizer import _is_negated_mention
+from repro.storage.relational import Database
+
+
+@pytest.fixture
+def setting():
+    db = Database(meter=CostMeter())
+    db.execute(
+        "CREATE TABLE products (pid INT PRIMARY KEY, name TEXT, "
+        "manufacturer TEXT, price FLOAT)"
+    )
+    db.execute(
+        "INSERT INTO products VALUES (1, 'Alpha', 'Acme', 10.0), "
+        "(2, 'Beta', 'Globex', 20.0), (3, 'Gamma', 'Acme', 30.0)"
+    )
+    catalog = SchemaCatalog(db)
+    catalog.register_display_column("products", "name")
+    catalog.build_value_index()
+    return OperatorSynthesizer(catalog), QueryCompiler(db)
+
+
+class TestNegationDetection:
+    @pytest.mark.parametrize("question", [
+        "List products not from Acme",
+        "List products except Acme",
+        "List products except for Acme",
+        "List products other than Acme",
+        "Count products excluding Acme",
+    ])
+    def test_negated_forms(self, question):
+        assert _is_negated_mention(question, "acme")
+
+    @pytest.mark.parametrize("question", [
+        "List products from Acme",
+        "Is Acme not the best?",  # negation not adjacent to the value
+    ])
+    def test_positive_forms(self, question):
+        assert not _is_negated_mention(question, "acme")
+
+
+class TestNegationSynthesis:
+    def test_not_from(self, setting):
+        synthesizer, compiler = setting
+        spec = synthesizer.synthesize("List products not from Acme")
+        assert FilterSpec("manufacturer", "!=", "acme") in spec.filters
+        assert compiler.execute(spec).column("name") == ["Beta"]
+
+    def test_count_excluding(self, setting):
+        synthesizer, compiler = setting
+        spec = synthesizer.synthesize("Count products excluding Acme")
+        assert compiler.execute(spec).scalar() == 1
+
+    def test_positive_filter_unchanged(self, setting):
+        synthesizer, compiler = setting
+        spec = synthesizer.synthesize("List products from Acme")
+        assert FilterSpec("manufacturer", "=", "acme") in spec.filters
+        assert sorted(compiler.execute(spec).column("name")) == \
+            ["Alpha", "Gamma"]

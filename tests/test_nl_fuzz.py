@@ -1,0 +1,99 @@
+"""Fuzz tests for the NL layers: they may abstain, never crash.
+
+Users type anything; `analyze`, the synthesizer and comparison
+detection must respond with a result or a typed error — no raw
+exceptions.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.metering import CostMeter
+from repro.qa.compare import decompose, detect_comparison
+from repro.semql import OperatorSynthesizer, SchemaCatalog, analyze
+from repro.slm import SLMConfig, SmallLanguageModel
+from repro.storage.relational import Database
+from repro.text.ner import TYPE_PRODUCT, Gazetteer
+
+question_soup = st.text(
+    alphabet=st.sampled_from(
+        list("abcdefghij ALPHAWIDGET?%0123456789.,'-")
+    ),
+    max_size=80,
+)
+
+phrase_soup = st.lists(
+    st.sampled_from([
+        "compare", "total", "average", "sales", "of", "the",
+        "Alpha Widget", "Beta Gadget", "in", "Q2", "2024", "and",
+        "more than", "15%", "per", "manufacturer", "which", "highest",
+        "between", "10", "not from", "Acme", "list", "products",
+        "with", "increase", "above", "top 3", "cheapest", "?", "",
+    ]),
+    min_size=1, max_size=12,
+).map(" ".join)
+
+
+@pytest.fixture(scope="module")
+def nl_stack():
+    db = Database(meter=CostMeter())
+    db.execute(
+        "CREATE TABLE products (pid INT PRIMARY KEY, name TEXT, "
+        "manufacturer TEXT, price FLOAT)"
+    )
+    db.execute(
+        "CREATE TABLE sales (sid INT PRIMARY KEY, pid INT, "
+        "quarter TEXT, amount FLOAT)"
+    )
+    db.execute(
+        "INSERT INTO products VALUES (1, 'Alpha Widget', 'Acme', 10.0), "
+        "(2, 'Beta Gadget', 'Globex', 20.0)"
+    )
+    db.execute("INSERT INTO sales VALUES (1, 1, 'q2', 100.0)")
+    catalog = SchemaCatalog(db)
+    catalog.register_synonym("sales", "sales", "amount")
+    catalog.register_join("sales", "pid", "products", "pid")
+    catalog.register_display_column("products", "name")
+    catalog.build_value_index()
+    gazetteer = Gazetteer()
+    gazetteer.add(TYPE_PRODUCT, ["Alpha Widget", "Beta Gadget"])
+    slm = SmallLanguageModel(SLMConfig(seed=0), gazetteer=gazetteer,
+                             meter=CostMeter())
+    return OperatorSynthesizer(catalog), slm
+
+
+class TestNLFuzz:
+    @given(question=question_soup)
+    @settings(max_examples=150, deadline=None)
+    def test_analyze_never_crashes(self, question):
+        frame = analyze(question)
+        assert frame.question == question
+
+    @given(question=phrase_soup)
+    @settings(max_examples=150, deadline=None)
+    def test_synthesize_abstains_cleanly(self, question, nl_stack):
+        synthesizer, _ = nl_stack
+        try:
+            spec = synthesizer.synthesize(question)
+        except ReproError:
+            return
+        assert spec.table
+
+    @given(question=phrase_soup)
+    @settings(max_examples=100, deadline=None)
+    def test_comparison_detection_never_crashes(self, question, nl_stack):
+        _, slm = nl_stack
+        frame = detect_comparison(question, slm)
+        if frame is not None:
+            subs = decompose(frame)
+            assert len(subs) == len(frame.entities)
+            for _, sub_question in subs:
+                assert sub_question.strip()
+
+    @given(question=question_soup)
+    @settings(max_examples=100, deadline=None)
+    def test_tagging_never_crashes(self, question, nl_stack):
+        _, slm = nl_stack
+        for entity in slm.tag_entities(question):
+            assert question[entity.start:entity.end] == entity.text

@@ -1,0 +1,78 @@
+"""Tests for the pipeline explain() trace."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metering import CostMeter
+from repro.qa import HybridQAPipeline
+from repro.slm import SLMConfig, SmallLanguageModel
+from repro.text.ner import TYPE_PRODUCT, Gazetteer
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    gaz = Gazetteer()
+    gaz.add(TYPE_PRODUCT, ["Alpha Widget", "Beta Gadget"])
+    slm = SmallLanguageModel(SLMConfig(seed=0), gazetteer=gaz,
+                             meter=CostMeter())
+    pipe = HybridQAPipeline(slm, meter=CostMeter())
+    pipe.add_sql([
+        "CREATE TABLE products (pid INT PRIMARY KEY, name TEXT)",
+        "CREATE TABLE sales (sid INT PRIMARY KEY, pid INT, "
+        "quarter TEXT, amount FLOAT)",
+        "INSERT INTO products VALUES (1, 'Alpha Widget'), "
+        "(2, 'Beta Gadget')",
+        "INSERT INTO sales VALUES (1, 1, 'q2', 120.0), "
+        "(2, 2, 'q2', 180.0)",
+    ])
+    pipe.declare_entity_columns("products", ["name"])
+    pipe.add_texts([
+        ("rev1", "Satisfaction with the Alpha Widget increased 12% in "
+                 "Q2 2024."),
+        ("rev2", "Satisfaction with the Beta Gadget decreased 30% in "
+                 "Q2 2024."),
+    ])
+    pipe.register_synonym("sales", "sales", "amount")
+    pipe.register_join("sales", "pid", "products", "pid")
+    pipe.generate_table("review_facts")
+    pipe.build()
+    return pipe
+
+
+class TestExplain:
+    def test_structured_trace(self, pipeline):
+        trace = pipeline.explain("Find the total sales of all products "
+                                 "in Q2.")
+        assert "route: structured" in trace
+        assert "AGG sum(amount)" in trace
+        assert "tableqa answer: 300" in trace
+
+    def test_unstructured_trace_shows_retrieval(self, pipeline):
+        trace = pipeline.explain(
+            "What tone did reviews take about shipping?"
+        )
+        assert "route: unstructured" in trace
+        assert "retrieval:" in trace
+
+    def test_comparison_trace_decomposes(self, pipeline):
+        trace = pipeline.explain(
+            "Compare the satisfaction change of the Alpha Widget and "
+            "the Beta Gadget in Q2 2024."
+        )
+        assert "comparison of: alpha widget, beta gadget" in trace
+        assert trace.count("sub[") == 2
+        assert "SELECT change_percent" in trace
+
+    def test_abstention_reported(self, pipeline):
+        trace = pipeline.explain(
+            "What is the average zorbulation of gleeps?"
+        )
+        assert "abstained" in trace or "route: unstructured" in trace
+
+    def test_requires_build(self):
+        gaz = Gazetteer()
+        slm = SmallLanguageModel(SLMConfig(seed=0), gazetteer=gaz,
+                                 meter=CostMeter())
+        pipe = HybridQAPipeline(slm, meter=CostMeter())
+        with pytest.raises(ReproError):
+            pipe.explain("anything")

@@ -1,0 +1,290 @@
+"""Tests for BM25, dense, IVF and topology retrievers plus metrics."""
+
+import pytest
+
+from repro.errors import BenchmarkError, RetrievalError
+from repro.metering import (
+    CostMeter, EMBEDDING_CALLS, NODES_SCORED, VECTORS_COMPARED,
+)
+from repro.graphindex import GraphIndexBuilder
+from repro.retrieval import (
+    BM25Retriever, DenseRetriever, IVFDenseRetriever, TopologyConfig,
+    TopologyRetriever, aggregate_rankings, evaluate_ranking, ndcg_at_k,
+    precision_at_k, recall_at_k, reciprocal_rank,
+)
+from repro.slm import SLMConfig, SmallLanguageModel
+from repro.slm.embeddings import EmbeddingModel
+from repro.text.chunker import Chunker, ChunkerConfig
+from repro.text.ner import TYPE_PRODUCT, Gazetteer
+
+CORPUS = {
+    "doc_alpha": "The Alpha Widget sales increased 20% in Q2. "
+                 "Retail channels drove the Alpha Widget growth.",
+    "doc_beta": "The Beta Gadget saw declining sales. "
+                "Beta Gadget returns increased sharply.",
+    "doc_weather": "The weather was mild this spring. "
+                   "Rainfall stayed close to seasonal averages.",
+    "doc_gamma": "Gamma Gizmo is a niche product. "
+                 "Gamma Gizmo shipments were flat in Q2.",
+}
+
+
+def make_chunks():
+    chunker = Chunker(ChunkerConfig(max_tokens=30, overlap_sentences=0))
+    return chunker.chunk_corpus(CORPUS)
+
+
+def make_slm(meter=None):
+    gaz = Gazetteer()
+    gaz.add(TYPE_PRODUCT, ["Alpha Widget", "Beta Gadget", "Gamma Gizmo"])
+    return SmallLanguageModel(SLMConfig(seed=0), gazetteer=gaz,
+                              meter=meter or CostMeter())
+
+
+def alpha_chunk_ids(chunks):
+    return {c.chunk_id for c in chunks if "Alpha" in c.text}
+
+
+class TestBM25:
+    def test_relevant_doc_first(self):
+        chunks = make_chunks()
+        retriever = BM25Retriever(meter=CostMeter())
+        retriever.index(chunks)
+        hits = retriever.retrieve("Alpha Widget sales", k=3)
+        assert hits[0].chunk.doc_id == "doc_alpha"
+
+    def test_stemming_matches_variants(self):
+        chunks = make_chunks()
+        retriever = BM25Retriever(meter=CostMeter())
+        retriever.index(chunks)
+        hits = retriever.retrieve("increasing sale", k=2)
+        assert hits and hits[0].score > 0
+
+    def test_retrieve_before_index(self):
+        with pytest.raises(RetrievalError):
+            BM25Retriever(meter=CostMeter()).retrieve("x")
+
+    def test_bad_k(self):
+        retriever = BM25Retriever(meter=CostMeter())
+        retriever.index(make_chunks())
+        with pytest.raises(RetrievalError):
+            retriever.retrieve("x", k=0)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            BM25Retriever(k1=0)
+        with pytest.raises(ValueError):
+            BM25Retriever(b=2.0)
+
+    def test_no_match_empty(self):
+        retriever = BM25Retriever(meter=CostMeter())
+        retriever.index(make_chunks())
+        assert retriever.retrieve("zzzz qqqq", k=3) == []
+
+    def test_deterministic_ties(self):
+        retriever = BM25Retriever(meter=CostMeter())
+        retriever.index(make_chunks())
+        a = [h.chunk_id for h in retriever.retrieve("sales increased", k=4)]
+        b = [h.chunk_id for h in retriever.retrieve("sales increased", k=4)]
+        assert a == b
+
+
+class TestDense:
+    def test_relevant_doc_first(self):
+        meter = CostMeter()
+        retriever = DenseRetriever(EmbeddingModel(dim=64, meter=meter),
+                                   meter=meter)
+        chunks = make_chunks()
+        retriever.index(chunks)
+        hits = retriever.retrieve("Alpha Widget sales growth", k=3)
+        assert hits[0].chunk.doc_id == "doc_alpha"
+
+    def test_index_embeds_every_chunk(self):
+        meter = CostMeter()
+        retriever = DenseRetriever(EmbeddingModel(dim=32, meter=meter),
+                                   meter=meter)
+        chunks = make_chunks()
+        retriever.index(chunks)
+        assert meter.get(EMBEDDING_CALLS) == len(chunks)
+
+    def test_query_compares_all_vectors(self):
+        meter = CostMeter()
+        retriever = DenseRetriever(EmbeddingModel(dim=32, meter=meter),
+                                   meter=meter)
+        chunks = make_chunks()
+        retriever.index(chunks)
+        meter.reset()
+        retriever.retrieve("anything", k=2)
+        assert meter.get(VECTORS_COMPARED) == len(chunks)
+
+    def test_index_bytes_positive(self):
+        retriever = DenseRetriever(EmbeddingModel(dim=32, meter=CostMeter()),
+                                   meter=CostMeter())
+        retriever.index(make_chunks())
+        assert retriever.index_bytes > 0
+
+    def test_empty_corpus(self):
+        retriever = DenseRetriever(EmbeddingModel(dim=32, meter=CostMeter()),
+                                   meter=CostMeter())
+        retriever.index([])
+        assert retriever.retrieve("x", k=2) == []
+
+
+class TestIVF:
+    def test_matches_brute_force_mostly(self):
+        meter = CostMeter()
+        embedder = EmbeddingModel(dim=64, meter=meter)
+        chunks = make_chunks()
+        brute = DenseRetriever(embedder, meter=meter)
+        brute.index(chunks)
+        ivf = IVFDenseRetriever(embedder, n_clusters=2, n_probe=2,
+                                meter=meter)
+        ivf.index(chunks)
+        q = "Alpha Widget sales"
+        brute_top = brute.retrieve(q, k=1)[0].chunk_id
+        ivf_top = ivf.retrieve(q, k=1)[0].chunk_id
+        assert brute_top == ivf_top  # full probe == brute force
+
+    def test_fewer_comparisons_with_low_probe(self):
+        chunks = make_chunks()
+        meter_full = CostMeter()
+        full = DenseRetriever(
+            EmbeddingModel(dim=32, meter=meter_full), meter=meter_full
+        )
+        full.index(chunks)
+        meter_full.reset()
+        full.retrieve("Alpha Widget", k=2)
+
+        meter_ivf = CostMeter()
+        ivf = IVFDenseRetriever(
+            EmbeddingModel(dim=32, meter=meter_ivf), n_clusters=4,
+            n_probe=1, meter=meter_ivf,
+        )
+        ivf.index(chunks)
+        meter_ivf.reset()
+        ivf.retrieve("Alpha Widget", k=2)
+        # IVF compares centroids + one cluster, brute compares all chunks.
+        assert meter_ivf.get(NODES_SCORED) <= meter_full.get(NODES_SCORED)
+
+    def test_bad_params(self):
+        embedder = EmbeddingModel(dim=32, meter=CostMeter())
+        with pytest.raises(RetrievalError):
+            IVFDenseRetriever(embedder, n_clusters=0)
+        with pytest.raises(RetrievalError):
+            IVFDenseRetriever(embedder, n_probe=0)
+
+
+class TestTopology:
+    def make_retriever(self, config=None, meter=None):
+        meter = meter or CostMeter()
+        slm = make_slm(meter)
+        chunks = make_chunks()
+        builder = GraphIndexBuilder(slm, meter=meter)
+        builder.add_chunks(chunks)
+        graph = builder.build()
+        retriever = TopologyRetriever(graph, slm, config=config, meter=meter)
+        retriever.index(chunks)
+        return retriever, chunks, meter
+
+    def test_entity_query_hits_right_doc(self):
+        retriever, chunks, _ = self.make_retriever()
+        hits = retriever.retrieve("How did Alpha Widget sales change?", k=2)
+        assert hits[0].chunk.doc_id == "doc_alpha"
+
+    def test_no_embedding_calls_at_query_time(self):
+        retriever, _, meter = self.make_retriever()
+        meter.reset()
+        retriever.retrieve("How did Alpha Widget sales change?", k=2)
+        assert meter.get(EMBEDDING_CALLS) == 0
+
+    def test_multi_entity_query_covers_both(self):
+        retriever, chunks, _ = self.make_retriever()
+        hits = retriever.retrieve(
+            "Compare Alpha Widget and Beta Gadget sales", k=4
+        )
+        docs = {h.chunk.doc_id for h in hits}
+        assert {"doc_alpha", "doc_beta"} <= docs
+
+    def test_anchor_coverage_in_components(self):
+        retriever, _, _ = self.make_retriever()
+        hits = retriever.retrieve("Alpha Widget sales", k=1)
+        assert "anchor" in hits[0].components
+
+    def test_fallback_for_entity_free_query(self):
+        retriever, _, _ = self.make_retriever()
+        hits = retriever.retrieve("rainfall seasonal averages", k=2)
+        assert hits and hits[0].chunk.doc_id == "doc_weather"
+
+    def test_retrieve_before_index(self):
+        meter = CostMeter()
+        slm = make_slm(meter)
+        builder = GraphIndexBuilder(slm, meter=meter)
+        builder.add_chunks(make_chunks())
+        retriever = TopologyRetriever(builder.build(), slm, meter=meter)
+        with pytest.raises(RetrievalError):
+            retriever.retrieve("x")
+
+    def test_chunks_must_be_in_graph(self):
+        meter = CostMeter()
+        slm = make_slm(meter)
+        builder = GraphIndexBuilder(slm, meter=meter)
+        chunks = make_chunks()
+        builder.add_chunks(chunks[:2])
+        retriever = TopologyRetriever(builder.build(), slm, meter=meter)
+        with pytest.raises(RetrievalError):
+            retriever.index(chunks)
+
+    def test_centrality_ablation(self):
+        retriever, _, _ = self.make_retriever(
+            TopologyConfig(use_centrality=False)
+        )
+        hits = retriever.retrieve("Alpha Widget sales", k=1)
+        assert hits[0].components["centrality"] == 0.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(max_depth=0)
+        with pytest.raises(ValueError):
+            TopologyConfig(max_nodes=0)
+
+    def test_explain_mentions_anchor(self):
+        retriever, _, _ = self.make_retriever()
+        text = retriever.explain("Alpha Widget sales", k=2)
+        assert "entity:alpha widget" in text
+
+
+class TestMetrics:
+    def test_recall(self):
+        assert recall_at_k(["a", "b", "c"], {"b", "z"}, 2) == 0.5
+        assert recall_at_k(["a"], set(), 1) == 0.0
+
+    def test_precision(self):
+        assert precision_at_k(["a", "b"], {"a"}, 2) == 0.5
+
+    def test_mrr(self):
+        assert reciprocal_rank(["x", "a"], {"a"}) == 0.5
+        assert reciprocal_rank(["x"], {"a"}) == 0.0
+
+    def test_ndcg_perfect(self):
+        assert ndcg_at_k(["a", "b"], {"a", "b"}, 2) == pytest.approx(1.0)
+
+    def test_ndcg_order_matters(self):
+        good = ndcg_at_k(["a", "x"], {"a"}, 2)
+        bad = ndcg_at_k(["x", "a"], {"a"}, 2)
+        assert good > bad
+
+    def test_bad_k(self):
+        with pytest.raises(BenchmarkError):
+            recall_at_k(["a"], {"a"}, 0)
+
+    def test_evaluate_and_aggregate(self):
+        per_query = [
+            evaluate_ranking(["a", "b"], {"a"}, ks=(1,)),
+            evaluate_ranking(["b", "a"], {"a"}, ks=(1,)),
+        ]
+        agg = aggregate_rankings(per_query)
+        assert agg["recall@1"] == 0.5
+        assert agg["mrr"] == pytest.approx(0.75)
+
+    def test_aggregate_empty(self):
+        assert aggregate_rankings([]) == {}

@@ -1,0 +1,146 @@
+"""Tests for RRF fusion and keyword reranking."""
+
+import pytest
+
+from repro.errors import RetrievalError
+from repro.metering import CostMeter
+from repro.graphindex import GraphIndexBuilder
+from repro.retrieval import (
+    BM25Retriever, FusionRetriever, KeywordReranker, TopologyRetriever,
+    reciprocal_rank_fusion,
+)
+from repro.retrieval.base import RetrievedChunk
+from repro.slm import SLMConfig, SmallLanguageModel
+from repro.text.chunker import Chunk, Chunker, ChunkerConfig
+from repro.text.ner import TYPE_PRODUCT, Gazetteer
+
+CORPUS = {
+    "doc_alpha": "The Alpha Widget sales increased 20% in Q2. "
+                 "Retail channels drove the Alpha Widget growth.",
+    "doc_beta": "The Beta Gadget saw declining sales. "
+                "Beta Gadget returns increased sharply.",
+    "doc_misc": "Unrelated musings about the weather and lunch.",
+}
+
+
+def chunk(cid, text, doc="d"):
+    return Chunk(cid, doc, text, 0, len(text.split()))
+
+
+def hit(cid, score, text="t"):
+    return RetrievedChunk(chunk(cid, text), score)
+
+
+class TestRRF:
+    def test_agreement_wins(self):
+        r1 = [hit("a", 3.0), hit("b", 2.0), hit("c", 1.0)]
+        r2 = [hit("a", 9.0), hit("c", 8.0), hit("b", 7.0)]
+        fused = reciprocal_rank_fusion([r1, r2])
+        assert fused[0].chunk_id == "a"
+
+    def test_score_calibration_irrelevant(self):
+        # One ranking with huge scores must not dominate: RRF only
+        # consumes ranks.
+        r1 = [hit("x", 1e9), hit("y", 1e8)]
+        r2 = [hit("y", 0.02), hit("x", 0.01)]
+        fused = reciprocal_rank_fusion([r1, r2])
+        scores = {h.chunk_id: h.score for h in fused}
+        assert scores["x"] == pytest.approx(scores["y"])
+
+    def test_source_ranks_recorded(self):
+        fused = reciprocal_rank_fusion([[hit("a", 1.0)], [hit("a", 2.0)]])
+        assert fused[0].components == {"rank_src0": 1.0, "rank_src1": 1.0}
+
+    def test_single_ranking_passthrough_order(self):
+        r1 = [hit("a", 3.0), hit("b", 2.0)]
+        fused = reciprocal_rank_fusion([r1])
+        assert [h.chunk_id for h in fused] == ["a", "b"]
+
+    def test_bad_k(self):
+        with pytest.raises(RetrievalError):
+            reciprocal_rank_fusion([], k=0)
+
+    def test_empty_rankings(self):
+        assert reciprocal_rank_fusion([[], []]) == []
+
+    def test_deterministic_ties(self):
+        r = [[hit("b", 1.0)], [hit("a", 1.0)]]
+        fused = reciprocal_rank_fusion(r)
+        assert [h.chunk_id for h in fused] == ["a", "b"]
+
+
+def build_members():
+    meter = CostMeter()
+    gaz = Gazetteer()
+    gaz.add(TYPE_PRODUCT, ["Alpha Widget", "Beta Gadget"])
+    slm = SmallLanguageModel(SLMConfig(seed=0), gazetteer=gaz, meter=meter)
+    chunks = Chunker(
+        ChunkerConfig(max_tokens=30, overlap_sentences=0)
+    ).chunk_corpus(CORPUS)
+    builder = GraphIndexBuilder(slm, meter=meter)
+    builder.add_chunks(chunks)
+    topo = TopologyRetriever(builder.build(), slm, meter=meter)
+    bm25 = BM25Retriever(meter=meter)
+    return chunks, [topo, bm25]
+
+
+class TestFusionRetriever:
+    def test_fusion_indexes_and_retrieves(self):
+        chunks, members = build_members()
+        fusion = FusionRetriever(members)
+        fusion.index(chunks)
+        hits = fusion.retrieve("Alpha Widget sales growth", k=2)
+        assert hits and hits[0].chunk.doc_id == "doc_alpha"
+
+    def test_fusion_at_least_as_broad_as_members(self):
+        chunks, members = build_members()
+        fusion = FusionRetriever(members)
+        fusion.index(chunks)
+        hits = fusion.retrieve(
+            "Compare Alpha Widget and Beta Gadget sales", k=4
+        )
+        docs = {h.chunk.doc_id for h in hits}
+        assert {"doc_alpha", "doc_beta"} <= docs
+
+    def test_retrieve_before_index(self):
+        _, members = build_members()
+        with pytest.raises(RetrievalError):
+            FusionRetriever(members).retrieve("x")
+
+    def test_validation(self):
+        with pytest.raises(RetrievalError):
+            FusionRetriever([])
+        _, members = build_members()
+        with pytest.raises(RetrievalError):
+            FusionRetriever(members, pool_factor=0)
+
+
+class TestKeywordReranker:
+    def test_coverage_boosts_complete_chunks(self):
+        hits = [
+            RetrievedChunk(chunk("c1", "alpha widget sales rose"), 1.0),
+            RetrievedChunk(
+                chunk("c2", "alpha widget and beta gadget sales rose"), 0.9
+            ),
+        ]
+        reranker = KeywordReranker(coverage_weight=0.7, meter=CostMeter())
+        out = reranker.rerank("alpha widget beta gadget sales", hits)
+        assert out[0].chunk_id == "c2"
+        assert out[0].components["rerank_coverage"] > \
+            out[1].components["rerank_coverage"]
+
+    def test_zero_weight_preserves_order(self):
+        hits = [hit("a", 2.0, "x y"), hit("b", 1.0, "x y z")]
+        out = KeywordReranker(coverage_weight=0.0,
+                              meter=CostMeter()).rerank("z", hits)
+        assert out[0].chunk_id == "a"
+
+    def test_empty_inputs(self):
+        reranker = KeywordReranker(meter=CostMeter())
+        assert reranker.rerank("query", []) == []
+        hits = [hit("a", 1.0)]
+        assert reranker.rerank("the of and", hits) == hits
+
+    def test_bad_weight(self):
+        with pytest.raises(RetrievalError):
+            KeywordReranker(coverage_weight=1.5)

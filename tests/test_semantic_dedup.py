@@ -1,0 +1,52 @@
+"""Tests for the sem_dedup operator."""
+
+import pytest
+
+from repro.metering import CostMeter
+from repro.semql import SemanticOperators
+from repro.slm import SLMConfig, SmallLanguageModel
+from repro.storage.relational.executor import ResultSet
+
+
+def make_ops(threshold=0.18):
+    slm = SmallLanguageModel(SLMConfig(seed=0), meter=CostMeter())
+    return SemanticOperators(slm, similarity_threshold=threshold)
+
+
+class TestSemDedup:
+    def test_near_duplicates_collapse(self):
+        rs = ResultSet(["fact"], [
+            ("Alpha Widget sales rose 20% in Q2",),
+            ("sales of the alpha widget rose 20% in Q2",),
+            ("the patient recovered fully after treatment",),
+        ])
+        out = make_ops().sem_dedup(rs, threshold=0.6)
+        assert len(out) == 2
+        assert out.rows[0][0].startswith("Alpha Widget")
+
+    def test_keeps_first_representative(self):
+        rs = ResultSet(["t"], [("b c d",), ("b c d e",), ("b c d",)])
+        out = make_ops().sem_dedup(rs, threshold=0.9)
+        assert out.rows[0] == ("b c d",)
+
+    def test_distinct_rows_survive(self):
+        rs = ResultSet(["t"], [
+            ("quarterly revenue grew strongly",),
+            ("the chemical spill was contained",),
+            ("a new stadium opened downtown",),
+        ])
+        out = make_ops().sem_dedup(rs, threshold=0.8)
+        assert len(out) == 3
+
+    def test_empty_input(self):
+        out = make_ops().sem_dedup(ResultSet(["t"], []))
+        assert out.rows == []
+
+    def test_column_restriction(self):
+        rs = ResultSet(["id", "text"], [
+            (1, "same underlying story here"),
+            (2, "same underlying story here"),
+        ])
+        # Restricted to the text column, ids don't block dedup.
+        out = make_ops().sem_dedup(rs, columns=["text"], threshold=0.95)
+        assert len(out) == 1

@@ -1,0 +1,316 @@
+"""Tests for intent analysis, catalog binding, synthesis, compilation
+and semantic operators."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.metering import CostMeter
+from repro.semql import (
+    AggregateSpec, FilterSpec, JoinSpec, OperatorSynthesizer, QueryCompiler,
+    QuerySpec, SchemaCatalog, SemanticOperators, analyze,
+)
+from repro.slm import SLMConfig, SmallLanguageModel
+from repro.storage.relational import Database
+from repro.storage.relational.executor import ResultSet
+
+
+@pytest.fixture
+def db():
+    database = Database(meter=CostMeter())
+    database.execute(
+        "CREATE TABLE products (pid INT PRIMARY KEY, name TEXT, "
+        "manufacturer TEXT, price FLOAT)"
+    )
+    database.execute(
+        "CREATE TABLE sales (sid INT PRIMARY KEY, pid INT, quarter TEXT, "
+        "amount FLOAT, change_percent FLOAT)"
+    )
+    database.execute(
+        "INSERT INTO products VALUES "
+        "(1, 'Alpha Widget', 'Acme', 19.99), "
+        "(2, 'Beta Gadget', 'Globex', 29.99), "
+        "(3, 'Gamma Gizmo', 'Acme', 9.99)"
+    )
+    database.execute(
+        "INSERT INTO sales VALUES "
+        "(1, 1, 'q1', 100.0, 5.0), "
+        "(2, 1, 'q2', 120.0, 20.0), "
+        "(3, 2, 'q1', 200.0, -3.0), "
+        "(4, 2, 'q2', 180.0, -10.0), "
+        "(5, 3, 'q2', 50.0, 18.0)"
+    )
+    return database
+
+
+@pytest.fixture
+def catalog(db):
+    cat = SchemaCatalog(db)
+    cat.register_join("sales", "pid", "products", "pid")
+    cat.register_synonym("sales", "sales", "amount")
+    cat.register_synonym("revenue", "sales", "amount")
+    cat.register_synonym("increase", "sales", "change_percent")
+    cat.register_display_column("products", "name")
+    cat.build_value_index()
+    return cat
+
+
+@pytest.fixture
+def synthesizer(catalog):
+    return OperatorSynthesizer(catalog)
+
+
+@pytest.fixture
+def compiler(db):
+    return QueryCompiler(db)
+
+
+class TestIntentAnalysis:
+    def test_sum_intent(self):
+        frame = analyze("Find the total sales of all products in Q3")
+        assert frame.aggregate == "sum"
+        assert frame.quarter == "Q3"
+        assert "sales" in frame.metric_terms
+
+    def test_avg_intent(self):
+        assert analyze("average rating of products").aggregate == "avg"
+
+    def test_count_intent(self):
+        assert analyze("How many orders were placed?").aggregate == "count"
+
+    def test_comparison_parsed(self):
+        frame = analyze("products with a sales increase of more than 15% "
+                        "in the last quarter")
+        assert len(frame.comparisons) == 1
+        comp = frame.comparisons[0]
+        assert comp.op == ">" and comp.value == 15.0 and comp.is_percent
+
+    def test_less_than(self):
+        frame = analyze("items priced below 20 dollars")
+        assert frame.comparisons[0].op == "<"
+
+    def test_group_by_detected(self):
+        frame = analyze("total sales per manufacturer")
+        assert frame.group_term == "manufacturer"
+
+    def test_year_detected(self):
+        assert analyze("sales in Q2 2024").year == 2024
+
+    def test_top_k(self):
+        assert analyze("top 3 products by sales").limit == 3
+
+    def test_list_intent(self):
+        assert analyze("List products from Acme").wants_list
+
+
+class TestCatalog:
+    def test_resolve_exact(self, catalog):
+        assert catalog.resolve_column("price")[0].column == "price"
+
+    def test_resolve_synonym(self, catalog):
+        binding = catalog.resolve_column("revenue")[0]
+        assert (binding.table, binding.column) == ("sales", "amount")
+
+    def test_resolve_stem(self, catalog):
+        binding = catalog.resolve_column("quarters")[0]
+        assert binding.column == "quarter"
+
+    def test_prefer_tables_bonus(self, catalog):
+        bindings = catalog.resolve_column("pid", prefer_tables=["sales"])
+        assert bindings[0].table == "sales"
+
+    def test_value_hit(self, catalog):
+        hits = catalog.find_values("How did the Alpha Widget perform?")
+        assert hits and hits[0].value == "alpha widget"
+        assert hits[0].table == "products" and hits[0].column == "name"
+
+    def test_value_hit_word_boundary(self, catalog):
+        assert not catalog.find_values("the acmeish products")
+
+    def test_join_path_direct(self, catalog):
+        path = catalog.join_path("sales", "products")
+        assert path == [JoinSpec("products", "pid", "pid")]
+
+    def test_join_path_missing(self, catalog):
+        with pytest.raises(SynthesisError):
+            catalog.join_path("sales", "nonexistent")
+
+    def test_join_path_self(self, catalog):
+        assert catalog.join_path("sales", "sales") == []
+
+    def test_display_column(self, catalog):
+        assert catalog.display_column("products") == "name"
+        assert catalog.display_column("sales") == "quarter"
+
+
+class TestSynthesis:
+    def test_paper_example_total_sales(self, synthesizer):
+        spec = synthesizer.synthesize(
+            "Find the total sales of all products in Q3"
+        )
+        assert spec.table == "sales"
+        assert spec.aggregates == (AggregateSpec("sum", "amount"),)
+        assert FilterSpec("quarter", "=", "q3") in spec.filters
+
+    def test_entity_filter_with_join(self, synthesizer):
+        spec = synthesizer.synthesize(
+            "What is the total sales of the Alpha Widget?"
+        )
+        assert spec.table == "sales"
+        assert JoinSpec("products", "pid", "pid") in spec.joins
+        assert FilterSpec("name", "=", "alpha widget") in spec.filters
+
+    def test_group_by_join(self, synthesizer):
+        spec = synthesizer.synthesize("Find the total sales per manufacturer")
+        assert spec.group_by == ("manufacturer",)
+        assert spec.joins  # manufacturer lives in products
+
+    def test_percent_comparison(self, synthesizer):
+        spec = synthesizer.synthesize(
+            "Count sales with an increase of more than 15%"
+        )
+        assert FilterSpec("change_percent", ">", 15.0) in spec.filters
+
+    def test_count_star(self, synthesizer):
+        spec = synthesizer.synthesize("How many products are there?")
+        assert spec.aggregates == (AggregateSpec("count", "*"),)
+
+    def test_list_query(self, synthesizer):
+        spec = synthesizer.synthesize("List products from Acme")
+        assert spec.projection == ("name",)
+        assert FilterSpec("manufacturer", "=", "acme") in spec.filters
+
+    def test_unbindable_metric(self, synthesizer):
+        with pytest.raises(SynthesisError):
+            synthesizer.synthesize("What is the average zorblax?")
+
+
+class TestCompiler:
+    def run(self, synthesizer, compiler, question):
+        return compiler.execute(synthesizer.synthesize(question))
+
+    def test_total_sales_q2(self, synthesizer, compiler):
+        rs = self.run(synthesizer, compiler,
+                      "Find the total sales of all products in Q2")
+        assert rs.scalar() == pytest.approx(350.0)
+
+    def test_entity_join_total(self, synthesizer, compiler):
+        rs = self.run(synthesizer, compiler,
+                      "What is the total sales of the Alpha Widget?")
+        assert rs.scalar() == pytest.approx(220.0)
+
+    def test_group_by(self, synthesizer, compiler):
+        rs = self.run(synthesizer, compiler,
+                      "Find the total sales per manufacturer")
+        totals = dict(zip(rs.column("manufacturer"), rs.column("sum_amount")))
+        assert totals["Acme"] == pytest.approx(270.0)
+        assert totals["Globex"] == pytest.approx(380.0)
+
+    def test_comparison(self, synthesizer, compiler):
+        rs = self.run(synthesizer, compiler,
+                      "Count sales with an increase of more than 15%")
+        assert rs.scalar() == 2
+
+    def test_list_filter(self, synthesizer, compiler):
+        rs = self.run(synthesizer, compiler, "List products from Acme")
+        assert sorted(rs.column("name")) == ["Alpha Widget", "Gamma Gizmo"]
+
+    def test_to_sql_text(self, synthesizer, compiler):
+        spec = synthesizer.synthesize(
+            "What is the total sales of the Alpha Widget?"
+        )
+        sql = compiler.to_sql(spec)
+        assert sql.startswith("SELECT") and "JOIN products" in sql
+
+    def test_spec_signature_match(self):
+        a = QuerySpec(table="sales",
+                      filters=(FilterSpec("quarter", "=", "q2"),
+                               FilterSpec("amount", ">", 10)),
+                      aggregates=(AggregateSpec("sum", "amount"),))
+        b = QuerySpec(table="sales",
+                      filters=(FilterSpec("amount", ">", 10.0),
+                               FilterSpec("quarter", "=", "Q2")),
+                      aggregates=(AggregateSpec("sum", "amount"),))
+        assert a.matches(b)
+
+    def test_spec_invalid(self):
+        with pytest.raises(SynthesisError):
+            QuerySpec(table="t")
+        with pytest.raises(SynthesisError):
+            AggregateSpec("sum", "*")
+        with pytest.raises(SynthesisError):
+            FilterSpec("c", "~~", 1)
+
+
+class TestSemanticOperators:
+    def make_ops(self):
+        slm = SmallLanguageModel(SLMConfig(seed=0), meter=CostMeter())
+        return SemanticOperators(slm)
+
+    def reviews(self):
+        return ResultSet(
+            ["product", "review"],
+            [
+                ("Alpha", "battery life is terrible and drains fast"),
+                ("Alpha", "great battery that lasts for days"),
+                ("Beta", "the screen cracked within a week"),
+                ("Beta", "shipping was slow but support helped"),
+            ],
+        )
+
+    def test_sem_filter(self):
+        ops = self.make_ops()
+        out = ops.sem_filter(self.reviews(),
+                             "battery life problems drains",
+                             columns=["review"], threshold=0.3)
+        assert len(out) >= 1
+        assert all("battery" in row[1] for row in out.rows)
+
+    def test_sem_topk(self):
+        ops = self.make_ops()
+        out = ops.sem_topk(self.reviews(), "broken cracked screen", k=1,
+                           columns=["review"])
+        assert out.rows[0][1].startswith("the screen cracked")
+
+    def test_sem_join_fuzzy(self):
+        ops = self.make_ops()
+        left = ResultSet(["name"], [("Alpha Widget",), ("Beta Gadget",)])
+        right = ResultSet(["product", "rating"],
+                          [("the alpha widget 2024", 4.0),
+                           ("beta gadget deluxe", 3.0)])
+        out = ops.sem_join(left, right, "name", "product", threshold=0.3)
+        assert len(out) == 2
+        by_name = {row[0]: row[2] for row in out.rows}
+        assert by_name["Alpha Widget"] == 4.0
+
+    def test_sem_join_missing_column(self):
+        ops = self.make_ops()
+        with pytest.raises(SynthesisError):
+            ops.sem_join(ResultSet(["a"], []), ResultSet(["b"], []),
+                         "zz", "b")
+
+    def test_sem_classify(self):
+        ops = self.make_ops()
+        out = ops.sem_classify(
+            self.reviews(), ["battery", "screen damage", "shipping"],
+            columns=["review"],
+        )
+        labels = out.column("label")
+        assert labels[2] == "screen damage"
+
+    def test_sem_classify_no_labels(self):
+        with pytest.raises(SynthesisError):
+            self.make_ops().sem_classify(self.reviews(), [])
+
+    def test_sem_agg(self):
+        ops = self.make_ops()
+        text = ops.sem_agg(self.reviews(), "battery complaints",
+                           columns=["review"])
+        assert text.startswith("4 rows")
+
+    def test_sem_agg_empty(self):
+        out = self.make_ops().sem_agg(ResultSet(["a"], []), "x")
+        assert out == "No rows matched."
+
+    def test_sem_topk_bad_k(self):
+        with pytest.raises(SynthesisError):
+            self.make_ops().sem_topk(self.reviews(), "x", k=0)

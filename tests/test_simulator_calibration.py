@@ -1,0 +1,101 @@
+"""Statistical calibration of the simulated SLM.
+
+The reproduction's validity rests on the simulator behaving like a
+small LM in the ways the experiments exploit (DESIGN.md §1). These
+tests pin those statistical properties so refactors cannot silently
+break an experiment's premise:
+
+* fabrication rate rises with temperature and with hallucination bias;
+* answer correctness rises with context support;
+* generator confidence correlates with correctness;
+* paraphrase sampling yields surface diversity without semantic
+  divergence when the context is unambiguous.
+"""
+
+import random
+
+import pytest
+
+from repro.metering import CostMeter
+from repro.slm import AnswerGenerator, SLMConfig, SmallLanguageModel
+from repro.slm.entailment import EntailmentJudge
+
+QUESTION = "How much did Alpha Widget sales increase in Q2?"
+STRONG = ["Alpha Widget sales increased 20% in Q2 2024."]
+DISTRACTORS = [
+    "Beta Gadget sales decreased 5% in Q2 2024.",
+    "Gamma Gizmo sales increased 9% in Q1 2024.",
+]
+
+
+def fabrication_rate(bias, temperature, n=80):
+    gen = AnswerGenerator(seed=3, hallucination_bias=bias,
+                          meter=CostMeter())
+    outs = gen.sample_many(QUESTION, STRONG + DISTRACTORS, n,
+                           temperature=temperature, seed=11)
+    return sum(1 for o in outs if not o.grounded) / n
+
+
+def accuracy(contexts, temperature=0.7, n=60):
+    gen = AnswerGenerator(seed=3, meter=CostMeter())
+    outs = gen.sample_many(QUESTION, contexts, n,
+                           temperature=temperature, seed=13)
+    return sum(1 for o in outs if "20" in o.text) / n
+
+
+class TestFabricationMonotonic:
+    def test_rises_with_bias(self):
+        assert fabrication_rate(0.6, 0.7) > fabrication_rate(0.0, 0.7)
+
+    def test_rises_with_temperature(self):
+        assert fabrication_rate(0.0, 1.4) >= fabrication_rate(0.0, 0.2)
+
+    def test_low_bias_low_temp_rarely_fabricates(self):
+        assert fabrication_rate(0.0, 0.2) <= 0.1
+
+
+class TestSupportMonotonic:
+    def test_strong_support_high_accuracy(self):
+        assert accuracy(STRONG + DISTRACTORS) >= 0.7
+
+    def test_no_support_low_accuracy(self):
+        assert accuracy(DISTRACTORS) <= 0.3
+
+    def test_support_ordering(self):
+        assert accuracy(STRONG + DISTRACTORS) > accuracy(DISTRACTORS)
+
+
+class TestConfidenceCorrelation:
+    def test_confidence_tracks_correctness(self):
+        gen = AnswerGenerator(seed=3, meter=CostMeter())
+        outs = gen.sample_many(QUESTION, STRONG + DISTRACTORS, 80,
+                               temperature=1.0, seed=17)
+        correct = [o.confidence for o in outs if "20" in o.text]
+        wrong = [o.confidence for o in outs if "20" not in o.text]
+        if correct and wrong:
+            mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+            assert mean(correct) > mean(wrong)
+
+
+class TestParaphraseBehaviour:
+    def test_surface_diversity_without_semantic_divergence(self):
+        gen = AnswerGenerator(seed=3, meter=CostMeter())
+        outs = gen.sample_many(QUESTION, STRONG, 12,
+                               temperature=0.9, seed=19)
+        texts = [o.text for o in outs]
+        assert len(set(texts)) >= 3  # surface varies
+        judge = EntailmentJudge(meter=CostMeter())
+        grounded = [o.text for o in outs if o.grounded]
+        # All grounded samples are mutually equivalent (one meaning).
+        for text in grounded[1:]:
+            assert judge.equivalent(grounded[0], text), (grounded[0],
+                                                         text)
+
+    def test_greedy_deterministic_core(self):
+        gen = AnswerGenerator(seed=3, meter=CostMeter())
+        outs = [
+            gen.generate(QUESTION, STRONG, temperature=0.1,
+                         rng=random.Random(i)).text
+            for i in range(6)
+        ]
+        assert all("20%" in t for t in outs)

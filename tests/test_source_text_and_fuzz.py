@@ -1,0 +1,114 @@
+"""Tests: source-text columns feeding semantic operators, and SQL
+parser fuzzing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    ExecutionError, PlanError, ReproError, SchemaError, SQLSyntaxError,
+    StorageError,
+)
+from repro.extraction import SOURCE_TEXT_COLUMN, TableGenerator
+from repro.metering import CostMeter
+from repro.semql import SemanticOperators
+from repro.slm import SLMConfig, SmallLanguageModel
+from repro.storage.relational import Database, parse
+from repro.storage.relational.executor import ResultSet
+from repro.text.ner import TYPE_PRODUCT, Gazetteer
+
+REPORTS = [
+    ("r1", "Alpha Widget satisfaction increased 12% in Q2 2024 thanks "
+           "to faster shipping."),
+    ("r2", "Beta Gadget satisfaction decreased 30% in Q2 2024 amid "
+           "battery complaints."),
+]
+
+
+def make_slm():
+    gaz = Gazetteer()
+    gaz.add(TYPE_PRODUCT, ["Alpha Widget", "Beta Gadget"])
+    return SmallLanguageModel(SLMConfig(seed=0), gazetteer=gaz,
+                              meter=CostMeter())
+
+
+class TestSourceTextColumn:
+    def test_column_present_and_filled(self):
+        generated = TableGenerator(
+            make_slm(), include_source_text=True
+        ).generate("facts", REPORTS)
+        records = generated.table.to_dicts()
+        assert all(SOURCE_TEXT_COLUMN in r for r in records)
+        assert any("shipping" in r[SOURCE_TEXT_COLUMN] for r in records)
+
+    def test_off_by_default(self):
+        generated = TableGenerator(make_slm()).generate("facts", REPORTS)
+        assert SOURCE_TEXT_COLUMN not in \
+            generated.table.schema.column_names()
+
+    def test_semantic_filter_over_source_text(self):
+        slm = make_slm()
+        db = Database(meter=CostMeter())
+        TableGenerator(slm, include_source_text=True).generate_into(
+            db, "facts", REPORTS
+        )
+        rows = db.execute(
+            "SELECT subject, source_text FROM facts"
+        )
+        ops = SemanticOperators(slm)
+        battery = ops.sem_filter(
+            rows, "battery complaints and problems",
+            columns=[SOURCE_TEXT_COLUMN], threshold=0.3,
+        )
+        assert len(battery) == 1
+        assert battery.rows[0][0] == "beta gadget"
+
+    def test_scoring_ignores_source_text(self):
+        from repro.extraction import score_generated_cells
+
+        gen = [{"a": 1, SOURCE_TEXT_COLUMN: "blah"}]
+        gold = [{"a": 1}]
+        assert score_generated_cells(gen, gold)["f1"] == 1.0
+
+
+class TestParserFuzz:
+    """The SQL layer may reject input, never crash unexpectedly."""
+
+    ALLOWED = (SQLSyntaxError, SchemaError, PlanError, ExecutionError,
+               StorageError)
+
+    @given(st.text(max_size=80))
+    @settings(max_examples=150)
+    def test_parse_never_crashes(self, text):
+        try:
+            parse(text)
+        except self.ALLOWED:
+            pass
+
+    @given(st.text(
+        alphabet=st.sampled_from(
+            list("SELECTFROMWHEREGROUPBY*(),.'=<>123abc ")
+        ),
+        max_size=60,
+    ))
+    @settings(max_examples=150)
+    def test_sqlish_soup_never_crashes(self, text):
+        db = Database(meter=CostMeter())
+        db.execute("CREATE TABLE t (a INT, b TEXT)")
+        try:
+            db.execute(text)
+        except self.ALLOWED:
+            pass
+
+    @given(st.sampled_from([
+        "SELECT a FROM t WHERE a = ",
+        "SELECT FROM WHERE",
+        "INSERT INTO t VALUES (,)",
+        "UPDATE t SET",
+        "CREATE TABLE (a INT)",
+        "SELECT a, FROM t",
+        "SELECT a FROM t GROUP BY",
+        "SELECT a FROM t ORDER LIMIT",
+    ]))
+    def test_truncated_statements_rejected_cleanly(self, text):
+        with pytest.raises(self.ALLOWED):
+            parse(text)

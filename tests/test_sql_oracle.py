@@ -1,0 +1,250 @@
+"""Differential testing: the SQL engine vs a naive Python oracle.
+
+Hypothesis generates random tables and queries; the engine's results
+must match a straightforward in-Python evaluation. This guards the
+planner/executor against silent wrong-result bugs (index-scan pruning,
+join order, NULL semantics, aggregate edge cases).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metering import CostMeter
+from repro.storage.relational import Database
+
+TEXT_VALUES = ["red", "blue", "green", None]
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=-20, max_value=20),
+        st.sampled_from(TEXT_VALUES),
+        st.one_of(st.none(),
+                  st.floats(min_value=-100, max_value=100,
+                            allow_nan=False, width=32)),
+    ),
+    min_size=0, max_size=25,
+)
+
+comparison_strategy = st.tuples(
+    st.sampled_from(["<", "<=", "=", ">=", ">", "!="]),
+    st.integers(min_value=-15, max_value=15),
+)
+
+
+def make_db(rows):
+    db = Database(meter=CostMeter())
+    db.execute("CREATE TABLE t (a INT, b TEXT, c FLOAT)")
+    for a, b, c in rows:
+        db.table("t").insert((a, b, c))
+    return db
+
+
+def _cmp(op, x, y):
+    if x is None or y is None:
+        return False
+    return {
+        "<": x < y, "<=": x <= y, "=": x == y,
+        ">=": x >= y, ">": x > y, "!=": x != y,
+    }[op]
+
+
+class TestFilterOracle:
+    @given(rows=rows_strategy, comparison=comparison_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_where_on_int(self, rows, comparison):
+        op, literal = comparison
+        db = make_db(rows)
+        got = db.execute(
+            "SELECT a FROM t WHERE a %s %d ORDER BY a" % (op, literal)
+        ).column("a")
+        want = sorted(a for a, _, _ in rows if _cmp(op, a, literal))
+        assert got == want
+
+    @given(rows=rows_strategy,
+           color=st.sampled_from(["red", "blue", "green"]))
+    @settings(max_examples=40, deadline=None)
+    def test_where_on_text_with_index(self, rows, color):
+        db = make_db(rows)
+        db.create_index("t", "b")
+        got = sorted(db.execute(
+            "SELECT a FROM t WHERE b = '%s'" % color
+        ).column("a"))
+        want = sorted(a for a, b, _ in rows if b == color)
+        assert got == want
+
+    @given(rows=rows_strategy, comparison=comparison_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_null_never_matches(self, rows, comparison):
+        op, literal = comparison
+        db = make_db(rows)
+        got = db.execute(
+            "SELECT b FROM t WHERE c %s %d" % (op, literal)
+        )
+        # No row with NULL c may pass a comparison predicate.
+        kept = db.execute(
+            "SELECT COUNT(*) FROM t WHERE c %s %d AND c IS NULL"
+            % (op, literal)
+        ).scalar()
+        assert kept == 0
+
+
+class TestAggregateOracle:
+    @given(rows=rows_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_global_aggregates(self, rows):
+        db = make_db(rows)
+        rs = db.execute(
+            "SELECT COUNT(*) AS n, SUM(a) AS s, MIN(a) AS lo, "
+            "MAX(a) AS hi, AVG(a) AS mean FROM t"
+        )
+        record = rs.to_dicts()[0]
+        ints = [a for a, _, _ in rows]
+        assert record["n"] == len(rows)
+        if ints:
+            assert record["s"] == pytest.approx(sum(ints))
+            assert record["lo"] == min(ints)
+            assert record["hi"] == max(ints)
+            assert record["mean"] == pytest.approx(
+                sum(ints) / len(ints)
+            )
+        else:
+            assert record["s"] is None and record["mean"] is None
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_group_by_counts(self, rows):
+        db = make_db(rows)
+        rs = db.execute(
+            "SELECT b, COUNT(*) AS n FROM t GROUP BY b"
+        )
+        got = {row[0]: row[1] for row in rs.rows}
+        want = {}
+        for _, b, _ in rows:
+            want[b] = want.get(b, 0) + 1
+        assert got == want
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_sum_skips_nulls(self, rows):
+        db = make_db(rows)
+        got = db.execute("SELECT SUM(c) FROM t").scalar()
+        values = [c for _, _, c in rows if c is not None]
+        if values:
+            assert got == pytest.approx(sum(values), rel=1e-5)
+        else:
+            assert got is None
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_count_distinct(self, rows):
+        db = make_db(rows)
+        got = db.execute("SELECT COUNT(DISTINCT b) FROM t").scalar()
+        assert got == len({b for _, b, _ in rows if b is not None})
+
+
+class TestOrderLimitOracle:
+    @given(rows=rows_strategy,
+           limit=st.integers(min_value=1, max_value=10),
+           offset=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_order_limit_offset(self, rows, limit, offset):
+        db = make_db(rows)
+        got = db.execute(
+            "SELECT a FROM t ORDER BY a LIMIT %d OFFSET %d"
+            % (limit, offset)
+        ).column("a")
+        want = sorted(a for a, _, _ in rows)[offset:offset + limit]
+        assert got == want
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_order_desc_reverses(self, rows):
+        db = make_db(rows)
+        asc = db.execute("SELECT a FROM t ORDER BY a").column("a")
+        desc = db.execute("SELECT a FROM t ORDER BY a DESC").column("a")
+        assert desc == list(reversed(asc))
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_matches_set(self, rows):
+        db = make_db(rows)
+        got = db.execute("SELECT DISTINCT a FROM t").column("a")
+        assert sorted(got) == sorted({a for a, _, _ in rows})
+
+
+class TestJoinOracle:
+    @given(left=rows_strategy, right=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_inner_equi_join(self, left, right):
+        db = Database(meter=CostMeter())
+        db.execute("CREATE TABLE l (a INT, b TEXT, c FLOAT)")
+        db.execute("CREATE TABLE r (a INT, b TEXT, c FLOAT)")
+        for row in left:
+            db.table("l").insert(row)
+        for row in right:
+            db.table("r").insert(row)
+        rs = db.execute(
+            "SELECT l.a, r.a FROM l JOIN r ON l.a = r.a"
+        )
+        got = sorted(rs.rows)
+        want = sorted(
+            (la, ra)
+            for la, _, _ in left for ra, _, _ in right if la == ra
+        )
+        assert got == want
+
+    @given(left=rows_strategy, right=rows_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_left_join_preserves_left_rows(self, left, right):
+        db = Database(meter=CostMeter())
+        db.execute("CREATE TABLE l (a INT, b TEXT, c FLOAT)")
+        db.execute("CREATE TABLE r (a INT, b TEXT, c FLOAT)")
+        for row in left:
+            db.table("l").insert(row)
+        for row in right:
+            db.table("r").insert(row)
+        rs = db.execute(
+            "SELECT l.a, r.a FROM l LEFT JOIN r ON l.a = r.a"
+        )
+        right_keys = {ra for ra, _, _ in right}
+        # Every left row appears: matched rows fan out, unmatched rows
+        # appear exactly once with NULL.
+        expected = 0
+        for la, _, _ in left:
+            matches = sum(1 for ra, _, _ in right if ra == la)
+            expected += matches if matches else 1
+        assert len(rs.rows) == expected
+        for la, ra in rs.rows:
+            if ra is None:
+                assert la not in right_keys
+            else:
+                assert la == ra
+
+
+class TestUpdateDeleteOracle:
+    @given(rows=rows_strategy, comparison=comparison_strategy,
+           new_value=st.integers(min_value=-30, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_update_matches_oracle(self, rows, comparison, new_value):
+        op, literal = comparison
+        db = make_db(rows)
+        db.execute(
+            "UPDATE t SET a = %d WHERE a %s %d" % (new_value, op, literal)
+        )
+        got = sorted(db.execute("SELECT a FROM t").column("a"))
+        want = sorted(
+            new_value if _cmp(op, a, literal) else a for a, _, _ in rows
+        )
+        assert got == want
+
+    @given(rows=rows_strategy, comparison=comparison_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_delete_matches_oracle(self, rows, comparison):
+        op, literal = comparison
+        db = make_db(rows)
+        db.execute("DELETE FROM t WHERE a %s %d" % (op, literal))
+        got = sorted(db.execute("SELECT a FROM t").column("a"))
+        want = sorted(a for a, _, _ in rows if not _cmp(op, a, literal))
+        assert got == want

@@ -1,0 +1,189 @@
+"""Tests for stemmer, stopwords, patterns, POS and NER."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text import patterns as pat
+from repro.text.ner import (
+    TYPE_METRIC, TYPE_MISC, TYPE_PRODUCT, EntityRecognizer, Gazetteer,
+)
+from repro.text.pos import NOUN, NUM, PROPN, VERB, tag
+from repro.text.stemmer import stem, stem_all
+from repro.text.stopwords import content_words, is_stopword
+
+
+class TestStemmer:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("motoring", "motor"),
+            ("conflated", "conflat"),
+            ("happy", "happi"),
+            ("relational", "relat"),
+            ("rational", "ration"),
+            ("adjustable", "adjust"),
+            ("effective", "effect"),
+            ("probate", "probat"),
+            ("controll", "control"),
+        ],
+    )
+    def test_known_stems(self, word, expected):
+        assert stem(word) == expected
+
+    def test_short_words_unchanged(self):
+        assert stem("go") == "go"
+        assert stem("is") == "is"
+
+    def test_stem_all_preserves_order(self):
+        assert stem_all(["sales", "increased"]) == ["sale", "increas"]
+
+    def test_case_insensitive(self):
+        assert stem("Running") == stem("running")
+
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                   min_size=1, max_size=20))
+    def test_stem_idempotent_under_repeat_is_stable(self, word):
+        once = stem(word)
+        assert isinstance(once, str)
+        assert len(once) <= len(word) + 1  # at most one char grows ("e" add)
+
+
+class TestStopwords:
+    def test_the_is_stopword(self):
+        assert is_stopword("The")
+
+    def test_sales_is_not(self):
+        assert not is_stopword("sales")
+
+    def test_content_words_drop_stopwords(self):
+        assert content_words(["the", "total", "sales"]) == ["total", "sales"]
+
+    def test_content_words_keep_numbers_by_default(self):
+        assert "20%" in content_words(["20%", "of", "sales"])
+
+    def test_content_words_drop_numbers_when_asked(self):
+        assert content_words(["20%", "sales"], keep_numbers=False) == ["sales"]
+
+
+class TestPatterns:
+    def test_percent(self):
+        hits = pat.find_patterns("sales rose 20% in Q2")
+        kinds = {m.kind for m in hits}
+        assert pat.KIND_PERCENT in kinds and pat.KIND_QUARTER in kinds
+
+    def test_percent_shadows_number(self):
+        hits = pat.find_patterns("rose 20%")
+        assert [m.kind for m in hits] == [pat.KIND_PERCENT]
+
+    def test_money_with_scale(self):
+        hits = pat.find_patterns("revenue of $1.5 million this year")
+        assert any(m.kind == pat.KIND_MONEY for m in hits)
+
+    def test_iso_date(self):
+        hits = pat.find_patterns("admitted on 2024-03-15")
+        assert any(m.kind == pat.KIND_DATE for m in hits)
+
+    def test_text_date(self):
+        hits = pat.find_patterns("on March 15, 2024 the trial began")
+        assert any(m.kind == pat.KIND_DATE for m in hits)
+
+    def test_structured_id(self):
+        hits = pat.find_patterns("patient PAT-0042 received")
+        assert any(m.kind == pat.KIND_ID for m in hits)
+
+    def test_word_quarter(self):
+        hits = pat.find_patterns("in the second quarter of 2024")
+        assert any(m.kind == pat.KIND_QUARTER for m in hits)
+
+    def test_normalize_quarter(self):
+        assert pat.normalize_quarter("second quarter of 2024") == "Q2 2024"
+        assert pat.normalize_quarter("Q3") == "Q3"
+
+    def test_normalize_percent(self):
+        assert pat.normalize_percent("+20%") == 20.0
+        assert pat.normalize_percent("-3.5 %") == -3.5
+
+    def test_normalize_money(self):
+        assert pat.normalize_money("$1.5 million") == 1.5e6
+        assert pat.normalize_money("$1,299.99") == pytest.approx(1299.99)
+
+    def test_matches_sorted_by_position(self):
+        hits = pat.find_patterns("Q1 then 20% then $5")
+        starts = [m.start for m in hits]
+        assert starts == sorted(starts)
+
+
+class TestPOS:
+    def test_basic_tags(self):
+        tags = [t.tag for t in tag("Sales increased 20%")]
+        assert tags == [NOUN, VERB, NUM]
+
+    def test_proper_noun_mid_sentence(self):
+        tagged = tag("the Alpha Widget sells well")
+        assert tagged[1].tag == PROPN
+
+    def test_determiner_coerces_verb_to_noun(self):
+        tagged = tag("the increased revenue")
+        assert tagged[1].tag == NOUN
+
+    def test_punct(self):
+        assert tag("end.")[-1].tag == "PUNCT"
+
+    def test_empty(self):
+        assert tag("") == []
+
+
+class TestNER:
+    def test_gazetteer_hit(self):
+        gaz = Gazetteer()
+        gaz.add(TYPE_PRODUCT, ["Alpha Widget"])
+        rec = EntityRecognizer(gaz)
+        ents = rec.recognize("The Alpha Widget sold well in Q2")
+        types = {e.etype for e in ents}
+        assert TYPE_PRODUCT in types and pat.KIND_QUARTER in types
+
+    def test_gazetteer_case_insensitive(self):
+        rec = EntityRecognizer()
+        rec.add_gazetteer(TYPE_PRODUCT, ["alpha widget"])
+        ents = rec.recognize("ALPHA WIDGET shipped")
+        assert any(e.etype == TYPE_PRODUCT for e in ents)
+
+    def test_norm_is_canonical(self):
+        rec = EntityRecognizer()
+        rec.add_gazetteer(TYPE_PRODUCT, ["Alpha Widget"])
+        ents = rec.recognize("the ALPHA widget again")
+        prods = [e for e in ents if e.etype == TYPE_PRODUCT]
+        assert prods and prods[0].norm == "alpha widget"
+
+    def test_metric_terms(self):
+        ents = EntityRecognizer().recognize("total sales and revenue grew")
+        metrics = {e.norm for e in ents if e.etype == TYPE_METRIC}
+        assert {"sales", "revenue"} <= metrics
+
+    def test_shape_entity(self):
+        ents = EntityRecognizer().recognize("we met Globex Corporation today")
+        assert any(e.etype == TYPE_MISC and "globex" in e.norm for e in ents)
+
+    def test_no_overlapping_spans(self):
+        gaz = Gazetteer()
+        gaz.add(TYPE_PRODUCT, ["Alpha Widget", "Widget"])
+        ents = EntityRecognizer(gaz).recognize("Alpha Widget is here")
+        spans = sorted(e.span for e in ents)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_entity_keys_helper(self):
+        rec = EntityRecognizer()
+        rec.add_gazetteer(TYPE_PRODUCT, ["Alpha Widget"])
+        assert "alpha widget" in rec.entity_keys("buy the Alpha Widget now")
+
+    def test_offsets_match_source(self):
+        text = "PAT-0042 received DrugX on 2024-01-02"
+        for ent in EntityRecognizer().recognize(text):
+            assert text[ent.start:ent.end] == ent.text
