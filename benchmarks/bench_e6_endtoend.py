@@ -42,6 +42,7 @@ from repro.text.ner import Gazetteer
 from _common import emit
 
 RESULTS = []
+STAGE_ROWS = []
 
 
 @pytest.fixture(scope="module")
@@ -58,8 +59,22 @@ def _measure(system_name, build_fn, lake, suite):
     meter = CostMeter()
     system, extras = build_fn(lake, meter)
     build_cost = meter.snapshot()
-    result = run_qa_suite(system, suite)
+    result = run_qa_suite(system, suite, warmup=1, repeats=3, trace=True)
     n = len(suite)
+    for stage in sorted(result.stages):
+        entry = result.stages[stage]
+        top_cost = ", ".join(
+            "%s=%d" % (name, amount) for name, amount in sorted(
+                entry["cost"].items(), key=lambda kv: (-kv[1], kv[0])
+            )[:2]
+        )
+        STAGE_ROWS.append({
+            "system": system_name,
+            "stage": stage,
+            "calls": entry["calls"],
+            "self_s": round(entry["seconds"], 4),
+            "top_cost": top_cost or "-",
+        })
     row = {
         "system": system_name,
         "build_embed": build_cost.get(EMBEDDING_CALLS, 0),
@@ -113,9 +128,15 @@ def test_e6_dense_rag(benchmark, lake, suite):
 def test_e6_report(benchmark):
     benchmark(lambda: None)
     assert len(RESULTS) >= 2, "E6 systems must run first"
-    emit("e6_endtoend", render_table(
+    report = render_table(
         RESULTS, title="E6 — End-to-end cost and accuracy"
-    ))
+    )
+    if STAGE_ROWS:
+        report += "\n\n" + render_table(
+            STAGE_ROWS,
+            title="E6 — Per-stage breakdown (self time over the suite)",
+        )
+    emit("e6_endtoend", report)
     by_system = {r["system"]: r for r in RESULTS}
     hybrid, rag = by_system["hybrid"], by_system["dense_rag"]
     # Hybrid answers without per-query embedding passes.

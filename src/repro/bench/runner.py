@@ -14,10 +14,11 @@ score accuracy, abstention and metered cost identically.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 from ..metering import CostMeter
+from ..obs import Tracer, aggregate_stages
 from ..qa.answer import Answer
 from ..qa.pipeline import HybridQAPipeline
 from ..qa.tableqa import TableQAEngine
@@ -44,7 +45,13 @@ class QASystem:
 
 @dataclass
 class SuiteResult:
-    """Aggregated outcome of one system over one QA suite."""
+    """Aggregated outcome of one system over one QA suite.
+
+    ``total_seconds`` is the best (minimum) timed pass when the suite
+    ran with repeats; ``stages`` holds the per-stage trace breakdown
+    (span name → calls / self seconds / self cost) when tracing was
+    requested, empty otherwise.
+    """
 
     system: str
     per_kind_accuracy: Dict[str, float]
@@ -53,6 +60,7 @@ class SuiteResult:
     abstention_rate: float
     total_seconds: float
     cost: Dict[str, int]
+    stages: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def row(self) -> Dict[str, Any]:
         """Flat dict for table rendering."""
@@ -169,9 +177,8 @@ def build_rag_system(lake, seed: int = 0, k: int = 4,
 # ----------------------------------------------------------------------
 # Suite execution
 # ----------------------------------------------------------------------
-def run_qa_suite(system: QASystem,
-                 pairs: Sequence[QAPair]) -> SuiteResult:
-    """Answer every pair, scoring accuracy/abstention per kind."""
+def _run_pass(system: QASystem, pairs: Sequence[QAPair]):
+    """One scored pass: (correct, counts, abstained, seconds, cost)."""
     correct: Dict[str, int] = {}
     counts: Dict[str, int] = {}
     abstained = 0
@@ -185,6 +192,39 @@ def run_qa_suite(system: QASystem,
         if pair.is_correct(answer):
             correct[pair.kind] = correct.get(pair.kind, 0) + 1
     elapsed = time.perf_counter() - started
+    return correct, counts, abstained, elapsed, system.meter.diff(before)
+
+
+def run_qa_suite(system: QASystem, pairs: Sequence[QAPair],
+                 warmup: int = 0, repeats: int = 1,
+                 trace: bool = False) -> SuiteResult:
+    """Answer every pair, scoring accuracy/abstention per kind.
+
+    ``warmup`` passes run first and are discarded (caches, lazy init);
+    the suite then runs ``repeats`` timed passes and reports the
+    *minimum* wall time — the standard noise-robust estimator.
+    Accuracy, abstention and cost come from the first timed pass (the
+    systems are deterministic, so every pass scores identically).
+    With ``trace`` a final untimed pass runs under a tracer and the
+    per-stage breakdown lands in :attr:`SuiteResult.stages` — kept out
+    of the timed passes so tracing overhead never pollutes timings.
+    """
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        _run_pass(system, pairs)
+    passes = [_run_pass(system, pairs) for _ in range(repeats)]
+    correct, counts, abstained, _, cost = passes[0]
+    best_seconds = min(elapsed for _, _, _, elapsed, _ in passes)
+    stages: Dict[str, Dict[str, Any]] = {}
+    if trace:
+        tracer = Tracer(meter=system.meter)
+        with tracer.activate():
+            for pair in pairs:
+                system.answer(pair.question)
+        stages = aggregate_stages(tracer)
     per_kind = {
         kind: correct.get(kind, 0) / counts[kind] for kind in counts
     }
@@ -195,14 +235,16 @@ def run_qa_suite(system: QASystem,
         per_kind_counts=counts,
         overall_accuracy=sum(correct.values()) / total if total else 0.0,
         abstention_rate=abstained / total if total else 0.0,
-        total_seconds=elapsed,
-        cost=system.meter.diff(before),
+        total_seconds=best_seconds,
+        cost=cost,
+        stages=stages,
     )
 
 
 def run_all_systems(lake, pairs: Sequence[QAPair], seed: int = 0,
-                    include_rag_topology: bool = False
-                    ) -> List[SuiteResult]:
+                    include_rag_topology: bool = False,
+                    warmup: int = 0, repeats: int = 1,
+                    trace: bool = False) -> List[SuiteResult]:
     """E2's comparison: hybrid vs text2sql vs rag on the same suite.
 
     With ``include_rag_topology`` a fourth system runs: RAG over the
@@ -217,4 +259,8 @@ def run_all_systems(lake, pairs: Sequence[QAPair], seed: int = 0,
         systems.append(
             build_rag_system(lake, seed=seed, retriever_kind="topology")
         )
-    return [run_qa_suite(system, pairs) for system in systems]
+    return [
+        run_qa_suite(system, pairs, warmup=warmup, repeats=repeats,
+                     trace=trace)
+        for system in systems
+    ]

@@ -11,19 +11,38 @@ Subcommands:
 * ``sql --domain D "SELECT ..."`` — run raw SQL against the lake's
   curated+generated tables.
 
-Usage: ``python -m repro.cli demo --domain ecommerce``
+Every subcommand accepts ``--trace``: after the command's own output it
+prints the recorded span tree (nested stages, wall time, per-span cost
+deltas — see ``docs/observability.md``).
+
+Usage: ``python -m repro.cli demo --domain ecommerce --trace``
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
 
 from .bench import (
     HealthSpec, LakeSpec, generate_ecommerce_lake, generate_healthcare_lake,
 )
 from .bench.runner import build_hybrid_system
+from .obs import Tracer, render_trace
+
+
+@contextmanager
+def _tracing(args, pipeline):
+    """Activate a tracer for the command body and print the span tree."""
+    if not getattr(args, "trace", False):
+        yield None
+        return
+    tracer = Tracer(meter=pipeline.meter)
+    with tracer.activate():
+        yield tracer
+    print("\ntrace:")
+    print(render_trace(tracer))
 
 
 def _build(domain: str, seed: int):
@@ -42,30 +61,32 @@ def cmd_demo(args) -> int:
     lake, pipeline = _build(args.domain, args.seed)
     pairs = lake.qa_pairs(per_kind=2)
     correct = 0
-    for pair in pairs:
-        answer = pipeline.answer(pair.question)
-        ok = pair.is_correct(answer)
-        correct += ok
-        print("[%s] %s" % ("ok " if ok else "ERR", pair.question))
-        print("      -> %s  (route=%s)" % (
-            answer.text or "<abstain>", answer.metadata.get("route")))
-    print("\n%d/%d correct" % (correct, len(pairs)))
+    with _tracing(args, pipeline):
+        for pair in pairs:
+            answer = pipeline.answer(pair.question)
+            ok = pair.is_correct(answer)
+            correct += ok
+            print("[%s] %s" % ("ok " if ok else "ERR", pair.question))
+            print("      -> %s  (route=%s)" % (
+                answer.text or "<abstain>", answer.metadata.get("route")))
+        print("\n%d/%d correct" % (correct, len(pairs)))
     return 0
 
 
 def cmd_ask(args) -> int:
     """Answer one user question."""
     _, pipeline = _build(args.domain, args.seed)
-    answer, estimate = pipeline.answer_with_uncertainty(args.question)
-    print(answer.text or "<abstain>")
-    if answer.provenance:
-        print("provenance: %s" % "; ".join(answer.provenance[:3]))
-    if estimate is not None:
-        print("semantic entropy: %.3f (%d clusters / %d samples)%s" % (
-            estimate.entropy, estimate.n_clusters, estimate.n_samples,
-            "  ** NEEDS REVIEW **"
-            if answer.metadata.get("needs_review") else "",
-        ))
+    with _tracing(args, pipeline):
+        answer, estimate = pipeline.answer_with_uncertainty(args.question)
+        print(answer.text or "<abstain>")
+        if answer.provenance:
+            print("provenance: %s" % "; ".join(answer.provenance[:3]))
+        if estimate is not None:
+            print("semantic entropy: %.3f (%d clusters / %d samples)%s" % (
+                estimate.entropy, estimate.n_clusters, estimate.n_samples,
+                "  ** NEEDS REVIEW **"
+                if answer.metadata.get("needs_review") else "",
+            ))
     return 0 if not answer.abstained else 1
 
 
@@ -99,23 +120,25 @@ def cmd_session(args) -> int:
     _, pipeline = _build(args.domain, args.seed)
     session = QASession(pipeline)
     stream = args._stdin if args._stdin is not None else sys.stdin
-    for raw in stream:
-        question = raw.strip()
-        if not question:
-            break
-        answer = session.ask(question)
-        resolved = answer.metadata.get("rewritten")
-        if resolved:
-            print("(resolved: %s)" % resolved)
-        print(answer.text or "<abstain>")
+    with _tracing(args, pipeline):
+        for raw in stream:
+            question = raw.strip()
+            if not question:
+                break
+            answer = session.ask(question)
+            resolved = answer.metadata.get("rewritten")
+            if resolved:
+                print("(resolved: %s)" % resolved)
+            print(answer.text or "<abstain>")
     return 0
 
 
 def cmd_sql(args) -> int:
     """Run raw SQL against the lake database."""
     _, pipeline = _build(args.domain, args.seed)
-    result = pipeline.db.execute(args.query)
-    print(result.pretty(max_rows=args.max_rows))
+    with _tracing(args, pipeline):
+        result = pipeline.db.execute(args.query)
+        print(result.pretty(max_rows=args.max_rows))
     return 0
 
 
@@ -131,6 +154,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--domain", default="ecommerce",
                        choices=["ecommerce", "healthcare"])
         p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--trace", action="store_true",
+                       help="print the span tree after the command")
 
     demo = sub.add_parser("demo", help=cmd_demo.__doc__)
     common(demo)

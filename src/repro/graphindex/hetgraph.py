@@ -13,6 +13,7 @@ from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import GraphIndexError
 from ..metering import EDGES_TRAVERSED, CostMeter, GLOBAL_METER
+from ..obs import span
 from .nodes import (
     NODE_CHUNK, NODE_ENTITY, NODE_KINDS, NODE_RECORD, GraphEdge, GraphNode,
 )
@@ -191,6 +192,14 @@ class HeterogeneousGraph:
         """
         if max_depth < 0:
             raise GraphIndexError("max_depth must be >= 0")
+        with span("graph.bfs", max_depth=max_depth) as sp:
+            depths = self._bfs(sources, max_depth, edge_kinds, max_nodes)
+            sp.set("reached", len(depths))
+        return depths
+
+    def _bfs(self, sources: Iterable[str], max_depth: int,
+             edge_kinds: Optional[Iterable[str]],
+             max_nodes: Optional[int]) -> Dict[str, int]:
         depths: Dict[str, int] = {}
         queue: deque = deque()
         for source in sources:

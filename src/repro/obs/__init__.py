@@ -1,0 +1,21 @@
+"""Structured tracing and metrics for the hybrid QA pipeline.
+
+Zero-dependency observability: :class:`Tracer` + :func:`span` produce
+per-query trace trees with wall time and :class:`~repro.metering.CostMeter`
+deltas per stage; :class:`MetricsRegistry` keeps process-wide counters
+and latency histograms; exporters render either as JSON or aligned
+text. See ``docs/observability.md`` for the span taxonomy.
+"""
+
+from .export import aggregate_stages, render_trace, trace_to_json
+from .metrics import (
+    Counter, Histogram, MetricsRegistry, REGISTRY, incr, observe,
+)
+from .tracer import Span, Tracer, active_tracer, install, span
+
+__all__ = [
+    "Span", "Tracer", "active_tracer", "install", "span",
+    "Counter", "Histogram", "MetricsRegistry", "REGISTRY", "incr",
+    "observe",
+    "aggregate_stages", "render_trace", "trace_to_json",
+]

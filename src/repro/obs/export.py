@@ -1,0 +1,117 @@
+"""Trace exporters: JSON for machines, an aligned tree for terminals.
+
+``render_trace`` is what ``repro.cli --trace`` prints: one line per
+span, indented by nesting depth, with wall-time and cost columns.
+``trace_to_json`` feeds the same tree to external tooling, and
+``aggregate_stages`` folds a trace forest into per-stage totals for
+benchmark tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from .tracer import Span, Tracer
+
+TraceLike = Union[Tracer, Span, Sequence[Span]]
+
+
+def _roots(trace: TraceLike) -> List[Span]:
+    if isinstance(trace, Tracer):
+        return list(trace.roots)
+    if isinstance(trace, Span):
+        return [trace]
+    return list(trace)
+
+
+def trace_to_json(trace: TraceLike, indent: Optional[int] = 2) -> str:
+    """Serialize a tracer / span / span list as a JSON array."""
+    return json.dumps(
+        [root.to_dict() for root in _roots(trace)], indent=indent,
+        sort_keys=True, default=str,
+    )
+
+
+def _cost_text(cost: Dict[str, int], limit: int = 4) -> str:
+    parts = [
+        "%s=%d" % (name, amount)
+        for name, amount in sorted(
+            cost.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        if amount
+    ]
+    if len(parts) > limit:
+        parts = parts[:limit] + ["+%d more" % (len(parts) - limit)]
+    return " ".join(parts)
+
+
+def _attr_text(attrs: Dict[str, Any], budget: int = 48) -> str:
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, float):
+            parts.append("%s=%.4g" % (key, value))
+        else:
+            text = str(value)
+            if len(text) > budget:
+                text = text[: budget - 1] + "…"
+            parts.append("%s=%s" % (key, text))
+    return " ".join(parts)
+
+
+def render_trace(trace: TraceLike, show_attrs: bool = True) -> str:
+    """Pretty-print a trace tree with wall-time and cost columns.
+
+    One row per span::
+
+        qa.answer                12.34 ms  rows_scanned=40 tagging_calls=3
+          qa.route                0.41 ms  tagging_calls=1
+
+    Spans are indented by depth; the duration column is inclusive wall
+    time, the cost column the span's inclusive meter delta.
+    """
+    roots = _roots(trace)
+    if not roots:
+        return "(no spans recorded)"
+    rows: List[tuple] = []
+
+    def visit(node: Span, depth: int) -> None:
+        rows.append((depth, node))
+        for child in node.children:
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+    name_width = max(len("  " * d + s.name) for d, s in rows)
+    name_width = max(name_width, len("span"))
+    lines = ["%-*s  %11s  %s" % (name_width, "span", "wall", "cost")]
+    for depth, node in rows:
+        label = "  " * depth + node.name
+        cost = _cost_text(node.cost)
+        attrs = _attr_text(node.attrs) if show_attrs and node.attrs else ""
+        tail = "  ".join(part for part in (cost, attrs) if part)
+        lines.append("%-*s  %8.3f ms  %s" % (
+            name_width, label, node.duration * 1000.0, tail,
+        ))
+    return "\n".join(lines)
+
+
+def aggregate_stages(trace: TraceLike) -> Dict[str, Dict[str, Any]]:
+    """Fold a trace into per-stage totals keyed by span name.
+
+    Each entry carries ``calls``, ``seconds`` (self time, so stages sum
+    to total traced wall time without double counting) and the merged
+    self-cost counters — the per-stage breakdown benchmark tables show.
+    """
+    stages: Dict[str, Dict[str, Any]] = {}
+    for root in _roots(trace):
+        for node in root.walk():
+            entry = stages.setdefault(
+                node.name, {"calls": 0, "seconds": 0.0, "cost": {}}
+            )
+            entry["calls"] += 1
+            entry["seconds"] += node.self_duration
+            for name, amount in node.self_cost.items():
+                entry["cost"][name] = entry["cost"].get(name, 0) + amount
+    return stages

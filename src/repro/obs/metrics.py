@@ -1,0 +1,182 @@
+"""Process-wide metrics: named counters and streaming histograms.
+
+The registry complements tracing: spans answer "where did *this* query
+spend its budget", metrics answer "what is the system doing over time"
+(answer latency distribution, fusion candidate pools, rows scanned).
+Everything is plain Python — a counter increment is one dict lookup and
+an integer add, cheap enough to record unconditionally.
+
+Canonical metric names used across the library:
+
+* ``qa.answer.count`` / ``qa.answer.latency`` — pipeline answers;
+* ``retrieval.fusion.candidates`` — RRF merged pool size per query;
+* ``sql.statements`` / ``sql.rows_scanned`` — relational engine work.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+# Bound the per-histogram sample reservoir so long-running processes
+# keep constant memory; quantiles are over the most recent window.
+_RESERVOIR = 1024
+
+
+class Counter:
+    """A named monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counter increments must be non-negative")
+        self.value += amount
+
+
+class Histogram:
+    """Streaming summary of observed values.
+
+    Keeps exact count/sum/min/max plus a bounded reservoir of the most
+    recent observations for quantile estimates.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_recent")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._recent: Deque[float] = deque(maxlen=_RESERVOIR)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self._recent.append(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate quantile over the recent-observation window."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._recent:
+            return None
+        ordered = sorted(self._recent)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def summary(self) -> Dict[str, Any]:
+        """count/mean/min/max/p50/p95 as a plain dict."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+        }
+
+
+class MetricsRegistry:
+    """A named bag of counters and histograms.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("sql.statements").inc()
+    >>> registry.histogram("qa.answer.latency").observe(0.25)
+    >>> registry.snapshot()["counters"]["sql.statements"]
+    1
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter named *name*, created on first use."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named *name*, created on first use."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All metric values as one JSON-ready dict."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize :meth:`snapshot` as JSON text."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Fixed-width text rendering (for CLI and reports)."""
+        lines = []
+        if self._counters:
+            lines.append("counters:")
+            width = max(len(n) for n in self._counters)
+            for name in sorted(self._counters):
+                lines.append("  %-*s %d" % (
+                    width, name, self._counters[name].value
+                ))
+        if self._histograms:
+            lines.append("histograms:")
+            width = max(len(n) for n in self._histograms)
+            for name in sorted(self._histograms):
+                s = self._histograms[name].summary()
+                lines.append(
+                    "  %-*s count=%d mean=%.6g min=%.6g max=%.6g" % (
+                        width, name, s["count"], s["mean"],
+                        s["min"] or 0.0, s["max"] or 0.0,
+                    )
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def reset(self) -> None:
+        """Drop every counter and histogram."""
+        self._counters.clear()
+        self._histograms.clear()
+
+
+REGISTRY = MetricsRegistry()
+"""Process-wide default registry used by the helpers below."""
+
+
+def incr(name: str, amount: int = 1) -> None:
+    """Increment a counter in the process-wide registry."""
+    REGISTRY.counter(name).inc(amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation in the process-wide registry."""
+    REGISTRY.histogram(name).observe(value)

@@ -1,0 +1,210 @@
+"""Structured tracing: nested spans over one query's execution.
+
+A :class:`Tracer` produces a per-query trace tree. Each :class:`Span`
+records wall time (``time.perf_counter``) and — when the tracer holds a
+:class:`~repro.metering.CostMeter` — the meter's counter deltas over the
+span, so benchmarks can attribute *work* (rows scanned, model calls,
+edges traversed) to pipeline stages, not just seconds.
+
+Tracing is strictly opt-in. Library code opens spans through the
+module-level :func:`span` helper, which returns a shared no-op span
+when no tracer is installed — the disabled fast path is one global read
+plus a null context manager, cheap enough to leave in hot paths.
+Installing a tracer (usually via :meth:`Tracer.activate`) routes the
+same call sites into real span objects. Instrumentation is passive by
+design: it never touches RNG state or answer payloads, so traced and
+untraced runs return byte-identical results (pinned by
+``tests/test_determinism.py``).
+
+The tracer is deliberately not thread-safe: one tracer observes one
+query pipeline at a time, matching the repo's single-process benches.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..metering import CostMeter
+
+
+class Span:
+    """One timed node of a trace tree.
+
+    ``cost`` is the *inclusive* :class:`CostMeter` delta over the span
+    (children included); :attr:`self_cost` subtracts the children so
+    per-span work sums to the global meter without double counting.
+    """
+
+    __slots__ = ("name", "attrs", "children", "started", "ended", "cost")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attrs: Dict[str, Any] = attrs or {}
+        self.children: List["Span"] = []
+        self.started: float = 0.0
+        self.ended: Optional[float] = None
+        self.cost: Dict[str, int] = {}
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (to now when the span is still open)."""
+        end = self.ended if self.ended is not None else time.perf_counter()
+        return end - self.started
+
+    @property
+    def self_cost(self) -> Dict[str, int]:
+        """Cost delta excluding work charged inside child spans."""
+        own = dict(self.cost)
+        for child in self.children:
+            for name, amount in child.cost.items():
+                own[name] = own.get(name, 0) - amount
+        return {name: amount for name, amount in own.items() if amount}
+
+    @property
+    def self_duration(self) -> float:
+        """Wall seconds excluding time spent inside child spans."""
+        return self.duration - sum(c.duration for c in self.children)
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span."""
+        self.attrs[key] = value
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span, then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """All spans named *name* in this subtree."""
+        return [s for s in self.walk() if s.name == name]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation of the subtree."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "duration_s": self.duration,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.cost:
+            out["cost"] = dict(self.cost)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:
+        return "Span(%r, %.6fs, %d children)" % (
+            self.name, self.duration, len(self.children)
+        )
+
+
+class Tracer:
+    """Collects a forest of span trees for one (or more) queries.
+
+    Parameters
+    ----------
+    meter:
+        Optional :class:`CostMeter`; when given, every span records the
+        meter's counter deltas alongside wall time.
+    """
+
+    def __init__(self, meter: Optional[CostMeter] = None):
+        self.meter = meter
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a child span of the innermost open span (or a new root)."""
+        node = Span(name, attrs or None)
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        before = self.meter.snapshot() if self.meter is not None else None
+        self._stack.append(node)
+        node.started = time.perf_counter()
+        try:
+            yield node
+        finally:
+            node.ended = time.perf_counter()
+            self._stack.pop()
+            if before is not None:
+                node.cost = self.meter.diff(before)
+
+    def spans(self) -> Iterator[Span]:
+        """Every recorded span, depth-first across all roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> List[Span]:
+        """All recorded spans named *name*."""
+        return [s for s in self.spans() if s.name == name]
+
+    @property
+    def last(self) -> Optional[Span]:
+        """The most recent root span (None when nothing recorded)."""
+        return self.roots[-1] if self.roots else None
+
+    def reset(self) -> None:
+        """Drop all recorded spans (open spans keep nesting correctly)."""
+        self.roots = []
+
+    @contextmanager
+    def activate(self) -> Iterator["Tracer"]:
+        """Install this tracer as the process-wide active tracer."""
+        previous = _ACTIVE[0]
+        _ACTIVE[0] = self
+        try:
+            yield self
+        finally:
+            _ACTIVE[0] = previous
+
+
+class _NullSpan:
+    """Shared no-op span returned by :func:`span` when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        """No-op attribute setter."""
+
+
+_NULL_SPAN = _NullSpan()
+
+# One-slot mutable cell so `span()` reads a stable global binding.
+_ACTIVE: List[Optional[Tracer]] = [None]
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The currently installed tracer, or None when tracing is off."""
+    return _ACTIVE[0]
+
+
+def install(tracer: Optional[Tracer]) -> None:
+    """Install *tracer* as the active tracer (None disables tracing)."""
+    _ACTIVE[0] = tracer
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the active tracer; a shared no-op when disabled.
+
+    This is the helper every instrumented call site uses::
+
+        with span("qa.route") as sp:
+            ...
+            sp.set("route", decision.route)
+    """
+    tracer = _ACTIVE[0]
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)

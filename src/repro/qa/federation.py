@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..obs import span
 from ..semql.catalog import SchemaCatalog
 from ..semql.intents import analyze
 from .answer import Answer
@@ -38,6 +39,13 @@ class FederatedRouter:
 
     def route(self, question: str) -> RouteDecision:
         """Pick structured / unstructured / hybrid for *question*."""
+        with span("qa.route") as sp:
+            decision = self._classify(question)
+            sp.set("route", decision.route)
+            sp.set("reason", decision.reason)
+        return decision
+
+    def _classify(self, question: str) -> RouteDecision:
         frame = analyze(question)
         value_hits = self._catalog.find_values(question)
         bound_tables = tuple(sorted({hit.table for hit in value_hits}))

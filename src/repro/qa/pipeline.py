@@ -16,6 +16,7 @@ End-to-end orchestration over one heterogeneous data lake:
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..entropy.semantic_entropy import (
@@ -26,6 +27,7 @@ from ..extraction.table_gen import TableGenerator
 from ..graphindex.builder import BuilderConfig, GraphIndexBuilder
 from ..graphindex.hetgraph import HeterogeneousGraph
 from ..metering import CostMeter, GLOBAL_METER
+from ..obs import incr, observe, span
 from ..retrieval.topology import TopologyConfig, TopologyRetriever
 from ..semql.catalog import SchemaCatalog
 from ..slm.model import SmallLanguageModel
@@ -268,6 +270,11 @@ class HybridQAPipeline:
         self._check_built()
         return self._router.route(question)
 
+    @property
+    def meter(self) -> CostMeter:
+        """The cost meter every store and engine in this pipeline charges."""
+        return self._meter
+
     def answer(self, question: str) -> Answer:
         """Answer through the hybrid route.
 
@@ -276,6 +283,16 @@ class HybridQAPipeline:
         Multi-Entity QA), each answered through the full route.
         """
         self._check_built()
+        started = time.perf_counter()
+        with span("qa.answer") as sp:
+            answer = self._answer_traced(question)
+            sp.set("route", answer.metadata.get("route", "?"))
+            sp.set("abstained", answer.abstained)
+        incr("qa.answer.count")
+        observe("qa.answer.latency", time.perf_counter() - started)
+        return answer
+
+    def _answer_traced(self, question: str) -> Answer:
         comparer = ComparativeQA(self._slm, self._answer_single)
         compared = comparer.try_answer(question)
         if compared is not None and not compared.abstained:
@@ -296,7 +313,9 @@ class HybridQAPipeline:
         if not candidates:
             return Answer.abstain(ANSWER_SYSTEM_HYBRID, "no engine available")
         answer = best_answer(candidates)
-        self._cross_check(answer, candidates)
+        with span("qa.cross_check") as sp:
+            self._cross_check(answer, candidates)
+            sp.set("verdict", answer.metadata.get("cross_check", "n/a"))
         answer.metadata.setdefault("route", decision.route)
         return answer
 
@@ -342,22 +361,23 @@ class HybridQAPipeline:
         production deployment needs.
         """
         self._check_built()
-        lines = ["question: %s" % question]
-        from .compare import decompose, detect_comparison
+        with span("qa.explain"):
+            lines = ["question: %s" % question]
+            from .compare import decompose, detect_comparison
 
-        frame = detect_comparison(question, self._slm)
-        if frame is not None:
-            lines.append("comparison of: %s"
-                         % ", ".join(frame.entity_names))
-            for entity, sub_question in decompose(frame):
-                lines.append("  sub[%s]: %s" % (entity, sub_question))
-                lines.extend(
-                    "    " + line
-                    for line in self._explain_single(sub_question)
-                )
+            frame = detect_comparison(question, self._slm)
+            if frame is not None:
+                lines.append("comparison of: %s"
+                             % ", ".join(frame.entity_names))
+                for entity, sub_question in decompose(frame):
+                    lines.append("  sub[%s]: %s" % (entity, sub_question))
+                    lines.extend(
+                        "    " + line
+                        for line in self._explain_single(sub_question)
+                    )
+                return "\n".join(lines)
+            lines.extend(self._explain_single(question))
             return "\n".join(lines)
-        lines.extend(self._explain_single(question))
-        return "\n".join(lines)
 
     def _explain_single(self, question: str) -> List[str]:
         decision = self._router.route(question)
@@ -402,15 +422,17 @@ class HybridQAPipeline:
         if deterministic or self._text_qa is None or answer.abstained:
             answer.metadata["needs_review"] = False
             return answer, None
-        contexts = [
-            hit.chunk.text for hit in self._text_qa.retrieve(question)
-        ]
-        samples = self._slm.sample_answers(
-            question, contexts, n_samples=n_samples,
-            temperature=temperature, seed=seed,
-        )
-        estimator = SemanticEntropyEstimator(judge=self._slm.judge)
-        estimate = estimator.estimate(samples)
+        with span("qa.entropy", n_samples=n_samples) as sp:
+            contexts = [
+                hit.chunk.text for hit in self._text_qa.retrieve(question)
+            ]
+            samples = self._slm.sample_answers(
+                question, contexts, n_samples=n_samples,
+                temperature=temperature, seed=seed,
+            )
+            estimator = SemanticEntropyEstimator(judge=self._slm.judge)
+            estimate = estimator.estimate(samples)
+            sp.set("entropy", estimate.entropy)
         answer.metadata["semantic_entropy"] = estimate.entropy
         answer.metadata["needs_review"] = (
             estimate.normalized > review_threshold

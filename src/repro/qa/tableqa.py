@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..errors import ExecutionError, SynthesisError
+from ..obs import span
 from ..semql.catalog import SchemaCatalog
 from ..semql.compiler import QueryCompiler
 from ..semql.synthesizer import OperatorSynthesizer
@@ -42,12 +43,16 @@ class TableQAEngine:
     # ------------------------------------------------------------------
     def answer(self, question: str) -> Answer:
         """Synthesize, compile, execute; abstains on unbound questions."""
-        try:
-            spec = self._synthesizer.synthesize(question)
-            result = self._compiler.execute(spec)
-        except (SynthesisError, ExecutionError) as exc:
-            return Answer.abstain(self._system, reason=str(exc))
-        return self._verbalize(question, spec.describe(), result)
+        with span("qa.tableqa") as sp:
+            try:
+                spec = self._synthesizer.synthesize(question)
+                result = self._compiler.execute(spec)
+            except (SynthesisError, ExecutionError) as exc:
+                sp.set("abstained", True)
+                return Answer.abstain(self._system, reason=str(exc))
+            sp.set("abstained", False)
+            sp.set("rows", len(result.rows))
+            return self._verbalize(question, spec.describe(), result)
 
     def _verbalize(self, question: str, plan_text: str,
                    result: ResultSet) -> Answer:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..obs import span
 from ..retrieval.base import RetrievedChunk, Retriever
 from ..slm.model import SmallLanguageModel
 from .answer import ANSWER_SYSTEM_RAG, Answer
@@ -43,27 +44,30 @@ class TextQAEngine:
 
     def answer(self, question: str) -> Answer:
         """Retrieve context and generate one (verified) answer."""
-        hits = self.retrieve(question)
-        contexts = [hit.chunk.text for hit in hits]
-        generation = self._slm.generate(
-            question, contexts, temperature=self._temperature
-        )
-        provenance = tuple(
-            hits[i].chunk_id for i in generation.support
-            if 0 <= i < len(hits)
-        )
-        answer = Answer(
-            text=generation.text,
-            value=_extract_scalar(generation.text),
-            confidence=generation.confidence,
-            grounded=generation.grounded,
-            system=self._system,
-            provenance=provenance,
-            metadata={"n_context": len(contexts)},
-        )
-        if self._verify:
-            self._verify_against_evidence(answer, generation, hits)
-        return answer
+        with span("qa.textqa") as sp:
+            hits = self.retrieve(question)
+            contexts = [hit.chunk.text for hit in hits]
+            generation = self._slm.generate(
+                question, contexts, temperature=self._temperature
+            )
+            provenance = tuple(
+                hits[i].chunk_id for i in generation.support
+                if 0 <= i < len(hits)
+            )
+            answer = Answer(
+                text=generation.text,
+                value=_extract_scalar(generation.text),
+                confidence=generation.confidence,
+                grounded=generation.grounded,
+                system=self._system,
+                provenance=provenance,
+                metadata={"n_context": len(contexts)},
+            )
+            if self._verify:
+                self._verify_against_evidence(answer, generation, hits)
+            sp.set("n_context", len(contexts))
+            sp.set("grounded", answer.grounded)
+            return answer
 
     def _verify_against_evidence(self, answer: Answer, generation,
                                  hits: List[RetrievedChunk]) -> None:

@@ -21,6 +21,7 @@ from ..errors import RetrievalError
 from ..metering import (
     CostMeter, GLOBAL_METER, NODES_SCORED, VECTORS_COMPARED,
 )
+from ..obs import span
 from ..slm.embeddings import EmbeddingModel
 from ..text.chunker import Chunk
 from .base import RetrievedChunk, Retriever, top_k
@@ -55,12 +56,14 @@ class DenseRetriever(Retriever):
         self._check_k(k)
         if not self._ids:
             return []
-        query_vec = self._embedder.embed(query)
-        sims = self._matrix @ query_vec
-        self._meter.charge(VECTORS_COMPARED, len(self._ids))
-        self._meter.charge(NODES_SCORED, len(self._ids))
-        scores = {cid: float(s) for cid, s in zip(self._ids, sims)}
-        return top_k(scores, self._chunks, k)
+        with span("retrieval.dense", k=k) as sp:
+            query_vec = self._embedder.embed(query)
+            sims = self._matrix @ query_vec
+            self._meter.charge(VECTORS_COMPARED, len(self._ids))
+            self._meter.charge(NODES_SCORED, len(self._ids))
+            scores = {cid: float(s) for cid, s in zip(self._ids, sims)}
+            sp.set("scored", len(scores))
+            return top_k(scores, self._chunks, k)
 
     @property
     def index_bytes(self) -> int:
@@ -137,18 +140,20 @@ class IVFDenseRetriever(Retriever):
         self._check_k(k)
         if not self._ids:
             return []
-        query_vec = self._embedder.embed(query)
-        centroid_sims = self._centroids @ query_vec
-        self._meter.charge(VECTORS_COMPARED, self._centroids.shape[0])
-        probe_order = np.argsort(-centroid_sims)[: self._n_probe]
-        scores: Dict[str, float] = {}
-        for cluster in probe_order:
-            for row in self._lists[int(cluster)]:
-                sim = float(self._matrix[row] @ query_vec)
-                self._meter.charge(VECTORS_COMPARED)
-                self._meter.charge(NODES_SCORED)
-                scores[self._ids[row]] = sim
-        return top_k(scores, self._chunks, k)
+        with span("retrieval.dense_ivf", k=k) as sp:
+            query_vec = self._embedder.embed(query)
+            centroid_sims = self._centroids @ query_vec
+            self._meter.charge(VECTORS_COMPARED, self._centroids.shape[0])
+            probe_order = np.argsort(-centroid_sims)[: self._n_probe]
+            scores: Dict[str, float] = {}
+            for cluster in probe_order:
+                for row in self._lists[int(cluster)]:
+                    sim = float(self._matrix[row] @ query_vec)
+                    self._meter.charge(VECTORS_COMPARED)
+                    self._meter.charge(NODES_SCORED)
+                    scores[self._ids[row]] = sim
+            sp.set("scored", len(scores))
+            return top_k(scores, self._chunks, k)
 
     @property
     def index_bytes(self) -> int:

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..errors import RetrievalError
 from ..metering import CostMeter, GLOBAL_METER, NODES_SCORED
+from ..obs import observe, span
 from ..text.chunker import Chunk
 from ..text.stemmer import stem
 from ..text.stopwords import STOPWORDS
@@ -85,12 +86,16 @@ class FusionRetriever(Retriever):
         """Pull a deeper pool from each member and RRF-merge."""
         self._check_ready(self._indexed)
         self._check_k(k)
-        pool = k * self._pool_factor
-        rankings = [
-            retriever.retrieve(query, pool)
-            for retriever in self._retrievers
-        ]
-        return reciprocal_rank_fusion(rankings, self._rrf_k)[:k]
+        with span("retrieval.fusion", k=k) as sp:
+            pool = k * self._pool_factor
+            rankings = [
+                retriever.retrieve(query, pool)
+                for retriever in self._retrievers
+            ]
+            fused = reciprocal_rank_fusion(rankings, self._rrf_k)
+            sp.set("candidates", len(fused))
+            observe("retrieval.fusion.candidates", len(fused))
+            return fused[:k]
 
 
 class KeywordReranker:
@@ -111,6 +116,11 @@ class KeywordReranker:
     def rerank(self, query: str,
                hits: Sequence[RetrievedChunk]) -> List[RetrievedChunk]:
         """Return *hits* re-sorted by mixed original/coverage score."""
+        with span("retrieval.rerank", n_hits=len(hits)):
+            return self._rerank(query, hits)
+
+    def _rerank(self, query: str,
+                hits: Sequence[RetrievedChunk]) -> List[RetrievedChunk]:
         query_stems = {
             stem(w) for w in words(query) if w not in STOPWORDS
         }

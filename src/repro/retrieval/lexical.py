@@ -12,6 +12,7 @@ from collections import Counter
 from typing import Dict, List, Optional, Sequence
 
 from ..metering import CostMeter, GLOBAL_METER, NODES_SCORED
+from ..obs import span
 from ..text.chunker import Chunk
 from ..text.stemmer import stem
 from ..text.stopwords import STOPWORDS
@@ -69,19 +70,21 @@ class BM25Retriever(Retriever):
         """Score only the chunks on the query terms' posting lists."""
         self._check_ready(self._indexed)
         self._check_k(k)
-        query_terms = _terms(query)
-        scores: Dict[str, float] = {}
-        for term in set(query_terms):
-            postings = self._postings.get(term)
-            if not postings:
-                continue
-            idf = self._idf(term)
-            for chunk_id, tf in postings:
-                self._meter.charge(NODES_SCORED)
-                length_norm = 1.0 - self._b + self._b * (
-                    self._doc_len[chunk_id] / (self._avg_len or 1.0)
-                )
-                scores[chunk_id] = scores.get(chunk_id, 0.0) + idf * (
-                    tf * (self._k1 + 1.0)
-                ) / (tf + self._k1 * length_norm)
-        return top_k(scores, self._chunks, k)
+        with span("retrieval.lexical", k=k) as sp:
+            query_terms = _terms(query)
+            scores: Dict[str, float] = {}
+            for term in set(query_terms):
+                postings = self._postings.get(term)
+                if not postings:
+                    continue
+                idf = self._idf(term)
+                for chunk_id, tf in postings:
+                    self._meter.charge(NODES_SCORED)
+                    length_norm = 1.0 - self._b + self._b * (
+                        self._doc_len[chunk_id] / (self._avg_len or 1.0)
+                    )
+                    scores[chunk_id] = scores.get(chunk_id, 0.0) + idf * (
+                        tf * (self._k1 + 1.0)
+                    ) / (tf + self._k1 * length_norm)
+            sp.set("scored", len(scores))
+            return top_k(scores, self._chunks, k)

@@ -29,6 +29,7 @@ from ..graphindex.nodes import (
     NODE_ENTITY, entity_key,
 )
 from ..metering import CostMeter, GLOBAL_METER, NODES_SCORED
+from ..obs import span
 from ..slm.model import SmallLanguageModel
 from ..text.chunker import Chunk
 from ..text.stemmer import stem
@@ -148,9 +149,15 @@ class TopologyRetriever(Retriever):
         """Anchor, traverse and score; falls back to BM25 if anchorless."""
         self._check_ready(self._indexed)
         self._check_k(k)
+        with span("retrieval.topology", k=k) as sp:
+            return self._retrieve(query, k, sp)
+
+    def _retrieve(self, query: str, k: int, sp) -> List[RetrievedChunk]:
         cfg = self._config
         anchors = self._query_anchors(query)
+        sp.set("anchors", len(anchors))
         if not anchors:
+            sp.set("fallback", "bm25")
             return self._fallback.retrieve(query, k)
 
         # Per-anchor BFS so anchor coverage can be counted.
@@ -172,7 +179,9 @@ class TopologyRetriever(Retriever):
                 if prev is None or depth < prev:
                     per_chunk[anchor] = depth
 
+        sp.set("candidates", len(chunk_depths))
         if not chunk_depths:
+            sp.set("fallback", "bm25")
             return self._fallback.retrieve(query, k)
 
         query_stems = {

@@ -17,6 +17,7 @@ from typing import Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..metering import TAGGING_CALLS, CostMeter, GLOBAL_METER
+from ..obs import span
 from ..text.ner import Entity, EntityRecognizer, Gazetteer
 from ..text.pos import TaggedToken, tag as pos_tag
 from .embeddings import EmbeddingModel
@@ -89,11 +90,13 @@ class SmallLanguageModel:
     # ------------------------------------------------------------------
     def embed(self, text: str) -> np.ndarray:
         """Embed one text (charges ``embedding_calls``)."""
-        return self.embedder.embed(text)
+        with span("slm.embed"):
+            return self.embedder.embed(text)
 
     def embed_batch(self, texts: Sequence[str]) -> np.ndarray:
         """Embed many texts into an (n, dim) matrix."""
-        return self.embedder.embed_batch(texts)
+        with span("slm.embed_batch", n_texts=len(texts)):
+            return self.embedder.embed_batch(texts)
 
     def similarity(self, a: str, b: str) -> float:
         """Cosine similarity between two texts."""
@@ -115,15 +118,16 @@ class SmallLanguageModel:
 
     def tag_entities(self, text: str) -> List[Entity]:
         """Named-entity tag *text*, with configured recall dropout."""
-        self.meter.charge(TAGGING_CALLS)
-        entities = self._recognizer.recognize(text)
-        if self.config.entity_dropout <= 0.0:
+        with span("slm.tag") as sp:
+            self.meter.charge(TAGGING_CALLS)
+            entities = self._recognizer.recognize(text)
+            if self.config.entity_dropout > 0.0:
+                entities = [
+                    e for e in entities
+                    if self._rng.random() >= self.config.entity_dropout
+                ]
+            sp.set("n_entities", len(entities))
             return entities
-        kept = [
-            e for e in entities
-            if self._rng.random() >= self.config.entity_dropout
-        ]
-        return kept
 
     def tag_pos(self, text: str) -> List[TaggedToken]:
         """Part-of-speech tag *text*."""
@@ -147,22 +151,25 @@ class SmallLanguageModel:
     def generate(self, question: str, contexts: Sequence[str],
                  temperature: float = 0.7) -> Generation:
         """One grounded answer sample."""
-        return self.generator.generate(question, contexts, temperature)
+        with span("slm.generate", n_context=len(contexts)):
+            return self.generator.generate(question, contexts, temperature)
 
     def sample_answers(self, question: str, contexts: Sequence[str],
                        n_samples: int = 8, temperature: float = 0.9,
                        seed: Optional[int] = None) -> List[Generation]:
         """The multi-sample protocol used for semantic entropy."""
-        return self.generator.sample_many(
-            question, contexts, n_samples, temperature, seed
-        )
+        with span("slm.sample", n_samples=n_samples):
+            return self.generator.sample_many(
+                question, contexts, n_samples, temperature, seed
+            )
 
     # ------------------------------------------------------------------
     # Entailment
     # ------------------------------------------------------------------
     def entails(self, premise: str, hypothesis: str) -> bool:
         """Directional entailment judgement."""
-        return self.judge.entails(premise, hypothesis)
+        with span("slm.entail"):
+            return self.judge.entails(premise, hypothesis)
 
     def equivalent(self, a: str, b: str) -> bool:
         """Bidirectional entailment (semantic equivalence)."""

@@ -21,6 +21,7 @@ from .schema import Column, TableSchema, validate_identifier
 from .sql_parser import (
     AggregateCall, CreateTableStatement, InsertStatement, JoinClause,
     OrderItem, SelectItem, SelectStatement, TableRef, parse,
+    render_statement,
 )
 from .table import Table
 
@@ -35,6 +36,6 @@ __all__ = [
     "Column", "TableSchema", "validate_identifier",
     "AggregateCall", "CreateTableStatement", "InsertStatement",
     "JoinClause", "OrderItem", "SelectItem", "SelectStatement", "TableRef",
-    "parse",
+    "parse", "render_statement",
     "Table",
 ]

@@ -14,7 +14,8 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from ...errors import ExecutionError, PlanError, SchemaError, StorageError
-from ...metering import CostMeter, GLOBAL_METER
+from ...metering import CostMeter, GLOBAL_METER, ROWS_SCANNED
+from ...obs import incr, span
 from .executor import Executor, ResultSet
 from .index import HashIndex
 from .planner import Planner, PlanNode
@@ -102,6 +103,16 @@ class Database:
         uniformly.
         """
         stmt = parse(sql)
+        with span("sql.execute", kind=type(stmt).__name__) as sp:
+            scanned_before = self._meter.get(ROWS_SCANNED)
+            result = self._dispatch(stmt)
+            scanned = self._meter.get(ROWS_SCANNED) - scanned_before
+            sp.set("rows_scanned", scanned)
+            incr("sql.statements")
+            incr("sql.rows_scanned", scanned)
+        return result
+
+    def _dispatch(self, stmt) -> ResultSet:
         if isinstance(stmt, SelectStatement):
             return self._run_select(stmt)
         if isinstance(stmt, CreateTableStatement):

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Tuple
 
 from ...errors import ExecutionError, PlanError
+from ...obs import span
 from ..types import sort_key
 from .expressions import ColumnRef, Expression, predicate_matches
 from .planner import (
@@ -243,7 +244,17 @@ class Executor:
 
     # ------------------------------------------------------------------
     def execute(self, node: PlanNode) -> ResultSet:
-        """Run the plan to a materialized :class:`ResultSet`."""
+        """Run the plan to a materialized :class:`ResultSet`.
+
+        Each recursive step opens an ``sql.exec`` span, so a traced
+        query yields a span tree mirroring the plan's operator tree.
+        """
+        with span("sql.exec", node=type(node).__name__) as sp:
+            result = self._execute_node(node)
+            sp.set("rows", len(result.rows))
+        return result
+
+    def _execute_node(self, node: PlanNode) -> ResultSet:
         if isinstance(node, LimitNode):
             inner = self.execute(node.child)
             start = node.offset

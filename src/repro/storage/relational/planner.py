@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
 from ...errors import PlanError
+from ...obs import span
 from .expressions import BinaryOp, ColumnRef, Expression, Literal
 from .sql_parser import OrderItem, SelectItem, SelectStatement
 
@@ -269,6 +270,12 @@ class Planner:
 
     def plan(self, stmt: SelectStatement) -> PlanNode:
         """Produce the operator tree for *stmt*."""
+        with span("sql.plan") as sp:
+            node = self._plan_select(stmt)
+            sp.set("root", type(node).__name__)
+        return node
+
+    def _plan_select(self, stmt: SelectStatement) -> PlanNode:
         node = self._plan_from(stmt)
         node = self._plan_where(stmt, node)
         if stmt.group_by or stmt.has_aggregates:

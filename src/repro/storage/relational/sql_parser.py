@@ -691,3 +691,125 @@ def parse(sql: str):
     't'
     """
     return _Parser(lex(sql)).parse_statement()
+
+
+# ----------------------------------------------------------------------
+# Rendering (the inverse of parse, up to whitespace/case normalization)
+# ----------------------------------------------------------------------
+def _render_value(value: Any) -> str:
+    return Literal(value).sql()
+
+
+def _render_table_ref(ref: TableRef) -> str:
+    if ref.alias:
+        return "%s AS %s" % (ref.name, ref.alias)
+    return ref.name
+
+
+def _render_select(stmt: SelectStatement) -> str:
+    parts = ["SELECT"]
+    if stmt.distinct:
+        parts.append("DISTINCT")
+    if stmt.star:
+        parts.append("*")
+    else:
+        rendered = []
+        for item in stmt.items:
+            text = item.expr.sql()
+            if item.alias:
+                text += " AS %s" % item.alias
+            rendered.append(text)
+        parts.append(", ".join(rendered))
+    parts.append("FROM %s" % _render_table_ref(stmt.table))
+    for join in stmt.joins:
+        keyword = "LEFT JOIN" if join.kind == "left" else "JOIN"
+        parts.append("%s %s ON %s" % (
+            keyword, _render_table_ref(join.table), join.condition.sql()
+        ))
+    if stmt.where is not None:
+        parts.append("WHERE %s" % stmt.where.sql())
+    if stmt.group_by:
+        parts.append("GROUP BY %s" % ", ".join(
+            col.sql() for col in stmt.group_by
+        ))
+    if stmt.having is not None:
+        parts.append("HAVING %s" % stmt.having.sql())
+    if stmt.order_by:
+        parts.append("ORDER BY %s" % ", ".join(
+            item.expr.sql() + (" DESC" if item.descending else "")
+            for item in stmt.order_by
+        ))
+    if stmt.limit is not None:
+        parts.append("LIMIT %d" % stmt.limit)
+        if stmt.offset:
+            parts.append("OFFSET %d" % stmt.offset)
+    return " ".join(parts)
+
+
+def _render_create_table(stmt: CreateTableStatement) -> str:
+    schema = stmt.schema
+    defs = []
+    for column in schema.columns:
+        text = "%s %s" % (column.name, column.dtype.value.upper())
+        if not column.nullable:
+            text += " NOT NULL"
+        defs.append(text)
+    if schema.primary_key is not None:
+        defs.append("PRIMARY KEY (%s)" % schema.primary_key)
+    return "CREATE TABLE %s (%s)" % (schema.name, ", ".join(defs))
+
+
+def _render_insert(stmt: InsertStatement) -> str:
+    text = "INSERT INTO %s" % stmt.table
+    if stmt.columns is not None:
+        text += " (%s)" % ", ".join(stmt.columns)
+    text += " VALUES %s" % ", ".join(
+        "(%s)" % ", ".join(_render_value(v) for v in row)
+        for row in stmt.rows
+    )
+    return text
+
+
+def render_statement(stmt: Any) -> str:
+    """Render a parsed statement back to canonical SQL text.
+
+    The renderer and parser form a fixed point: for any statement the
+    parser accepts, ``parse(render_statement(parse(sql)))`` equals
+    ``parse(render_statement(...))``'s input AST (pinned by the
+    round-trip fuzz tests).
+
+    >>> render_statement(parse("select a from t where b > 2"))
+    'SELECT a FROM t WHERE (b > 2)'
+    """
+    if isinstance(stmt, SelectStatement):
+        return _render_select(stmt)
+    if isinstance(stmt, CreateTableStatement):
+        return _render_create_table(stmt)
+    if isinstance(stmt, InsertStatement):
+        return _render_insert(stmt)
+    if isinstance(stmt, UpdateStatement):
+        text = "UPDATE %s SET %s" % (stmt.table, ", ".join(
+            "%s = %s" % (column, expr.sql())
+            for column, expr in stmt.assignments
+        ))
+        if stmt.where is not None:
+            text += " WHERE %s" % stmt.where.sql()
+        return text
+    if isinstance(stmt, DeleteStatement):
+        text = "DELETE FROM %s" % stmt.table
+        if stmt.where is not None:
+            text += " WHERE %s" % stmt.where.sql()
+        return text
+    if isinstance(stmt, DropTableStatement):
+        return "DROP TABLE %s" % stmt.table
+    if isinstance(stmt, CreateViewStatement):
+        return "CREATE VIEW %s AS %s" % (
+            stmt.name, _render_select(stmt.select)
+        )
+    if isinstance(stmt, DropViewStatement):
+        return "DROP VIEW %s" % stmt.name
+    if isinstance(stmt, TransactionStatement):
+        return stmt.action.upper()
+    raise SQLSyntaxError(
+        "cannot render statement type %r" % type(stmt).__name__
+    )

@@ -11,8 +11,17 @@ from repro.bench.runner import build_hybrid_system, run_qa_suite
 from repro.entropy import SemanticEntropyEstimator
 from repro.graphindex import graph_to_json
 from repro.metering import CostMeter
+from repro.obs import Tracer
 from repro.slm import SLMConfig, SmallLanguageModel
 from repro.text.ner import Gazetteer
+
+
+def answer_fingerprint(answer):
+    """Byte-comparable rendering of every observable Answer field."""
+    return repr((
+        answer.text, answer.value, answer.confidence, answer.grounded,
+        answer.system, answer.provenance, sorted(answer.metadata.items()),
+    ))
 
 
 def build_once(seed=41):
@@ -78,3 +87,44 @@ class TestDeterminism:
             return est.estimate(samples).entropy
 
         assert estimate() == pytest.approx(estimate())
+
+
+class TestNoObserverEffect:
+    """Tracing is passive: traced and untraced runs answer identically."""
+
+    def test_answer_identical_traced_vs_untraced(self):
+        lake, system, _ = build_once()
+        pairs = lake.qa_pairs(per_kind=2)
+        untraced = [
+            answer_fingerprint(system.answer(p.question)) for p in pairs
+        ]
+        _, traced_system, traced_pipeline = build_once()
+        tracer = Tracer(meter=traced_pipeline.meter)
+        with tracer.activate():
+            traced = [
+                answer_fingerprint(traced_system.answer(p.question))
+                for p in pairs
+            ]
+        assert traced == untraced
+        assert tracer.roots, "tracer recorded nothing"
+
+    def test_uncertainty_identical_traced_vs_untraced(self):
+        lake, _, pipeline = build_once()
+        question = lake.qa_pairs(per_kind=1)[0].question
+        answer, estimate = pipeline.answer_with_uncertainty(
+            question, seed=3
+        )
+        _, _, traced_pipeline = build_once()
+        tracer = Tracer(meter=traced_pipeline.meter)
+        with tracer.activate():
+            traced_answer, traced_estimate = \
+                traced_pipeline.answer_with_uncertainty(question, seed=3)
+        assert answer_fingerprint(traced_answer) == \
+            answer_fingerprint(answer)
+        if estimate is None:
+            assert traced_estimate is None
+        else:
+            assert traced_estimate.entropy == pytest.approx(
+                estimate.entropy
+            )
+            assert traced_estimate.n_clusters == estimate.n_clusters
