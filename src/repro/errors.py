@@ -17,11 +17,22 @@ class SchemaError(ReproError):
 
 
 class SQLSyntaxError(ReproError):
-    """The SQL text could not be tokenized or parsed."""
+    """The SQL text could not be tokenized or parsed.
+
+    ``position`` is the 0-based character offset of the offending token
+    in the original SQL text, or -1 when no token is available (e.g.
+    rendering failures).
+    """
 
     def __init__(self, message: str, position: int = -1):
         super().__init__(message)
         self.position = position
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.position >= 0:
+            return "%s (at position %d)" % (base, self.position)
+        return base
 
 
 class PlanError(ReproError):

@@ -10,43 +10,12 @@ from __future__ import annotations
 
 import datetime as _dt
 from collections import Counter
-from typing import Any, Dict, Iterable, List, Sequence
+from typing import Any, Dict, List, Sequence
 
 from ..errors import ExtractionError
 from ..storage.relational.schema import Column, TableSchema
-from ..storage.types import DataType
+from ..storage.types import DataType, infer_value_type, unify_types
 from .attributes import ExtractedFact
-
-
-def infer_value_type(value: Any) -> DataType:
-    """Type of one cell value (bool before int, date before text)."""
-    if isinstance(value, bool):
-        return DataType.BOOL
-    if isinstance(value, int):
-        return DataType.INT
-    if isinstance(value, float):
-        return DataType.FLOAT
-    if isinstance(value, _dt.date):
-        return DataType.DATE
-    return DataType.TEXT
-
-
-_WIDENING = {
-    frozenset({DataType.INT, DataType.FLOAT}): DataType.FLOAT,
-}
-
-
-def unify_types(types: Iterable[DataType]) -> DataType:
-    """The tightest common type: INT+FLOAT→FLOAT, anything else→TEXT."""
-    seen = set(types)
-    if not seen:
-        return DataType.TEXT
-    if len(seen) == 1:
-        return next(iter(seen))
-    widened = _WIDENING.get(frozenset(seen))
-    if widened is not None:
-        return widened
-    return DataType.TEXT
 
 
 def infer_fact_schema(name: str, facts: Sequence[ExtractedFact],

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from ..errors import ExecutionError, SynthesisError
+from ..errors import ExecutionError, PlanError, SynthesisError
 from ..obs import span
 from ..semql.catalog import SchemaCatalog
 from ..semql.compiler import QueryCompiler
@@ -47,7 +47,7 @@ class TableQAEngine:
             try:
                 spec = self._synthesizer.synthesize(question)
                 result = self._compiler.execute(spec)
-            except (SynthesisError, ExecutionError) as exc:
+            except (SynthesisError, PlanError, ExecutionError) as exc:
                 sp.set("abstained", True)
                 return Answer.abstain(self._system, reason=str(exc))
             sp.set("abstained", False)

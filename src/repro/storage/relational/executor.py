@@ -377,8 +377,6 @@ class Executor:
                         sample: Dict[str, Any], aggregators, agg_items) -> bool:
         # HAVING may reference aggregates directly (e.g. COUNT(*) > 2).
         # Rewrite: evaluate by substituting aggregate results by sql text.
-        from .sql_parser import AggregateCall as _AC
-
         class _HavingContext(dict):
             def __init__(self, base):
                 super().__init__(base)

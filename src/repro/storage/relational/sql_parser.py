@@ -361,8 +361,8 @@ class _Parser:
         if self._accept_kw("left"):
             self._accept_kw("outer")
             kind = "left"
-        elif self._accept_kw("right"):
-            tok = self._peek()
+        elif self._check_kw("right"):
+            tok = self._peek()  # point at RIGHT itself, not what follows
             raise SQLSyntaxError("RIGHT JOIN is not supported", tok.position)
         elif self._accept_kw("inner"):
             kind = "inner"

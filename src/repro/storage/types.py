@@ -42,6 +42,38 @@ class DataType(Enum):
         raise SchemaError("unsupported value type: %r" % type(value))
 
 
+def infer_value_type(value: Any) -> DataType:
+    """Lenient type of one cell value (bool before int, date before
+    text); anything unrecognised is TEXT rather than an error."""
+    if isinstance(value, bool):
+        return DataType.BOOL
+    if isinstance(value, int):
+        return DataType.INT
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, _dt.date):
+        return DataType.DATE
+    return DataType.TEXT
+
+
+_WIDENING = {
+    frozenset({DataType.INT, DataType.FLOAT}): DataType.FLOAT,
+}
+
+
+def unify_types(types) -> DataType:
+    """The tightest common type: INT+FLOAT→FLOAT, anything else→TEXT."""
+    seen = set(types)
+    if not seen:
+        return DataType.TEXT
+    if len(seen) == 1:
+        return next(iter(seen))
+    widened = _WIDENING.get(frozenset(seen))
+    if widened is not None:
+        return widened
+    return DataType.TEXT
+
+
 def coerce(value: Any, dtype: DataType) -> Any:
     """Coerce *value* to *dtype*, raising :class:`SchemaError` on failure.
 
