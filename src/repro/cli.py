@@ -136,6 +136,16 @@ def cmd_session(args) -> int:
 def cmd_sql(args) -> int:
     """Run raw SQL against the lake database."""
     _, pipeline = _build(args.domain, args.seed)
+    if args.explain_lint:
+        print(pipeline.db.explain(args.query))
+        diagnostics = pipeline.db.analyze(args.query)
+        if not diagnostics:
+            print("\nplan lint: clean")
+            return 0
+        print("\nplan lint:")
+        for diag in diagnostics:
+            print("  " + diag.render())
+        return 1 if any(d.severity == "error" for d in diagnostics) else 0
     with _tracing(args, pipeline):
         result = pipeline.db.execute(args.query)
         print(result.pretty(max_rows=args.max_rows))
@@ -174,6 +184,9 @@ def build_parser() -> argparse.ArgumentParser:
     common(sql)
     sql.add_argument("query")
     sql.add_argument("--max-rows", type=int, default=20)
+    sql.add_argument("--explain-lint", action="store_true",
+                     help="print the plan and static plan-lint "
+                          "diagnostics instead of executing")
     sql.set_defaults(func=cmd_sql)
 
     session = sub.add_parser("session", help=cmd_session.__doc__)

@@ -30,10 +30,20 @@ from .table import Table
 
 
 class Database:
-    """An in-memory multi-table SQL database."""
+    """An in-memory multi-table SQL database.
 
-    def __init__(self, meter: Optional[CostMeter] = None):
+    With ``strict_plancheck=True`` every SELECT is statically vetted by
+    :mod:`.plancheck` first and any error-severity diagnostic (type
+    mismatch, statically unsatisfiable predicate, ...) raises
+    :class:`~...errors.PlanError` before execution. The default mode
+    only blocks on unknown columns — the one diagnostic that is always
+    a bug rather than a possibly-intentional empty result.
+    """
+
+    def __init__(self, meter: Optional[CostMeter] = None,
+                 strict_plancheck: bool = False):
         self._meter = meter if meter is not None else GLOBAL_METER
+        self._strict_plancheck = strict_plancheck
         self._tables: Dict[str, Table] = {}
         self._views: Dict[str, SelectStatement] = {}
         self._snapshot: Optional[tuple] = None  # open transaction
@@ -89,8 +99,13 @@ class Database:
             return None
         return set(tbl.schema.column_names())
 
+    def _schema_of(self, table: str):
+        tbl = self._tables.get(table)
+        return None if tbl is None else tbl.schema
+
     def _planner(self) -> Planner:
-        return Planner(self._has_hash_index, self._columns_of)
+        return Planner(self._has_hash_index, self._columns_of,
+                       self._schema_of)
 
     # ------------------------------------------------------------------
     # Statements
@@ -163,7 +178,7 @@ class Database:
         return sorted(self._views)
 
     def _materialize_view(self, name: str) -> Table:
-        from ...extraction.schema_infer import infer_value_type, unify_types
+        from ..types import infer_value_type, unify_types
         from .schema import Column
 
         result = self._run_select(self._views[name])
@@ -225,10 +240,22 @@ class Database:
         """EXPLAIN-style plan rendering."""
         return self.plan(sql).explain()
 
-    def _run_select(self, stmt: SelectStatement) -> ResultSet:
-        self._validate_select(stmt)
-        mapping = self._resolve_tables(stmt)
+    def analyze(self, sql: str) -> list:
+        """Statically lint a SELECT without executing it.
 
+        Returns the plan-checker's
+        :class:`~.plancheck.PlanDiagnostic` list (empty when clean);
+        never raises for semantic problems — that is the caller's
+        policy decision.
+        """
+        stmt = parse(sql)
+        if not isinstance(stmt, SelectStatement):
+            raise PlanError("only SELECT statements can be analyzed")
+        mapping = self._resolve_tables(stmt)
+        planner = self._mapped_planner(mapping)
+        return planner.analyze(stmt)
+
+    def _mapped_planner(self, mapping: Dict[str, Table]) -> Planner:
         def has_index(table: str, column: str) -> bool:
             tbl = mapping.get(table)
             if tbl is None:
@@ -241,7 +268,24 @@ class Database:
                 return None
             return set(tbl.schema.column_names())
 
-        plan = Planner(has_index, columns_of).plan(stmt)
+        def schema_of(table: str):
+            tbl = mapping.get(table)
+            return None if tbl is None else tbl.schema
+
+        return Planner(has_index, columns_of, schema_of)
+
+    def _run_select(self, stmt: SelectStatement) -> ResultSet:
+        self._validate_select(stmt)
+        mapping = self._resolve_tables(stmt)
+        planner = self._mapped_planner(mapping)
+        blocking = [
+            diag for diag in planner.analyze(stmt)
+            if diag.severity == "error"
+            and (self._strict_plancheck or diag.code == "unknown-column")
+        ]
+        if blocking:
+            raise PlanError("; ".join(d.render() for d in blocking))
+        plan = planner.plan(stmt)
         return Executor(mapping).execute(plan)
 
     def _resolve_tables(self, stmt: SelectStatement) -> Dict[str, Table]:

@@ -262,11 +262,24 @@ class Planner:
     through joins.
     """
 
-    def __init__(self, has_index=None, columns_of=None):
+    def __init__(self, has_index=None, columns_of=None, schema_of=None):
         # has_index(table_name, column_name) -> bool
         self._has_index = has_index or (lambda table, column: False)
         # columns_of(table_name) -> set[str] | None
         self._columns_of = columns_of or (lambda table: None)
+        # schema_of(table_name) -> TableSchema | None (plan linting)
+        self._schema_of = schema_of or (lambda table: None)
+
+    def analyze(self, stmt: SelectStatement) -> list:
+        """Statically lint *stmt* against the catalog schemas.
+
+        Returns :class:`~.plancheck.PlanDiagnostic` objects (errors
+        first) without executing anything; requires the ``schema_of``
+        callback for any diagnostics beyond the trivially empty list.
+        """
+        from .plancheck import check_select
+
+        return check_select(stmt, self._schema_of)
 
     def plan(self, stmt: SelectStatement) -> PlanNode:
         """Produce the operator tree for *stmt*."""

@@ -133,12 +133,25 @@ class TestParser:
             "SELECT a FROM t WHERE", "SELECT a FROM t GROUP a",
             "SELECT a FROM t extra junk here )",
         ):
-            with pytest.raises(SQLSyntaxError):
+            with pytest.raises(SQLSyntaxError) as exc:
                 parse(bad)
+            # Every parser raise site carries the offending token's
+            # character offset (EOF reports len(sql)).
+            assert 0 <= exc.value.position <= len(bad), bad
+            assert "at position" in str(exc.value), bad
 
     def test_right_join_unsupported(self):
-        with pytest.raises(SQLSyntaxError):
-            parse("SELECT * FROM a RIGHT JOIN b ON a.x = b.x")
+        sql = "SELECT * FROM a RIGHT JOIN b ON a.x = b.x"
+        with pytest.raises(SQLSyntaxError) as exc:
+            parse(sql)
+        # The position points at RIGHT itself, not the token after it.
+        assert exc.value.position == sql.index("RIGHT")
+
+    def test_error_position_points_at_offending_token(self):
+        sql = "SELECT a FROM t GROUP a"
+        with pytest.raises(SQLSyntaxError) as exc:
+            parse(sql)
+        assert exc.value.position == sql.rindex("a")
 
 
 class TestExecution:
@@ -281,7 +294,8 @@ class TestExecution:
             db.execute("SELECT * FROM nothere")
 
     def test_unknown_column(self, db):
-        with pytest.raises(ExecutionError):
+        # Rejected statically by the plan checker, before execution.
+        with pytest.raises(PlanError):
             db.execute("SELECT bogus FROM products")
 
     def test_ambiguous_column(self, db):

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import ExecutionError, StorageError
+from repro.errors import ExecutionError, PlanError, StorageError
 from repro.metering import CostMeter
 from repro.storage.relational import Database
 
@@ -83,7 +83,7 @@ class TestViews:
             db.execute("CREATE VIEW sales AS SELECT sid FROM sales")
 
     def test_invalid_view_rejected_eagerly(self, db):
-        with pytest.raises(ExecutionError):
+        with pytest.raises(PlanError):
             db.execute("CREATE VIEW bad AS SELECT nope FROM sales")
 
     def test_drop_view(self, db):
