@@ -1,0 +1,13 @@
+"""Plan-lint facade: static semantic checking of query plans.
+
+The implementation lives in
+:mod:`repro.storage.relational.plancheck` so the planner can run it
+without importing upward into :mod:`repro.lint`; this module is the
+stable, documented entry point for tooling and tests.
+"""
+
+from ..storage.relational.plancheck import (  # lint: ignore[unused-import]
+    ERROR, PlanDiagnostic, WARNING, check_select,
+)
+
+__all__ = ["PlanDiagnostic", "check_select", "ERROR", "WARNING"]

@@ -1,0 +1,176 @@
+"""Project-scope rules: analyses that need the whole module set.
+
+Currently one rule lives here: import-cycle detection over the
+module-level import graph. Lazy (function-level) imports are the
+sanctioned cycle-breaking idiom and deliberately excluded.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from .core import Finding, ModuleInfo, Rule, register
+
+
+def _toplevel_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Module-level statements, descending into top-level If/Try blocks
+    (e.g. ``TYPE_CHECKING`` guards) but never into functions/classes."""
+    stack: List[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.If, ast.Try)):
+            for name in ("body", "orelse", "finalbody"):
+                stack.extend(getattr(node, name, []) or [])
+            for handler in getattr(node, "handlers", []) or []:
+                stack.extend(handler.body)
+
+
+def _import_targets(module: ModuleInfo, node: ast.stmt,
+                    known: Set[str]) -> Iterator[str]:
+    """Dotted in-package module names *node* imports, resolved against
+    the set of modules that actually exist (*known*)."""
+    if isinstance(node, ast.ImportFrom):
+        if node.level > 0:
+            pkg = module.relpath.split("/")[:-1]
+            drop = node.level - 1
+            if drop > len(pkg):
+                return
+            base = pkg[:len(pkg) - drop] if drop else pkg
+            prefix = list(base)
+            if node.module:
+                prefix.extend(node.module.split("."))
+        elif node.module and (node.module == "repro"
+                              or node.module.startswith("repro.")):
+            prefix = node.module.split(".")[1:]
+        else:
+            return
+        # "from pkg import name": name may be a submodule or an attr.
+        for alias in node.names:
+            candidate = ".".join(prefix + [alias.name])
+            if candidate in known:
+                yield candidate
+        dotted = ".".join(prefix)
+        # An edge to an ancestor package would make every submodule of
+        # a re-exporting package cyclic; submodules only need the
+        # parent *partially* initialized, which import machinery
+        # guarantees, so count edges to non-ancestor packages only.
+        if dotted in known and not (
+            module.module_name == dotted
+            or module.module_name.startswith(dotted + ".")
+        ):
+            yield dotted
+    elif isinstance(node, ast.Import):
+        for alias in node.names:
+            if not alias.name.startswith("repro."):
+                continue
+            parts = alias.name.split(".")[1:]
+            while parts:
+                dotted = ".".join(parts)
+                if dotted in known:
+                    yield dotted
+                    break
+                parts = parts[:-1]
+
+
+@register
+class ImportCycleRule(Rule):
+    """No cycles in the module-level import graph.
+
+    A cycle means no valid initialization order exists; which module
+    wins depends on who is imported first. Function-level imports do
+    not count: deferring an import *is* how a back-reference is
+    legitimately expressed.
+    """
+
+    id = "import-cycle"
+    summary = "forbid cycles among module-level imports"
+    scope = "project"
+
+    def check_project(
+        self, modules: List[ModuleInfo]
+    ) -> Iterator[Finding]:
+        known = {m.module_name for m in modules}
+        graph: Dict[str, Set[str]] = {}
+        lines: Dict[str, Dict[str, int]] = {}
+        by_name = {m.module_name: m for m in modules}
+        for module in modules:
+            edges: Set[str] = set()
+            edge_lines: Dict[str, int] = {}
+            for stmt in _toplevel_statements(module.tree):
+                if not isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                    continue
+                for target in _import_targets(module, stmt, known):
+                    if target != module.module_name:
+                        edges.add(target)
+                        edge_lines.setdefault(target, stmt.lineno)
+            graph[module.module_name] = edges
+            lines[module.module_name] = edge_lines
+        for cycle in _cycles(graph):
+            entry = cycle[0]
+            module = by_name[entry]
+            line = lines[entry].get(cycle[1 % len(cycle)], 1)
+            yield module.finding(
+                line, self.id,
+                "import cycle: %s" % " -> ".join(cycle + [entry]),
+            )
+
+
+def _cycles(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Strongly connected components of size > 1 (plus self-loops),
+    each rotated to start at its lexicographically smallest member."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        # Iterative Tarjan: (node, iterator over successors).
+        work = [(root, iter(sorted(graph.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in graph:
+                    continue
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in graph.get(node, ()):
+                    smallest = min(component)
+                    pivot = component.index(smallest)
+                    sccs.append(component[pivot:] + component[:pivot])
+
+    for name in sorted(graph):
+        if name not in index:
+            strongconnect(name)
+    sccs.sort()
+    return sccs

@@ -1,0 +1,541 @@
+"""Module-scope lint rules enforcing the repo's invariants.
+
+Each rule documents the invariant it guards; ``docs/static_analysis.md``
+carries the full catalogue with rationale and examples. Rules operate
+on one module's AST and never import the code under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .core import Finding, ModuleInfo, Rule, register
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local binding name -> dotted origin for every import.
+
+    ``import datetime as _dt`` binds ``_dt -> datetime``; ``from time
+    import perf_counter`` binds ``perf_counter -> time.perf_counter``.
+    Relative imports are ignored (they stay inside the package).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[bound] = origin
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                aliases[bound] = "%s.%s" % (node.module, alias.name)
+    return aliases
+
+
+def _dotted_path(func: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve a call target to a dotted origin path, or None."""
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    origin = aliases.get(node.id)
+    if origin is None:
+        return None
+    parts.append(origin)
+    return ".".join(reversed(parts))
+
+
+def _used_names(tree: ast.AST) -> Set[str]:
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            base = node
+            while isinstance(base, ast.Attribute):
+                base = base.value
+            if isinstance(base, ast.Name):
+                used.add(base.id)
+    return used
+
+
+def _imported_bindings(node) -> List[str]:
+    """Binding names introduced by one import statement."""
+    names: List[str] = []
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            names.append(alias.asname or alias.name.split(".")[0])
+    elif isinstance(node, ast.ImportFrom):
+        if node.module == "__future__":
+            return []
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            names.append(alias.asname or alias.name)
+    return names
+
+
+def _is_entry_point(module: ModuleInfo) -> bool:
+    """Application-layer modules free to import across layers."""
+    rel = module.relpath
+    return (
+        rel in ("cli.py", "obs/smoke.py", "__init__.py")
+        or rel.startswith("bench/")
+    )
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+
+# Wall-clock and entropy sources that make answers non-reproducible.
+# Monotonic interval clocks (time.perf_counter/monotonic) stay legal:
+# they measure durations, never influence results.
+_FORBIDDEN_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.ctime": "wall-clock read",
+    "time.localtime": "wall-clock read",
+    "time.gmtime": "wall-clock read",
+    "time.strftime": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy source",
+    "os.getrandom": "OS entropy source",
+    "uuid.uuid1": "non-deterministic id",
+    "uuid.uuid4": "non-deterministic id",
+    "random.SystemRandom": "OS entropy source",
+}
+
+# Constructors that are fine when seeded, forbidden bare.
+_SEEDED_CONSTRUCTORS = ("random.Random", "numpy.random.default_rng")
+
+
+@register
+class DeterminismRule(Rule):
+    """No wall-clock time or unseeded randomness in library code.
+
+    The paper's contract is byte-reproducible answers for a fixed seed;
+    any ambient entropy breaks it. ``bench/``, ``cli.py`` and
+    ``obs/smoke.py`` are application entry points and exempt.
+    """
+
+    id = "determinism"
+    summary = ("forbid wall-clock reads and unseeded RNGs outside "
+               "bench/cli entry points")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if _is_entry_point(module):
+            return
+        aliases = _import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = _dotted_path(node.func, aliases)
+            if path is None:
+                continue
+            reason = _FORBIDDEN_CALLS.get(path)
+            if reason is None and path.startswith("secrets."):
+                reason = "OS entropy source"
+            if reason is not None:
+                yield module.finding(
+                    node, self.id,
+                    "%s() is a %s; library results must be "
+                    "deterministic" % (path, reason),
+                )
+                continue
+            if path in _SEEDED_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield module.finding(
+                        node, self.id,
+                        "%s() without a seed is non-deterministic; "
+                        "pass an explicit seed" % path,
+                    )
+            elif path.startswith("random.") or path.startswith(
+                    "numpy.random."):
+                # Module-level convenience functions draw from the
+                # hidden global generator -- unseedable per call site.
+                yield module.finding(
+                    node, self.id,
+                    "%s() uses the shared global RNG; construct a "
+                    "seeded random.Random/default_rng instead" % path,
+                )
+
+
+# ----------------------------------------------------------------------
+# Exception hygiene
+# ----------------------------------------------------------------------
+
+# Builtin exceptions acceptable for programmer-error guard clauses.
+# Domain failures must use the repro.errors taxonomy so callers can
+# catch ReproError at API boundaries.
+_ALLOWED_BUILTIN_RAISES = {
+    "ValueError", "TypeError", "KeyError", "IndexError", "AttributeError",
+    "RuntimeError", "NotImplementedError", "StopIteration",
+    "ZeroDivisionError", "SystemExit",
+}
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+def _is_builtin_exception(name: str) -> bool:
+    obj = getattr(builtins, name, None)
+    return isinstance(obj, type) and issubclass(obj, BaseException)
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    """No bare excepts, no generic raises outside the error taxonomy.
+
+    Library failures must be expressible as :class:`repro.errors.
+    ReproError` subclasses (or the small builtin guard-clause set), and
+    handlers must never silently swallow everything.
+    """
+
+    id = "exception-hygiene"
+    summary = ("forbid bare except, silent except-Exception-pass, and "
+               "raises outside the repro.errors taxonomy")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(module, node)
+            elif isinstance(node, ast.Raise):
+                yield from self._check_raise(module, node)
+
+    def _check_handler(self, module, node) -> Iterator[Finding]:
+        if node.type is None:
+            yield module.finding(
+                node, self.id,
+                "bare 'except:' catches SystemExit/KeyboardInterrupt; "
+                "name the exception types",
+            )
+            return
+        names = []
+        targets = (node.type.elts if isinstance(node.type, ast.Tuple)
+                   else [node.type])
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.append(target.id)
+        if any(n in ("Exception", "BaseException") for n in names):
+            if all(isinstance(stmt, (ast.Pass, ast.Continue))
+                   for stmt in node.body):
+                yield module.finding(
+                    node, self.id,
+                    "'except %s' that only passes swallows every error "
+                    "silently; handle or re-raise" % names[0],
+                )
+
+    def _check_raise(self, module, node) -> Iterator[Finding]:
+        name = _raised_name(node)
+        if name is None:
+            return
+        if name in ("Exception", "BaseException"):
+            yield module.finding(
+                node, self.id,
+                "raise %s is untypable for callers; use a "
+                "repro.errors taxonomy class" % name,
+            )
+        elif (_is_builtin_exception(name)
+              and name not in _ALLOWED_BUILTIN_RAISES):
+            yield module.finding(
+                node, self.id,
+                "raise %s bypasses the repro.errors taxonomy; use a "
+                "ReproError subclass (or ValueError/TypeError for "
+                "guard clauses)" % name,
+            )
+
+
+# ----------------------------------------------------------------------
+# Import layering
+# ----------------------------------------------------------------------
+
+# Allowed dependencies per top-level unit (see docs/static_analysis.md
+# for the layer diagram). obs is cross-cutting infrastructure: anything
+# above the base layer may emit spans/metrics. qa is the integration
+# layer; only entry points (bench/cli) sit above it.
+_BASE = {"errors", "metering"}
+_INFRA = _BASE | {"obs"}
+_ALLOWED_DEPS: Dict[str, Set[str]] = {
+    "errors": set(),
+    "metering": set(),
+    "obs": set(_BASE),
+    "text": {"errors"},
+    "storage": _INFRA | {"text"},
+    "slm": _INFRA | {"text"},
+    "extraction": _INFRA | {"text", "slm", "storage"},
+    "graphindex": _INFRA | {"text", "slm", "storage"},
+    "entropy": _INFRA | {"text", "slm"},
+    "retrieval": _INFRA | {"text", "slm", "graphindex"},
+    "semql": _INFRA | {"text", "slm", "storage", "extraction"},
+    "qa": _INFRA | {
+        "text", "slm", "storage", "extraction", "graphindex",
+        "entropy", "retrieval", "semql",
+    },
+    "lint": {"errors", "storage"},
+}
+
+
+def _resolve_relative(module: ModuleInfo,
+                      node: ast.ImportFrom) -> Optional[str]:
+    """Top-level unit a relative import lands in, or None for root."""
+    pkg_parts = module.relpath.split("/")[:-1]
+    drop = node.level - 1
+    if drop > len(pkg_parts):
+        return None
+    base = pkg_parts[:len(pkg_parts) - drop] if drop else pkg_parts
+    target = list(base)
+    if node.module:
+        target.extend(node.module.split("."))
+    if target:
+        return target[0]
+    # "from . import name" at the package root: each name is a unit.
+    return None
+
+
+@register
+class LayeringRule(Rule):
+    """Subsystems may only import downward in the layer stack.
+
+    ``storage``/``text``/``slm`` must never reach up into ``qa`` (or any
+    higher layer); every unit's legal dependency set is declared in
+    ``_ALLOWED_DEPS``. Entry points (``cli.py``, ``bench/``,
+    ``obs/smoke.py``) and the public ``__init__`` facade are exempt.
+    Lazy (function-level) imports count: they still couple layers.
+    """
+
+    id = "layering"
+    summary = "enforce the declared inter-subpackage dependency DAG"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if _is_entry_point(module):
+            return
+        unit = module.unit
+        allowed = _ALLOWED_DEPS.get(unit)
+        for node, target in self._repro_imports(module):
+            if target == unit:
+                continue
+            if allowed is None:
+                yield module.finding(
+                    node, self.id,
+                    "unit %r has no declared layer; add it to "
+                    "repro.lint.rules._ALLOWED_DEPS" % unit,
+                )
+                return
+            if target not in allowed:
+                yield module.finding(
+                    node, self.id,
+                    "%s must not import repro.%s (allowed: %s)"
+                    % (unit, target, ", ".join(sorted(allowed)) or
+                       "<nothing>"),
+                )
+
+    @staticmethod
+    def _repro_imports(
+        module: ModuleInfo
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.level > 0:
+                    unit = _resolve_relative(module, node)
+                    if unit is not None:
+                        yield node, unit
+                    elif node.module is None:
+                        # from . import storage, qa -- at package root
+                        for alias in node.names:
+                            yield node, alias.name
+                elif node.module and (
+                    node.module == "repro"
+                    or node.module.startswith("repro.")
+                ):
+                    parts = node.module.split(".")
+                    if len(parts) > 1:
+                        yield node, parts[1]
+                    else:
+                        for alias in node.names:
+                            yield node, alias.name
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith("repro."):
+                        yield node, alias.name.split(".")[1]
+
+
+# ----------------------------------------------------------------------
+# Hygiene: mutable defaults, prints, docstrings, unused imports
+# ----------------------------------------------------------------------
+
+@register
+class MutableDefaultRule(Rule):
+    """No mutable default argument values.
+
+    A ``def f(x, acc=[])`` default is created once and shared across
+    calls -- state leaks between invocations.
+    """
+
+    id = "mutable-default"
+    summary = "forbid list/dict/set literals (or constructors) as defaults"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, _FUNCTION_NODES + (ast.Lambda,)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield module.finding(
+                        default, self.id,
+                        "mutable default argument in %s(); use None "
+                        "and create inside the body" % name,
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "dict", "set")
+            and not node.args and not node.keywords
+        )
+
+
+# print() is part of the interface in these modules.
+_PRINT_ALLOWED = {"cli.py", "bench/reporting.py", "obs/smoke.py",
+                  "lint/cli.py"}
+
+
+@register
+class NoPrintRule(Rule):
+    """No stray debugging prints in library code.
+
+    Reporting modules whose job is terminal output are allowlisted.
+    """
+
+    id = "no-print"
+    summary = "forbid print() outside cli/reporting/smoke modules"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.relpath in _PRINT_ALLOWED:
+            return
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                yield module.finding(
+                    node, self.id,
+                    "print() in library code; use the obs layer or "
+                    "return the value",
+                )
+
+
+@register
+class DocstringRule(Rule):
+    """Modules and public top-level definitions carry docstrings.
+
+    Subclass methods inherit their contract's docs, so only root
+    classes (no bases) must document every public method.
+    """
+
+    id = "docstrings"
+    summary = "require module + public def/class docstrings"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not ast.get_docstring(module.tree):
+            yield module.finding(1, self.id, "module lacks a docstring")
+        for node in module.tree.body:
+            if isinstance(node, _FUNCTION_NODES + (ast.ClassDef,)):
+                if node.name.startswith("_"):
+                    continue
+                if not ast.get_docstring(node):
+                    yield module.finding(
+                        node, self.id,
+                        "public %r lacks a docstring" % node.name,
+                    )
+                if isinstance(node, ast.ClassDef) and not node.bases:
+                    for item in node.body:
+                        if (isinstance(item, _FUNCTION_NODES)
+                                and not item.name.startswith("_")
+                                and not ast.get_docstring(item)):
+                            yield module.finding(
+                                item, self.id,
+                                "public method %s.%s lacks a docstring"
+                                % (node.name, item.name),
+                            )
+
+
+@register
+class UnusedImportRule(Rule):
+    """No unused imports, at module level or inside functions.
+
+    ``__init__.py`` re-export modules bind names intentionally and are
+    skipped at module level.
+    """
+
+    id = "unused-import"
+    summary = "forbid unused module-level and function-level imports"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.relpath.endswith("__init__.py"):
+            used = _used_names(module.tree)
+            for node in module.tree.body:
+                if isinstance(node, (ast.Import, ast.ImportFrom)):
+                    for name in _imported_bindings(node):
+                        if name not in used:
+                            yield module.finding(
+                                node, self.id,
+                                "unused import %r" % name,
+                            )
+        for func in ast.walk(module.tree):
+            if not isinstance(func, _FUNCTION_NODES):
+                continue
+            local_used = _used_names(func)
+            for node in self._own_imports(func):
+                for name in _imported_bindings(node):
+                    if name not in local_used:
+                        yield module.finding(
+                            node, self.id,
+                            "import %r unused within %s()"
+                            % (name, func.name),
+                        )
+
+    @staticmethod
+    def _own_imports(func: ast.AST) -> Iterator[ast.AST]:
+        """Import statements in *func*'s body, not in nested functions."""
+        stack = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _FUNCTION_NODES + (ast.Lambda,)):
+                continue
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield node
+            else:
+                stack.extend(ast.iter_child_nodes(node))

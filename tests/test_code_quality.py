@@ -1,111 +1,38 @@
-"""Source-hygiene checks enforced by the test suite.
+"""Source-hygiene checks, driven by the in-repo lint engine.
 
-A lightweight AST lint (no external tools available offline): no
-unused module-level imports, no stray debugging prints in library
-code, and every public module/class/function carries a docstring.
+The rules themselves (unused imports, debug prints, docstrings,
+determinism, exception hygiene, layering, import cycles, mutable
+defaults) have exactly one implementation: :mod:`repro.lint`. This
+suite runs that engine over ``src/repro`` and fails per-rule with the
+offending findings, so CI output stays as pointed as the old ad-hoc
+AST tests were.
 """
 
-import ast
 import pathlib
 
 import pytest
 
+from repro.lint import LintEngine, all_rules, rule_ids
+
 SRC = pathlib.Path(__file__).parent.parent / "src" / "repro"
-MODULES = sorted(p for p in SRC.rglob("*.py"))
 
-# print() is part of the interface in these modules.
-PRINT_ALLOWED = {"cli.py", "reporting.py", "smoke.py"}
+_FINDINGS = LintEngine().lint_tree(SRC)
 
 
-def module_ast(path):
-    return ast.parse(path.read_text(encoding="utf-8"))
+@pytest.mark.parametrize("rule_id", rule_ids())
+def test_rule_is_clean(rule_id):
+    offenders = [f for f in _FINDINGS if f.rule == rule_id]
+    assert not offenders, "\n".join(f.render() for f in offenders)
 
 
-def imported_names(tree):
-    """Module-level imported binding names."""
-    names = []
-    for node in tree.body:
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                bound = alias.asname or alias.name.split(".")[0]
-                names.append(bound)
-        elif isinstance(node, ast.ImportFrom):
-            if node.module == "__future__":
-                continue
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                names.append(alias.asname or alias.name)
-    return names
+def test_no_parse_errors():
+    # lint_tree turns SyntaxError into synthetic "parse-error" findings
+    # outside any registered rule; they must never appear.
+    broken = [f for f in _FINDINGS if f.rule not in set(rule_ids())]
+    assert not broken, "\n".join(f.render() for f in broken)
 
 
-def used_names(tree):
-    used = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Name):
-            used.add(node.id)
-        elif isinstance(node, ast.Attribute):
-            base = node
-            while isinstance(base, ast.Attribute):
-                base = base.value
-            if isinstance(base, ast.Name):
-                used.add(base.id)
-    return used
-
-
-@pytest.mark.parametrize("path", MODULES, ids=lambda p: str(
-    p.relative_to(SRC)))
-def test_no_unused_module_imports(path):
-    if path.name == "__init__.py":
-        pytest.skip("re-export modules bind names intentionally")
-    tree = module_ast(path)
-    used = used_names(tree)
-    unused = [
-        name for name in imported_names(tree) if name not in used
-    ]
-    assert not unused, "unused imports in %s: %s" % (path.name, unused)
-
-
-@pytest.mark.parametrize("path", MODULES, ids=lambda p: str(
-    p.relative_to(SRC)))
-def test_no_debug_prints(path):
-    if path.name in PRINT_ALLOWED:
-        pytest.skip("printing is this module's job")
-    tree = module_ast(path)
-    offenders = [
-        node.lineno for node in ast.walk(tree)
-        if isinstance(node, ast.Call)
-        and isinstance(node.func, ast.Name) and node.func.id == "print"
-    ]
-    assert not offenders, "print() at lines %s of %s" % (
-        offenders, path.name)
-
-
-@pytest.mark.parametrize("path", MODULES, ids=lambda p: str(
-    p.relative_to(SRC)))
-def test_module_docstrings(path):
-    tree = module_ast(path)
-    assert ast.get_docstring(tree), "%s lacks a module docstring" % (
-        path.name)
-
-
-def test_public_defs_have_docstrings():
-    missing = []
-    for path in MODULES:
-        tree = module_ast(path)
-        for node in tree.body:
-            if isinstance(node, (ast.FunctionDef, ast.ClassDef)):
-                if node.name.startswith("_"):
-                    continue
-                if not ast.get_docstring(node):
-                    missing.append("%s:%s" % (path.name, node.name))
-            if isinstance(node, ast.ClassDef) and not node.bases:
-                # Subclass methods inherit their contract's docs; only
-                # root classes must document every public method.
-                for item in node.body:
-                    if isinstance(item, ast.FunctionDef) and \
-                            not item.name.startswith("_") and \
-                            not ast.get_docstring(item):
-                        missing.append("%s:%s.%s" % (
-                            path.name, node.name, item.name))
-    assert not missing, "missing docstrings: %s" % missing[:20]
+def test_every_rule_documented():
+    for rule in all_rules():
+        assert rule.id and rule.summary, rule
+        assert rule.__doc__, "rule %s lacks a docstring" % rule.id

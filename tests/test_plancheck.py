@@ -1,0 +1,282 @@
+"""Tests for the static query-plan checker (repro.lint.plancheck).
+
+Each diagnostic code gets a direct case; gating behaviour is tested
+through :class:`Database` in both default and strict modes, and a fuzz
+sweep reuses the SQL grammar from ``test_sql_roundtrip_fuzz`` to show
+the checker never rejects a statement the executor would accept.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import PlanError
+from repro.lint.plancheck import ERROR, WARNING, check_select
+from repro.storage.relational import Database
+from repro.storage.relational.sql_parser import parse
+from tests.test_sql_roundtrip_fuzz import SEED, _seed_database, _select
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE products (pid INT PRIMARY KEY, name TEXT, "
+        "price FLOAT, stock INT)"
+    )
+    database.execute(
+        "CREATE TABLE orders (oid INT PRIMARY KEY, pid INT, qty INT, "
+        "name TEXT)"
+    )
+    database.execute(
+        "INSERT INTO products VALUES (1, 'bolt', 0.5, 100), "
+        "(2, 'nut', 0.2, 50)"
+    )
+    database.execute("INSERT INTO orders VALUES (10, 1, 3, 'first')")
+    return database
+
+
+def codes(diags, severity=None):
+    """Diagnostic codes, optionally filtered by severity."""
+    return [d.code for d in diags
+            if severity is None or d.severity == severity]
+
+
+class TestDiagnostics:
+    def test_clean_query_has_no_diagnostics(self, db):
+        assert db.analyze(
+            "SELECT name, price FROM products WHERE price > 0.1") == []
+
+    def test_unknown_table(self, db):
+        diags = db.analyze("SELECT x FROM nowhere")
+        assert "unknown-table" in codes(diags, ERROR)
+
+    def test_unknown_column(self, db):
+        diags = db.analyze("SELECT nope FROM products")
+        assert codes(diags, ERROR) == ["unknown-column"]
+        assert "tables in scope" in diags[0].message
+
+    def test_unknown_column_in_where(self, db):
+        diags = db.analyze("SELECT name FROM products WHERE ghost = 1")
+        assert "unknown-column" in codes(diags, ERROR)
+
+    def test_type_mismatch_comparison(self, db):
+        diags = db.analyze(
+            "SELECT name FROM products WHERE price > 'abc'")
+        assert "type-mismatch" in codes(diags, ERROR)
+
+    def test_type_mismatch_in_list(self, db):
+        diags = db.analyze(
+            "SELECT name FROM products WHERE name IN (1, 2)")
+        assert "type-mismatch" in codes(diags, ERROR)
+
+    def test_matching_types_clean(self, db):
+        assert db.analyze(
+            "SELECT name FROM products "
+            "WHERE name = 'bolt' AND stock IN (1, 2)") == []
+
+    def test_unsatisfiable_bounds(self, db):
+        diags = db.analyze(
+            "SELECT name FROM products WHERE stock > 5 AND stock < 3")
+        assert "unsatisfiable-predicate" in codes(diags, ERROR)
+        assert "can never hold" in diags[0].message
+
+    def test_unsatisfiable_equality_conflict(self, db):
+        diags = db.analyze(
+            "SELECT name FROM products WHERE stock = 1 AND stock = 2")
+        assert "unsatisfiable-predicate" in codes(diags, ERROR)
+
+    def test_unsatisfiable_eq_vs_neq(self, db):
+        diags = db.analyze(
+            "SELECT name FROM products WHERE stock = 1 AND stock != 1")
+        assert "unsatisfiable-predicate" in codes(diags, ERROR)
+
+    def test_unsatisfiable_eq_outside_bounds(self, db):
+        diags = db.analyze(
+            "SELECT name FROM products WHERE stock = 1 AND stock > 5")
+        assert "unsatisfiable-predicate" in codes(diags, ERROR)
+
+    def test_unsatisfiable_between(self, db):
+        diags = db.analyze(
+            "SELECT name FROM products "
+            "WHERE stock BETWEEN 10 AND 20 AND stock < 5")
+        assert "unsatisfiable-predicate" in codes(diags, ERROR)
+
+    def test_flipped_literal_comparison_normalized(self, db):
+        diags = db.analyze(
+            "SELECT name FROM products WHERE 5 < stock AND stock < 3")
+        assert "unsatisfiable-predicate" in codes(diags, ERROR)
+
+    def test_satisfiable_or_not_flagged(self, db):
+        # OR disjuncts are not conjoined bounds; x > 5 OR x < 3 is fine.
+        assert db.analyze(
+            "SELECT name FROM products "
+            "WHERE stock > 5 OR stock < 3") == []
+
+    def test_tight_but_satisfiable_bounds_clean(self, db):
+        assert db.analyze(
+            "SELECT name FROM products "
+            "WHERE stock >= 5 AND stock <= 5") == []
+
+    def test_ambiguous_column_is_warning(self, db):
+        # "name" exists in both products and orders.
+        diags = db.analyze(
+            "SELECT name FROM products p "
+            "JOIN orders o ON p.pid = o.pid")
+        assert "ambiguous-column" in codes(diags, WARNING)
+        assert codes(diags, ERROR) == []
+
+    def test_unused_join_is_warning(self, db):
+        diags = db.analyze(
+            "SELECT p.name FROM products p "
+            "JOIN orders o ON p.pid = o.pid")
+        assert "unused-join" in codes(diags, WARNING)
+
+    def test_join_used_in_projection_clean(self, db):
+        assert db.analyze(
+            "SELECT p.name, o.qty FROM products p "
+            "JOIN orders o ON p.pid = o.pid") == []
+
+    def test_sum_over_text_is_warning(self, db):
+        diags = db.analyze("SELECT SUM(name) FROM products")
+        assert codes(diags, WARNING) == ["type-mismatch"]
+        assert "SUM()" in diags[0].message
+
+    def test_sum_over_numeric_clean(self, db):
+        assert db.analyze("SELECT SUM(price) FROM products") == []
+
+    def test_errors_sort_before_warnings(self, db):
+        diags = db.analyze(
+            "SELECT p.nope FROM products p "
+            "JOIN orders o ON p.pid = o.pid")
+        severities = [d.severity for d in diags]
+        assert severities == sorted(severities, key=lambda s: s != ERROR)
+
+    def test_render_shape(self, db):
+        diag = db.analyze("SELECT nope FROM products")[0]
+        assert diag.render().startswith("error: [unknown-column]")
+
+
+class TestOutputScope:
+    def test_having_sees_output_aliases(self, db):
+        assert db.analyze(
+            "SELECT name, SUM(qty) AS total FROM orders "
+            "GROUP BY name HAVING total > 1") == []
+
+    def test_having_rejects_non_output_non_group_columns(self, db):
+        diags = db.analyze(
+            "SELECT name, SUM(qty) AS total FROM orders "
+            "GROUP BY name HAVING pid > 1")
+        assert "unknown-column" in codes(diags, ERROR)
+        assert "HAVING" in diags[0].message
+
+    def test_having_aggregate_args_not_base_checked(self, db):
+        # COUNT(o.qty) in HAVING is rewritten to the precomputed value;
+        # its argument is never evaluated against post-group rows.
+        assert db.analyze(
+            "SELECT o.name, COUNT(o.qty) AS n FROM orders o "
+            "GROUP BY o.name HAVING COUNT(o.qty) >= 1") == []
+
+    def test_order_by_sees_output_aliases(self, db):
+        assert db.analyze(
+            "SELECT name AS label FROM products ORDER BY label") == []
+
+    def test_order_by_base_column_in_plain_select(self, db):
+        assert db.analyze(
+            "SELECT name FROM products ORDER BY price") == []
+
+    def test_order_by_unknown_in_aggregated_select(self, db):
+        diags = db.analyze(
+            "SELECT name, COUNT(*) AS n FROM products "
+            "GROUP BY name ORDER BY price")
+        assert "unknown-column" in codes(diags, ERROR)
+
+
+class TestGating:
+    def test_unknown_column_rejected_statically(self, db):
+        with pytest.raises(PlanError) as exc:
+            db.execute("SELECT nope FROM products")
+        assert "unknown-column" in str(exc.value)
+
+    def test_default_mode_executes_unsatisfiable(self, db):
+        # Contradictory-but-valid predicates still run (empty result):
+        # rejecting them would change the semantics of generated SQL.
+        rs = db.execute(
+            "SELECT name FROM products WHERE stock > 5 AND stock < 3")
+        assert rs.rows == []
+
+    def test_default_mode_executes_type_mismatch_free_query(self, db):
+        assert db.execute("SELECT COUNT(*) FROM products").scalar() == 2
+
+    def test_strict_mode_rejects_unsatisfiable(self):
+        db = Database(strict_plancheck=True)
+        db.execute("CREATE TABLE t (x INT)")
+        with pytest.raises(PlanError) as exc:
+            db.execute("SELECT x FROM t WHERE x > 5 AND x < 3")
+        assert "unsatisfiable-predicate" in str(exc.value)
+
+    def test_strict_mode_rejects_type_mismatch(self):
+        db = Database(strict_plancheck=True)
+        db.execute("CREATE TABLE t (x INT)")
+        with pytest.raises(PlanError) as exc:
+            db.execute("SELECT x FROM t WHERE x = 'abc'")
+        assert "type-mismatch" in str(exc.value)
+
+    def test_strict_mode_allows_warnings(self):
+        db = Database(strict_plancheck=True)
+        db.execute("CREATE TABLE a (k INT, v TEXT)")
+        db.execute("CREATE TABLE b (k INT, w TEXT)")
+        db.execute("INSERT INTO a VALUES (1, 'x')")
+        db.execute("INSERT INTO b VALUES (1, 'y')")
+        rs = db.execute("SELECT a.v FROM a JOIN b ON a.k = b.k")
+        assert rs.rows == [("x",)]
+
+    def test_analyze_rejects_non_select(self, db):
+        with pytest.raises(PlanError):
+            db.analyze("DELETE FROM products")
+
+    def test_analyze_never_raises_for_semantic_problems(self, db):
+        diags = db.analyze("SELECT nope FROM nowhere WHERE 1 = 'a'")
+        assert all(isinstance(d.code, str) for d in diags)
+
+    def test_analyze_sees_views(self, db):
+        db.execute(
+            "CREATE VIEW cheap AS SELECT name, price FROM products "
+            "WHERE price < 0.4")
+        assert db.analyze("SELECT name FROM cheap") == []
+        diags = db.analyze("SELECT stock FROM cheap")
+        assert "unknown-column" in codes(diags, ERROR)
+
+
+class TestCheckSelectDirect:
+    def test_callable_with_schema_callback(self, db):
+        stmt = parse("SELECT nope FROM products")
+        schema_of = db._schema_of
+        diags = check_select(stmt, schema_of)
+        assert codes(diags, ERROR) == ["unknown-column"]
+
+    def test_missing_schema_reports_unknown_table(self):
+        stmt = parse("SELECT x FROM ghost")
+        diags = check_select(stmt, lambda name: None)
+        assert "unknown-table" in codes(diags, ERROR)
+
+
+class TestFuzzedGrammar:
+    # Error codes the fuzz grammar can legitimately trigger: it freely
+    # conjoins random comparisons, so contradictory intervals occur.
+    ALLOWED_ERRORS = {"unsatisfiable-predicate"}
+
+    def test_generated_selects_analyze_and_execute(self):
+        rng = random.Random(SEED + 7)
+        db = _seed_database(rng)
+        for _ in range(150):
+            sql = _select(rng)
+            diags = db.analyze(sql)
+            unexpected = [d for d in diags
+                          if d.severity == ERROR
+                          and d.code not in self.ALLOWED_ERRORS]
+            assert not unexpected, "%r -> %s" % (
+                sql, [d.render() for d in unexpected])
+            # Default gating must not reject anything the grammar
+            # generates; execution stays the source of truth.
+            db.execute(sql)
