@@ -13,7 +13,11 @@ Subcommands:
 
 Every subcommand accepts ``--trace``: after the command's own output it
 prints the recorded span tree (nested stages, wall time, per-span cost
-deltas — see ``docs/observability.md``).
+deltas — see ``docs/observability.md``). ``--faults plan.json`` loads a
+seeded fault plan plus retry/breaker/budget policies and runs the
+command under deterministic chaos (see ``docs/resilience.md``); with
+``--trace`` the injected faults, retries and breaker transitions show
+up as ``resilience.*`` spans.
 
 Usage: ``python -m repro.cli demo --domain ecommerce --trace``
 """
@@ -21,6 +25,7 @@ Usage: ``python -m repro.cli demo --domain ecommerce --trace``
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from contextlib import contextmanager
 from typing import List, Optional
@@ -30,6 +35,7 @@ from .bench import (
 )
 from .bench.runner import build_hybrid_system
 from .obs import Tracer, render_trace
+from .resilience import ResilienceConfig
 
 
 @contextmanager
@@ -45,7 +51,7 @@ def _tracing(args, pipeline):
     print(render_trace(tracer))
 
 
-def _build(domain: str, seed: int):
+def _build(domain: str, seed: int, faults: Optional[str] = None):
     if domain == "ecommerce":
         lake = generate_ecommerce_lake(LakeSpec(seed=seed))
     elif domain == "healthcare":
@@ -53,12 +59,16 @@ def _build(domain: str, seed: int):
     else:
         raise SystemExit("unknown domain %r" % domain)
     system, pipeline = build_hybrid_system(lake, seed=seed)
+    if faults:
+        with open(faults, "r", encoding="utf-8") as handle:
+            config = ResilienceConfig.from_dict(json.load(handle))
+        pipeline.enable_resilience(config)
     return lake, pipeline
 
 
 def cmd_demo(args) -> int:
     """Answer a benchmark sample with routing details."""
-    lake, pipeline = _build(args.domain, args.seed)
+    lake, pipeline = _build(args.domain, args.seed, args.faults)
     pairs = lake.qa_pairs(per_kind=2)
     correct = 0
     with _tracing(args, pipeline):
@@ -75,7 +85,7 @@ def cmd_demo(args) -> int:
 
 def cmd_ask(args) -> int:
     """Answer one user question."""
-    _, pipeline = _build(args.domain, args.seed)
+    _, pipeline = _build(args.domain, args.seed, args.faults)
     with _tracing(args, pipeline):
         answer, estimate = pipeline.answer_with_uncertainty(args.question)
         print(answer.text or "<abstain>")
@@ -92,7 +102,7 @@ def cmd_ask(args) -> int:
 
 def cmd_stats(args) -> int:
     """Print lake and index statistics."""
-    lake, pipeline = _build(args.domain, args.seed)
+    lake, pipeline = _build(args.domain, args.seed, args.faults)
     print("tables: %s" % ", ".join(pipeline.db.table_names()))
     for name in pipeline.db.table_names():
         count = pipeline.db.execute(
@@ -117,7 +127,7 @@ def cmd_session(args) -> int:
     """
     from .qa import QASession
 
-    _, pipeline = _build(args.domain, args.seed)
+    _, pipeline = _build(args.domain, args.seed, args.faults)
     session = QASession(pipeline)
     stream = args._stdin if args._stdin is not None else sys.stdin
     with _tracing(args, pipeline):
@@ -135,7 +145,7 @@ def cmd_session(args) -> int:
 
 def cmd_sql(args) -> int:
     """Run raw SQL against the lake database."""
-    _, pipeline = _build(args.domain, args.seed)
+    _, pipeline = _build(args.domain, args.seed, args.faults)
     if args.explain_lint:
         print(pipeline.db.explain(args.query))
         diagnostics = pipeline.db.analyze(args.query)
@@ -166,6 +176,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=7)
         p.add_argument("--trace", action="store_true",
                        help="print the span tree after the command")
+        p.add_argument("--faults", default=None, metavar="PLAN.json",
+                       help="run under a deterministic fault plan "
+                            "(JSON; see docs/resilience.md)")
 
     demo = sub.add_parser("demo", help=cmd_demo.__doc__)
     common(demo)

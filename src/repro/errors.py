@@ -69,3 +69,53 @@ class EntropyError(ReproError):
 
 class BenchmarkError(ReproError):
     """A benchmark workload or harness was misconfigured."""
+
+
+class ResilienceError(ReproError):
+    """Base class for the resilience layer's control-flow signals.
+
+    These errors are raised *by* :mod:`repro.resilience` (budget and
+    breaker enforcement, injected faults) and absorbed by the same
+    layer at the engine boundary; they should never escape
+    ``HybridQAPipeline.answer``.
+    """
+
+
+class TransientError(ResilienceError):
+    """A backend call failed in a way that may succeed if retried.
+
+    ``backend`` and ``op`` name the guarded call site; retry policies
+    treat only this class as retryable.
+    """
+
+    def __init__(self, message: str, backend: str = "?", op: str = "?"):
+        super().__init__(message)
+        self.backend = backend
+        self.op = op
+
+
+class BudgetExceeded(ResilienceError):
+    """The per-question work budget is exhausted.
+
+    Budgets are measured in :class:`~repro.metering.CostMeter` work
+    units (deterministic, machine-independent), never in wall-clock
+    seconds. ``spent``/``limit`` carry the work accounting at the
+    moment of rejection.
+    """
+
+    def __init__(self, message: str, spent: int = 0, limit: int = 0):
+        super().__init__(message)
+        self.spent = spent
+        self.limit = limit
+
+
+class CircuitOpenError(ResilienceError):
+    """A call was rejected because the backend's circuit breaker is open.
+
+    ``backend`` names the breaker; the call was never attempted, so the
+    failing backend gets a work-clock cooldown to recover.
+    """
+
+    def __init__(self, message: str, backend: str = "?"):
+        super().__init__(message)
+        self.backend = backend

@@ -95,7 +95,8 @@ def _is_entry_point(module: ModuleInfo) -> bool:
     """Application-layer modules free to import across layers."""
     rel = module.relpath
     return (
-        rel in ("cli.py", "obs/smoke.py", "__init__.py")
+        rel in ("cli.py", "obs/smoke.py", "resilience/smoke.py",
+                "__init__.py")
         or rel.startswith("bench/")
     )
 
@@ -271,6 +272,57 @@ class ExceptionHygieneRule(Rule):
             )
 
 
+@register
+class FaultAbsorptionRule(Rule):
+    """Only ``repro.resilience`` may absorb the error taxonomy.
+
+    A broad handler (``except Exception``/``except BaseException``/bare
+    ``except``) that never re-raises swallows :class:`repro.errors.
+    ReproError` — it silently eats the very faults the resilience layer
+    is designed to record, retry and degrade on. Outside ``resilience/``
+    (and its chaos smoke, whose never-raise contract *requires* one),
+    callers must route risky calls through
+    :meth:`~repro.resilience.ResilienceManager.try_call` /
+    :meth:`~repro.resilience.ResilienceManager.shield` instead.
+    """
+
+    id = "fault-absorption"
+    summary = ("forbid broad except clauses that swallow ReproError "
+               "outside repro.resilience")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.relpath.startswith("resilience/"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = self._broad_name(node)
+            if broad is None:
+                continue
+            if not any(isinstance(inner, ast.Raise)
+                       for stmt in node.body
+                       for inner in ast.walk(stmt)):
+                yield module.finding(
+                    node, self.id,
+                    "'except %s' without a re-raise absorbs ReproError; "
+                    "route the call through repro.resilience "
+                    "(try_call/shield) instead" % broad,
+                )
+
+    @staticmethod
+    def _broad_name(node: ast.ExceptHandler) -> Optional[str]:
+        """The over-broad type a handler catches, or None when typed."""
+        if node.type is None:
+            return ":"
+        targets = (node.type.elts if isinstance(node.type, ast.Tuple)
+                   else [node.type])
+        for target in targets:
+            if (isinstance(target, ast.Name)
+                    and target.id in ("Exception", "BaseException")):
+                return target.id
+        return None
+
+
 # ----------------------------------------------------------------------
 # Import layering
 # ----------------------------------------------------------------------
@@ -293,9 +345,10 @@ _ALLOWED_DEPS: Dict[str, Set[str]] = {
     "entropy": _INFRA | {"text", "slm"},
     "retrieval": _INFRA | {"text", "slm", "graphindex"},
     "semql": _INFRA | {"text", "slm", "storage", "extraction"},
+    "resilience": _INFRA,
     "qa": _INFRA | {
         "text", "slm", "storage", "extraction", "graphindex",
-        "entropy", "retrieval", "semql",
+        "entropy", "retrieval", "resilience", "semql",
     },
     "lint": {"errors", "storage"},
 }
@@ -430,7 +483,7 @@ class MutableDefaultRule(Rule):
 
 # print() is part of the interface in these modules.
 _PRINT_ALLOWED = {"cli.py", "bench/reporting.py", "obs/smoke.py",
-                  "lint/cli.py"}
+                  "resilience/smoke.py", "lint/cli.py"}
 
 
 @register

@@ -13,9 +13,10 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..obs import span
+from ..resilience import is_degraded
 from ..semql.catalog import SchemaCatalog
 from ..semql.intents import analyze
-from .answer import Answer
+from .answer import ANSWER_SYSTEM_HYBRID, Answer
 
 ROUTE_STRUCTURED = "structured"
 ROUTE_UNSTRUCTURED = "unstructured"
@@ -85,13 +86,24 @@ class FederatedRouter:
 def best_answer(answers: List[Answer]) -> Answer:
     """Pick the most trustworthy non-abstaining answer.
 
-    Grounded beats ungrounded, then higher confidence wins; all-abstain
-    input returns the first abstention.
+    Tie-break order, applied left to right: **grounded** beats
+    ungrounded, then higher **confidence** wins, then a clean answer
+    beats one produced under **degradation** (absorbed backend faults;
+    see ``docs/resilience.md``). All-abstain input returns the first
+    abstention; an empty candidate list returns a typed abstention
+    rather than raising, so a pipeline whose every engine is down
+    still answers.
     """
     if not answers:
-        raise ValueError("need at least one answer")
+        return Answer.abstain(
+            ANSWER_SYSTEM_HYBRID, "no candidate answers (engines "
+            "unavailable or exhausted)",
+        )
     live = [a for a in answers if not a.abstained]
     if not live:
         return answers[0]
-    live.sort(key=lambda a: (a.grounded, a.confidence), reverse=True)
+    live.sort(
+        key=lambda a: (a.grounded, a.confidence, not is_degraded(a)),
+        reverse=True,
+    )
     return live[0]

@@ -28,16 +28,21 @@ from ..graphindex.builder import BuilderConfig, GraphIndexBuilder
 from ..graphindex.hetgraph import HeterogeneousGraph
 from ..metering import CostMeter, GLOBAL_METER
 from ..obs import incr, observe, span
+from ..resilience import (
+    CONFIDENCE_PENALTY, QuestionScope, ResilienceConfig,
+    ResilienceManager, summarize,
+)
 from ..retrieval.topology import TopologyConfig, TopologyRetriever
 from ..semql.catalog import SchemaCatalog
 from ..slm.model import SmallLanguageModel
 from ..storage.document.store import DocumentStore
 from ..storage.relational.database import Database
 from ..storage.textstore import TextStore
-from .answer import ANSWER_SYSTEM_HYBRID, Answer
+from .answer import ANSWER_SYSTEM_HYBRID, ANSWER_SYSTEM_RAG, Answer
 from .compare import ComparativeQA
 from .federation import (
-    ROUTE_STRUCTURED, ROUTE_UNSTRUCTURED, FederatedRouter, best_answer,
+    ROUTE_HYBRID, ROUTE_STRUCTURED, ROUTE_UNSTRUCTURED, FederatedRouter,
+    best_answer,
 )
 from .tableqa import TableQAEngine
 from .textqa import TextQAEngine
@@ -64,9 +69,11 @@ class HybridQAPipeline:
                  builder_config: Optional[BuilderConfig] = None,
                  topology_config: Optional[TopologyConfig] = None,
                  min_column_support: int = 1,
-                 resolve_entity_aliases: bool = False):
+                 resolve_entity_aliases: bool = False,
+                 resilience: Optional[ResilienceConfig] = None):
         self._slm = slm
         self._meter = meter if meter is not None else GLOBAL_METER
+        self._resilience = ResilienceManager(self._meter, resilience)
         self.db = Database(meter=self._meter)
         self.text_store = TextStore(meter=self._meter)
         self.doc_store = DocumentStore(meter=self._meter)
@@ -275,26 +282,85 @@ class HybridQAPipeline:
         """The cost meter every store and engine in this pipeline charges."""
         return self._meter
 
+    @property
+    def resilience(self) -> ResilienceManager:
+        """The resilience manager guarding this pipeline's backends."""
+        return self._resilience
+
+    def enable_resilience(
+        self, config: Optional[ResilienceConfig] = None,
+    ) -> ResilienceManager:
+        """Install a fresh resilience manager (chaos/deadline mode).
+
+        When the config carries a fault plan, every backend the plan
+        names (``relational``, ``document``, ``textstore``, ``slm``,
+        ``retriever``) is wrapped in a
+        :class:`~repro.resilience.ResilientBackend` proxy and the QA
+        engines are re-pointed at the proxies. Intended for *built*
+        pipelines: faults injected during ``build()``/ingestion are
+        not absorbed, only the answer path degrades gracefully.
+        """
+        manager = ResilienceManager(self._meter, config)
+        self._resilience = manager
+        plan = manager.config.fault_plan
+        backends = plan.backends if plan is not None else {}
+        if "relational" in backends:
+            self.db = manager.wrap("relational", self.db, ("execute",))
+        if "document" in backends:
+            self.doc_store = manager.wrap(
+                "document", self.doc_store,
+                ("get", "scan", "find_equal", "project"),
+            )
+        if "textstore" in backends:
+            self.text_store = manager.wrap(
+                "textstore", self.text_store, ("document", "chunks_of"),
+            )
+        if "slm" in backends:
+            self._slm = manager.wrap(
+                "slm", self._slm,
+                ("generate", "entails", "tag_entities", "sample_answers"),
+            )
+        if self._retriever is not None and "retriever" in backends:
+            self._retriever = manager.wrap(
+                "retriever", self._retriever, ("retrieve",),
+            )
+        if backends and self._table_qa is not None:
+            if self._retriever is not None:
+                self._text_qa = TextQAEngine(self._retriever, self._slm)
+            self._build_engines()
+        return manager
+
     def answer(self, question: str) -> Answer:
-        """Answer through the hybrid route.
+        """Answer through the hybrid route; never raises on backend faults.
 
         Comparison questions ("Compare X and Y ...") are decomposed
         into per-entity sub-questions first (paper Section III.C's
-        Multi-Entity QA), each answered through the full route.
+        Multi-Entity QA), each answered through the full route. Every
+        backend call runs under the resilience manager: faults retry,
+        budgets bound per-question work, and exhausted engines degrade
+        to the other modality (or a typed abstention) with the coping
+        story recorded in ``metadata["degradation"]``.
         """
         self._check_built()
         started = time.perf_counter()
         with span("qa.answer") as sp:
-            answer = self._answer_traced(question)
+            with self._resilience.question() as scope:
+                answer = self._answer_traced(question)
+                self._attach_degradation(answer, scope)
             sp.set("route", answer.metadata.get("route", "?"))
             sp.set("abstained", answer.abstained)
+            sp.set("degraded", bool(scope.events))
         incr("qa.answer.count")
+        if scope.events:
+            incr("qa.answer.degraded")
         observe("qa.answer.latency", time.perf_counter() - started)
         return answer
 
     def _answer_traced(self, question: str) -> Answer:
         comparer = ComparativeQA(self._slm, self._answer_single)
-        compared = comparer.try_answer(question)
+        compared = self._resilience.shield(
+            "compare", "try_answer", lambda: comparer.try_answer(question),
+        )
         if compared is not None and not compared.abstained:
             compared.metadata.setdefault("route", "comparison")
             return compared
@@ -302,22 +368,79 @@ class HybridQAPipeline:
 
     def _answer_single(self, question: str) -> Answer:
         decision = self._router.route(question)
+        manager = self._resilience
         candidates: List[Answer] = []
-        if decision.route in (ROUTE_STRUCTURED, "hybrid"):
-            candidates.append(self._table_qa.answer(question))
-        if decision.route in (ROUTE_UNSTRUCTURED, "hybrid") or all(
+        failed_engines: List[str] = []
+
+        def run_structured() -> None:
+            result, event = manager.try_call(
+                "structured", "answer",
+                lambda: self._table_qa.answer(question),
+            )
+            if event is not None:
+                failed_engines.append("structured")
+            elif result is not None:
+                candidates.append(result)
+
+        def run_text() -> None:
+            if self._text_qa is None:
+                return
+            result, event = manager.try_call(
+                "text", "answer",
+                lambda: self._text_qa.answer(question),
+            )
+            if event is not None:
+                failed_engines.append("text")
+            elif result is not None:
+                candidates.append(result)
+
+        if decision.route in (ROUTE_STRUCTURED, ROUTE_HYBRID):
+            run_structured()
+        if decision.route in (ROUTE_UNSTRUCTURED, ROUTE_HYBRID) or all(
             a.abstained for a in candidates
         ):
-            if self._text_qa is not None:
-                candidates.append(self._text_qa.answer(question))
-        if not candidates:
+            run_text()
+        if failed_engines and "structured" not in failed_engines and all(
+            a.abstained for a in candidates
+        ):
+            # Text side is down on an unstructured question: the
+            # structured engine is the degradation ladder's next rung.
+            run_structured()
+        if not candidates and not failed_engines:
             return Answer.abstain(ANSWER_SYSTEM_HYBRID, "no engine available")
         answer = best_answer(candidates)
         with span("qa.cross_check") as sp:
             self._cross_check(answer, candidates)
             sp.set("verdict", answer.metadata.get("cross_check", "n/a"))
         answer.metadata.setdefault("route", decision.route)
+        if failed_engines:
+            answer.metadata["degraded"] = True
+            winner = ("text" if answer.system == ANSWER_SYSTEM_RAG
+                      else "structured")
+            if not answer.abstained and winner not in failed_engines:
+                answer.metadata["fallback_engine"] = winner
         return answer
+
+    @staticmethod
+    def _attach_degradation(answer: Answer, scope: QuestionScope) -> None:
+        """Record the scope's absorbed faults on the outgoing answer."""
+        if not scope.events:
+            return
+        already_penalized = bool(answer.metadata.get("degradation"))
+        summary = summarize(
+            scope.events,
+            fallback=answer.metadata.get("fallback_engine"),
+            abstained=answer.abstained,
+        )
+        summary["retries"] = scope.retries
+        summary["work_spent"] = scope.spent_work
+        answer.metadata["degradation"] = summary
+        answer.metadata["degraded"] = True
+        if not already_penalized and not answer.abstained:
+            answer.confidence = round(
+                answer.confidence * CONFIDENCE_PENALTY[summary["severity"]],
+                6,
+            )
 
     @staticmethod
     def _cross_check(answer: Answer, candidates: List[Answer]) -> None:
@@ -415,13 +538,35 @@ class HybridQAPipeline:
         ``answer.metadata['needs_review']``.
         """
         self._check_built()
-        answer = self.answer(question)
-        deterministic = any(
-            p.startswith("sql:") for p in answer.provenance
+        with self._resilience.question() as scope:
+            answer = self.answer(question)
+            deterministic = any(
+                p.startswith("sql:") for p in answer.provenance
+            )
+            if deterministic or self._text_qa is None or answer.abstained:
+                answer.metadata["needs_review"] = False
+                return answer, None
+            estimate = self._resilience.shield(
+                "entropy", "estimate",
+                lambda: self._estimate_entropy(
+                    question, n_samples, temperature, seed
+                ),
+            )
+            if estimate is None:
+                # Entropy sampling faulted: the answer stands but its
+                # reliability is unverified — flag for human review.
+                answer.metadata["needs_review"] = True
+                self._attach_degradation(answer, scope)
+                return answer, None
+        answer.metadata["semantic_entropy"] = estimate.entropy
+        answer.metadata["needs_review"] = (
+            estimate.normalized > review_threshold
         )
-        if deterministic or self._text_qa is None or answer.abstained:
-            answer.metadata["needs_review"] = False
-            return answer, None
+        return answer, estimate
+
+    def _estimate_entropy(self, question: str, n_samples: int,
+                          temperature: float,
+                          seed: Optional[int]) -> EntropyEstimate:
         with span("qa.entropy", n_samples=n_samples) as sp:
             contexts = [
                 hit.chunk.text for hit in self._text_qa.retrieve(question)
@@ -433,11 +578,7 @@ class HybridQAPipeline:
             estimator = SemanticEntropyEstimator(judge=self._slm.judge)
             estimate = estimator.estimate(samples)
             sp.set("entropy", estimate.entropy)
-        answer.metadata["semantic_entropy"] = estimate.entropy
-        answer.metadata["needs_review"] = (
-            estimate.normalized > review_threshold
-        )
-        return answer, estimate
+        return estimate
 
     # ------------------------------------------------------------------
     # Incremental maintenance

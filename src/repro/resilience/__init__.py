@@ -1,0 +1,46 @@
+"""Resilience layer: fault injection, retries, budgets, breakers.
+
+Makes every backend call in the hybrid pipeline survivable and
+testable: a deterministic :class:`~.faults.FaultInjector` (seeded,
+replayable fault plans), :class:`~.policy.RetryPolicy` backoff and
+:class:`~.policy.WorkBudget` deadlines measured on the
+:class:`~repro.metering.CostMeter` work clock (never wall time),
+per-backend :class:`~.breaker.CircuitBreaker` protection, and the
+:class:`~.backend.ResilientBackend` facade + degradation records the
+pipeline uses to return partial answers instead of raising. See
+``docs/resilience.md``.
+"""
+
+from .backend import (
+    QuestionScope, ResilienceConfig, ResilienceManager, ResilientBackend,
+)
+from .breaker import (
+    STATE_CLOSED, STATE_HALF_OPEN, STATE_OPEN, BreakerPolicy,
+    CircuitBreaker,
+)
+from .degradation import (
+    CONFIDENCE_PENALTY, SEVERITY_ABSTAIN, SEVERITY_FALLBACK,
+    SEVERITY_RECOVERED, DegradationEvent, is_degraded, summarize,
+)
+from .faults import (
+    FAULT_CORRUPT, FAULT_KINDS, FAULT_PERMANENT, FAULT_SLOW,
+    FAULT_TRANSIENT, BackendFaults, FaultInjector, FaultPlan,
+    InjectedFault, corrupt_result,
+)
+from .policy import (
+    BACKOFF_WORK, SLOW_FAULT_WORK, RetryPolicy, WorkBudget, work_now,
+)
+
+__all__ = [
+    "QuestionScope", "ResilienceConfig", "ResilienceManager",
+    "ResilientBackend",
+    "STATE_CLOSED", "STATE_HALF_OPEN", "STATE_OPEN", "BreakerPolicy",
+    "CircuitBreaker",
+    "CONFIDENCE_PENALTY", "SEVERITY_ABSTAIN", "SEVERITY_FALLBACK",
+    "SEVERITY_RECOVERED", "DegradationEvent", "is_degraded", "summarize",
+    "FAULT_CORRUPT", "FAULT_KINDS", "FAULT_PERMANENT", "FAULT_SLOW",
+    "FAULT_TRANSIENT", "BackendFaults", "FaultInjector", "FaultPlan",
+    "InjectedFault", "corrupt_result",
+    "BACKOFF_WORK", "SLOW_FAULT_WORK", "RetryPolicy", "WorkBudget",
+    "work_now",
+]

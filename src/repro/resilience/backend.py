@@ -1,0 +1,411 @@
+"""The ResilientBackend facade and per-pipeline ResilienceManager.
+
+Every backend call the hybrid pipeline makes — relational SQL,
+document/text stores, retrievers, the SLM, and the two engine-level
+dispatch points — can be routed through one guarded path::
+
+    budget check -> circuit breaker -> fault injection -> real call
+
+:class:`ResilienceManager` owns that path: it holds the retry policy,
+the per-question :class:`~.policy.WorkBudget`, one
+:class:`~.breaker.CircuitBreaker` per backend name, and the optional
+:class:`~.faults.FaultInjector`. :class:`ResilientBackend` is a
+duck-typed proxy that forwards every attribute of a wrapped backend
+object but sends a configured set of method calls through the guard —
+one facade shape for Database, DocumentStore, TextStore, retrievers
+and the SLM alike.
+
+This module is the **only** layer allowed to absorb
+:class:`~repro.errors.ReproError` (enforced by the ``fault-absorption``
+lint rule): callers use :meth:`ResilienceManager.try_call` /
+:meth:`~ResilienceManager.shield` and receive degradation records
+instead of writing their own broad except clauses.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import (
+    BudgetExceeded, CircuitOpenError, ReproError, StorageError,
+    TransientError,
+)
+from ..metering import CostMeter
+from ..obs import incr, span
+from .breaker import BreakerPolicy, CircuitBreaker
+from .degradation import DegradationEvent
+from .faults import (
+    FAULT_CORRUPT, FAULT_PERMANENT, FAULT_SLOW, FAULT_TRANSIENT,
+    FaultInjector, FaultPlan, corrupt_result,
+)
+from .policy import (
+    BACKOFF_WORK, RetryPolicy, SLOW_FAULT_WORK, WorkBudget, work_now,
+)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Construction-time knobs of a :class:`ResilienceManager`.
+
+    ``budget`` is the per-question work deadline in CostMeter units
+    (None = unbounded); ``fault_plan`` enables deterministic chaos.
+    """
+
+    fault_plan: Optional[FaultPlan] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    budget: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (the ``--faults`` file format)."""
+        out: Dict[str, Any] = {
+            "retry": {
+                "max_attempts": self.retry.max_attempts,
+                "backoff_base": self.retry.backoff_base,
+                "backoff_multiplier": self.retry.backoff_multiplier,
+            },
+            "breaker": {
+                "failure_threshold": self.breaker.failure_threshold,
+                "cooldown": self.breaker.cooldown,
+            },
+            "budget": self.budget,
+        }
+        if self.fault_plan is not None:
+            out.update(self.fault_plan.to_dict())
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ResilienceConfig":
+        """Parse the ``--faults`` JSON document.
+
+        ``seed``/``backends`` feed the fault plan; ``retry``/
+        ``breaker``/``budget`` tune the policies. Every key is
+        optional.
+        """
+        retry_data = data.get("retry") or {}
+        breaker_data = data.get("breaker") or {}
+        plan = None
+        if data.get("backends"):
+            plan = FaultPlan.from_dict(data)
+        budget = data.get("budget")
+        return cls(
+            fault_plan=plan,
+            retry=RetryPolicy(
+                max_attempts=int(retry_data.get("max_attempts", 3)),
+                backoff_base=int(retry_data.get("backoff_base", 5)),
+                backoff_multiplier=int(
+                    retry_data.get("backoff_multiplier", 2)
+                ),
+            ),
+            breaker=BreakerPolicy(
+                failure_threshold=int(
+                    breaker_data.get("failure_threshold", 5)
+                ),
+                cooldown=int(breaker_data.get("cooldown", 200)),
+            ),
+            budget=int(budget) if budget is not None else None,
+        )
+
+
+class QuestionScope:
+    """Per-question accounting: work spent, faults absorbed, retries."""
+
+    def __init__(self, meter: CostMeter, budget: WorkBudget):
+        self._meter = meter
+        self.start_work = work_now(meter)
+        self.budget = budget
+        self.events: List[DegradationEvent] = []
+        self.retries = 0
+
+    @property
+    def spent_work(self) -> int:
+        """Work units consumed since the scope opened."""
+        return work_now(self._meter) - self.start_work
+
+    def note(self, event: DegradationEvent) -> None:
+        """Record one absorbed fault."""
+        self.events.append(event)
+
+
+class ResilienceManager:
+    """Owns the guarded-call path for one pipeline.
+
+    One manager per :class:`~repro.qa.pipeline.HybridQAPipeline`,
+    sharing the pipeline's :class:`~repro.metering.CostMeter` as its
+    work clock.
+    """
+
+    def __init__(self, meter: CostMeter,
+                 config: Optional[ResilienceConfig] = None):
+        self._meter = meter
+        self.config = config or ResilienceConfig()
+        self.injector: Optional[FaultInjector] = (
+            FaultInjector(self.config.fault_plan)
+            if self.config.fault_plan is not None else None
+        )
+        self._budget = WorkBudget(self.config.budget)
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._scope: Optional[QuestionScope] = None
+
+    # ------------------------------------------------------------------
+    # Scopes and accessors
+    # ------------------------------------------------------------------
+    @contextmanager
+    def question(self) -> Iterator[QuestionScope]:
+        """Open the per-question budget/degradation scope.
+
+        Re-entrant: a nested call (comparison sub-questions) joins the
+        outer scope instead of resetting the budget.
+        """
+        if self._scope is not None:
+            yield self._scope
+            return
+        scope = QuestionScope(self._meter, self._budget)
+        self._scope = scope
+        try:
+            yield scope
+        finally:
+            self._scope = None
+
+    def breaker(self, backend: str) -> CircuitBreaker:
+        """The breaker for *backend*, created on first use."""
+        breaker = self._breakers.get(backend)
+        if breaker is None:
+            breaker = self._breakers[backend] = CircuitBreaker(
+                backend, self.config.breaker
+            )
+        return breaker
+
+    def breaker_states(self) -> Dict[str, str]:
+        """backend -> current breaker state (for inspection)."""
+        return {
+            name: breaker.state
+            for name, breaker in sorted(self._breakers.items())
+        }
+
+    def spent(self) -> int:
+        """Work consumed by the active question (0 outside a scope)."""
+        if self._scope is None:
+            return 0
+        return self._scope.spent_work
+
+    def _note(self, event: DegradationEvent) -> None:
+        if self._scope is not None:
+            self._scope.note(event)
+        incr("resilience.fault.%s" % event.kind)
+
+    # ------------------------------------------------------------------
+    # The guarded-call path
+    # ------------------------------------------------------------------
+    def _check_budget(self, backend: str, op: str) -> None:
+        scope = self._scope
+        if scope is None or scope.budget.limit is None:
+            return
+        spent = work_now(self._meter) - scope.start_work
+        if scope.budget.exceeded(spent):
+            incr("resilience.budget.exceeded")
+            raise BudgetExceeded(
+                "question work budget exhausted before %s.%s "
+                "(spent %d of %d units)"
+                % (backend, op, spent, scope.budget.limit),
+                spent=spent, limit=scope.budget.limit,
+            )
+
+    def invoke(self, backend: str, op: str,
+               fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """One guarded call: budget, breaker, fault injection, dispatch.
+
+        Raises the taxonomy (:class:`~repro.errors.BudgetExceeded`,
+        :class:`~repro.errors.CircuitOpenError`,
+        :class:`~repro.errors.TransientError`, real backend errors);
+        retry/absorption happen in :meth:`attempt`/:meth:`try_call`.
+        """
+        with span("resilience.call") as sp:
+            sp.set("backend", backend)
+            sp.set("op", op)
+            self._check_budget(backend, op)
+            breaker = self.breaker(backend)
+            breaker.check(work_now(self._meter))
+            kind = None
+            if self.injector is not None:
+                kind = self.injector.draw(backend, op)
+            if kind is not None:
+                incr("resilience.fault.injected")
+            if kind == FAULT_TRANSIENT:
+                sp.set("outcome", "fault:transient")
+                self._note(DegradationEvent(backend, op, FAULT_TRANSIENT,
+                                            "injected transient fault"))
+                breaker.record_failure(work_now(self._meter))
+                raise TransientError(
+                    "injected transient fault on %s.%s" % (backend, op),
+                    backend=backend, op=op,
+                )
+            if kind == FAULT_PERMANENT:
+                sp.set("outcome", "fault:permanent")
+                self._note(DegradationEvent(backend, op, FAULT_PERMANENT,
+                                            "injected permanent fault"))
+                breaker.record_failure(work_now(self._meter))
+                raise StorageError(
+                    "injected permanent fault on %s.%s" % (backend, op)
+                )
+            if kind == FAULT_SLOW:
+                spec = self.injector.spec(backend)
+                cost = spec.slow_cost if spec is not None else 25
+                self._meter.charge(SLOW_FAULT_WORK, cost)
+                self._note(DegradationEvent(
+                    backend, op, FAULT_SLOW,
+                    "injected slow call (+%d work units)" % cost,
+                ))
+                sp.set("outcome", "fault:slow")
+            elif kind == FAULT_CORRUPT:
+                # Noted at draw time so the injector's audit log and
+                # the degradation record always reconcile, even when
+                # the underlying call itself goes on to fail.
+                self._note(DegradationEvent(
+                    backend, op, FAULT_CORRUPT, "injected corrupt result",
+                ))
+            try:
+                result = fn(*args, **kwargs)
+                if kind == FAULT_CORRUPT:
+                    sp.set("outcome", "fault:corrupt")
+                    result = corrupt_result(result, backend, op)
+            except ReproError:
+                breaker.record_failure(work_now(self._meter))
+                sp.set("outcome", "error")
+                raise
+            breaker.record_success(work_now(self._meter))
+            if kind is None:
+                sp.set("outcome", "ok")
+            return result
+
+    def attempt(self, backend: str, op: str,
+                fn: Callable[[], Any]) -> Any:
+        """Guarded call with retry-on-transient and work-clock backoff."""
+        policy = self.config.retry
+        last: Optional[TransientError] = None
+        for attempt_no in range(1, policy.max_attempts + 1):
+            try:
+                return self.invoke(backend, op, fn)
+            except TransientError as exc:
+                last = exc
+                if attempt_no >= policy.max_attempts:
+                    break
+                cost = policy.backoff_cost(attempt_no)
+                self._meter.charge(BACKOFF_WORK, cost)
+                incr("resilience.retries")
+                if self._scope is not None:
+                    self._scope.retries += 1
+                with span("resilience.retry") as sp:
+                    sp.set("backend", backend)
+                    sp.set("op", op)
+                    sp.set("attempt", attempt_no)
+                    sp.set("backoff_work", cost)
+        raise last  # exhausted every attempt
+
+    def try_call(
+        self, backend: str, op: str, fn: Callable[[], Any],
+    ) -> Tuple[Optional[Any], Optional[DegradationEvent]]:
+        """Fully absorbed call: ``(result, None)`` or ``(None, event)``.
+
+        This is the engine-boundary entry point: any
+        :class:`~repro.errors.ReproError` the retries cannot beat is
+        converted into a fatal :class:`~.degradation.DegradationEvent`
+        so the caller can degrade instead of unwinding.
+        """
+        try:
+            return self.attempt(backend, op, fn), None
+        except ReproError as exc:
+            event = DegradationEvent(
+                backend, op, _classify(exc), str(exc), fatal=True,
+            )
+            self._note(event)
+            incr("resilience.engine.failures")
+            return None, event
+
+    def shield(self, backend: str, op: str, fn: Callable[[], Any],
+               default: Any = None) -> Any:
+        """Absorb any :class:`~repro.errors.ReproError` from *fn*.
+
+        Single attempt, no retries — for optional stages (comparison
+        detection, entropy sampling) where a fault should simply skip
+        the stage. The absorbed fault is still recorded in the scope.
+        """
+        try:
+            return fn()
+        except ReproError as exc:
+            self._note(DegradationEvent(
+                backend, op, _classify(exc), str(exc), fatal=True,
+            ))
+            return default
+
+    # ------------------------------------------------------------------
+    # Backend wrapping
+    # ------------------------------------------------------------------
+    def wrap(self, name: str, target: Any,
+             ops: Tuple[str, ...]) -> "ResilientBackend":
+        """Wrap *target* in a :class:`ResilientBackend` guarding *ops*."""
+        return ResilientBackend(self, name, target, ops)
+
+
+class ResilientBackend:
+    """Duck-typed proxy guarding selected methods of one backend.
+
+    Unlisted attributes (including private ones) forward untouched, so
+    the proxy drops into any call site that duck-types the original —
+    the common facade the fault injector hides behind for the
+    relational database, the document/text stores, retrievers and the
+    SLM.
+    """
+
+    def __init__(self, manager: ResilienceManager, name: str,
+                 target: Any, guarded_ops: Tuple[str, ...]):
+        self._resilience_manager = manager
+        self._backend_name = name
+        self._target = target
+        self._guarded_ops = frozenset(guarded_ops)
+
+    @property
+    def resilient_target(self) -> Any:
+        """The wrapped backend object."""
+        return self._target
+
+    @property
+    def backend_name(self) -> str:
+        """The breaker/fault-plan name this proxy reports under."""
+        return self._backend_name
+
+    def __getattr__(self, attr: str) -> Any:
+        value = getattr(self._target, attr)
+        if attr in self._guarded_ops and callable(value):
+            manager = self._resilience_manager
+            name = self._backend_name
+
+            def guarded(*args: Any, **kwargs: Any) -> Any:
+                return manager.invoke(name, attr, value, *args, **kwargs)
+
+            return guarded
+        return value
+
+    def __len__(self) -> int:
+        return len(self._target)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._target
+
+    def __repr__(self) -> str:
+        return "ResilientBackend(%r, %r)" % (
+            self._backend_name, self._target,
+        )
+
+
+def _classify(exc: ReproError) -> str:
+    """Degradation-event kind for an absorbed error."""
+    if isinstance(exc, TransientError):
+        return FAULT_TRANSIENT
+    if isinstance(exc, BudgetExceeded):
+        return "budget_exceeded"
+    if isinstance(exc, CircuitOpenError):
+        return "circuit_open"
+    return "error"

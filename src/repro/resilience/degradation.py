@@ -1,0 +1,93 @@
+"""Degradation records: what went wrong, and how the answer coped.
+
+When a backend faults under the resilience layer, the pipeline does
+not raise — it degrades down a ladder and *says so*. Every absorbed
+fault becomes a :class:`DegradationEvent` in the question's scope; the
+final :class:`~repro.qa.answer.Answer` carries the scope summary in
+``metadata["degradation"]`` plus a ``metadata["degraded"]`` flag that
+:func:`repro.qa.federation.best_answer` ranks below clean answers.
+
+The degradation ladder (best to worst):
+
+1. **clean** — no events; full-confidence answer.
+2. **recovered** — faults occurred but every engine call ultimately
+   succeeded (retries, absorbed slow/corrupt faults); small
+   confidence penalty.
+3. **fallback** — an engine failed outright and another engine (or an
+   abstention-tolerant path) produced the answer; larger penalty.
+4. **abstain** — every engine failed; a typed abstention explains the
+   faults instead of an exception propagating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+SEVERITY_RECOVERED = "recovered"
+SEVERITY_FALLBACK = "fallback"
+SEVERITY_ABSTAIN = "abstain"
+
+#: Confidence multiplier per non-clean severity.
+CONFIDENCE_PENALTY = {
+    SEVERITY_RECOVERED: 0.95,
+    SEVERITY_FALLBACK: 0.75,
+    SEVERITY_ABSTAIN: 0.0,
+}
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One absorbed fault: where it happened and what it was.
+
+    ``kind`` is a fault kind (``transient``/``permanent``/``slow``/
+    ``corrupt``), an enforcement signal (``circuit_open``/
+    ``budget_exceeded``), a real backend ``error``, or ``engine_down``
+    when an engine-level call exhausted its protections.
+    """
+
+    backend: str
+    op: str
+    kind: str
+    detail: str = ""
+    fatal: bool = False  # True when the guarded call returned nothing
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (what Answer metadata carries)."""
+        return {
+            "backend": self.backend,
+            "op": self.op,
+            "kind": self.kind,
+            "detail": self.detail,
+            "fatal": self.fatal,
+        }
+
+
+def summarize(events: List[DegradationEvent],
+              fallback: Optional[str] = None,
+              abstained: bool = False) -> Dict[str, Any]:
+    """The ``metadata["degradation"]`` payload for one answered question."""
+    if abstained:
+        severity = SEVERITY_ABSTAIN
+    elif fallback is not None or any(e.fatal for e in events):
+        severity = SEVERITY_FALLBACK
+    else:
+        severity = SEVERITY_RECOVERED
+    return {
+        "severity": severity,
+        "fallback": fallback,
+        "events": [event.to_dict() for event in events],
+    }
+
+
+def is_degraded(answer: Any) -> bool:
+    """True when *answer* was produced under absorbed faults.
+
+    Duck-typed on ``metadata`` so :func:`~repro.qa.federation.
+    best_answer` can rank degraded answers without the qa layer
+    re-deriving the convention.
+    """
+    metadata = getattr(answer, "metadata", None) or {}
+    return bool(metadata.get("degraded")) or bool(
+        metadata.get("degradation")
+    )

@@ -1,0 +1,73 @@
+"""Retry/backoff policies and work budgets on the CostMeter clock.
+
+Wall-clock timeouts are useless for a deterministic system — they vary
+by machine and perturb reproducibility. The resilience layer instead
+measures "time" as cumulative :class:`~repro.metering.CostMeter` work:
+:func:`work_now` sums every counter, retry backoff *charges* work
+units (advancing the clock instead of sleeping), and budgets are
+deadlines on work spent per question. Two runs with the same seed see
+the exact same clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..metering import CostMeter
+
+#: Counter charged by retry backoff (the deterministic "sleep").
+BACKOFF_WORK = "resilience.backoff_work"
+
+#: Counter charged by injected slow/expensive-call faults.
+SLOW_FAULT_WORK = "resilience.slow_work"
+
+
+def work_now(meter: CostMeter) -> int:
+    """The meter's work clock: the sum of every counter.
+
+    Monotone non-decreasing (charges are non-negative), deterministic,
+    and machine-independent — the resilience layer's only notion of
+    elapsed time.
+    """
+    return sum(meter.counters.values())
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff in work units.
+
+    Attempt ``i`` (1-based) that fails transiently charges
+    ``backoff_base * backoff_multiplier**(i-1)`` work units before the
+    next attempt — consuming budget exactly the way a sleeping retry
+    consumes a wall-clock deadline.
+    """
+
+    max_attempts: int = 3
+    backoff_base: int = 5
+    backoff_multiplier: int = 2
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_multiplier < 1:
+            raise ValueError("backoff must be non-negative and growing")
+
+    def backoff_cost(self, attempt: int) -> int:
+        """Work units charged after failed attempt *attempt* (1-based)."""
+        return self.backoff_base * self.backoff_multiplier ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class WorkBudget:
+    """A per-question deadline in work units (None = unbounded)."""
+
+    limit: Optional[int] = None
+
+    def __post_init__(self):
+        if self.limit is not None and self.limit < 0:
+            raise ValueError("budget limit must be non-negative")
+
+    def exceeded(self, spent: int) -> bool:
+        """True when *spent* work units exhaust the budget."""
+        return self.limit is not None and spent >= self.limit

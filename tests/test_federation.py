@@ -3,8 +3,10 @@
 import pytest
 
 from repro.metering import CostMeter
+from repro.qa.answer import Answer
 from repro.qa.federation import (
     ROUTE_HYBRID, ROUTE_STRUCTURED, ROUTE_UNSTRUCTURED, FederatedRouter,
+    best_answer,
 )
 from repro.semql import SchemaCatalog
 from repro.storage.relational import Database
@@ -62,3 +64,42 @@ class TestRouting:
             "the Alpha Widget and again the Alpha Widget"
         )
         assert decision.bound_tables == ("products",)
+
+    def test_metric_and_entity_bind_in_different_tables(self, router):
+        # "sales" resolves in the sales table while "Alpha Widget" binds
+        # in products: the decision must carry the entity's table even
+        # though the metric lives elsewhere.
+        decision = router.route(
+            "Find the total sales of the Alpha Widget"
+        )
+        assert decision.route == ROUTE_STRUCTURED
+        assert decision.bound_tables == ("products",)
+
+    def test_empty_catalog_routes_everything_unstructured(self):
+        catalog = SchemaCatalog(Database(meter=CostMeter()))
+        catalog.build_value_index()
+        router = FederatedRouter(catalog)
+        decision = router.route("Find the total sales of Alpha Widget")
+        assert decision.route == ROUTE_UNSTRUCTURED
+        assert decision.bound_tables == ()
+
+
+class TestBestAnswer:
+    def test_empty_candidates_abstain_with_reason(self):
+        answer = best_answer([])
+        assert answer.abstained
+        assert "no candidate answers" in answer.metadata["reason"]
+
+    def test_clean_beats_degraded_at_equal_confidence(self):
+        degraded = Answer(text="d", confidence=0.8, grounded=True,
+                          metadata={"degraded": True})
+        clean = Answer(text="c", confidence=0.8, grounded=True)
+        assert best_answer([degraded, clean]) is clean
+
+    def test_grounding_and_confidence_outrank_degradation(self):
+        degraded = Answer(text="d", confidence=0.9, grounded=True,
+                          metadata={"degraded": True})
+        clean = Answer(text="c", confidence=0.8, grounded=True)
+        assert best_answer([degraded, clean]) is degraded
+        ungrounded = Answer(text="u", confidence=0.95, grounded=False)
+        assert best_answer([degraded, ungrounded]) is degraded

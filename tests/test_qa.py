@@ -69,8 +69,10 @@ class TestAnswer:
         assert best_answer([first, Answer.abstain("y")]) is first
 
     def test_best_answer_empty(self):
-        with pytest.raises(ValueError):
-            best_answer([])
+        # Every-engine-down degrades to a typed abstention, not a raise.
+        answer = best_answer([])
+        assert answer.abstained
+        assert "no candidate answers" in answer.metadata["reason"]
 
 
 def make_tableqa():
