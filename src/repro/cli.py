@@ -9,7 +9,11 @@ Subcommands:
   lake;
 * ``stats --domain D`` — print lake and graph-index statistics;
 * ``sql --domain D "SELECT ..."`` — run raw SQL against the lake's
-  curated+generated tables.
+  curated+generated tables;
+* ``serve --workload FILE.jsonl [--cache-policy P]`` — run a JSONL
+  request workload (questions and writes) through the serving layer's
+  caches, batch scheduler and admission control (see
+  ``docs/serving.md``).
 
 Every subcommand accepts ``--trace``: after the command's own output it
 prints the recorded span tree (nested stages, wall time, per-span cost
@@ -162,6 +166,56 @@ def cmd_sql(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve a JSONL workload through the caching query server."""
+    from .serving import (
+        AdmissionPolicy, CachePolicy, QueryServer, load_workload,
+    )
+
+    try:
+        policy = CachePolicy.from_string(args.cache_policy)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    requests = load_workload(args.workload)
+    _, pipeline = _build(args.domain, args.seed, args.faults)
+    admission = None
+    if args.session_budget or args.max_queue_depth:
+        admission = AdmissionPolicy(
+            session_budget=args.session_budget,
+            max_queue_depth=args.max_queue_depth,
+        )
+    server = QueryServer(pipeline, policy=policy, admission=admission,
+                         batch_size=args.batch_size)
+    with _tracing(args, pipeline):
+        for result in server.serve(requests):
+            if result.op != "ask":
+                print("[%s] %s" % (result.op, result.detail))
+            elif result.shed:
+                print("[shed] %s" % result.answer.metadata.get(
+                    "reason", "request shed"))
+            else:
+                flags = "".join((
+                    " (dedup)" if result.deduped else "",
+                    " (degraded)"
+                    if result.answer.metadata.get("degraded") else "",
+                ))
+                print("[ask] %s%s" % (result.answer.text or "<abstain>",
+                                      flags))
+    stats = server.stats()
+    print("\nscheduler: %(asks)d asks in %(batches)d batches, "
+          "%(deduped)d deduped, %(shed)d shed, %(writes)d writes"
+          % stats["scheduler"])
+    for tier in ("answer", "plan", "retrieval"):
+        counters = stats["cache"].get(tier)
+        if counters:
+            print("cache.%-9s hits %d  misses %d  evictions %d  "
+                  "invalidations %d" % (
+                      tier, counters["hits"], counters["misses"],
+                      counters["evictions"], counters["invalidations"],
+                  ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -205,6 +259,23 @@ def build_parser() -> argparse.ArgumentParser:
     session = sub.add_parser("session", help=cmd_session.__doc__)
     common(session)
     session.set_defaults(func=cmd_session, _stdin=None)
+
+    serve = sub.add_parser("serve", help=cmd_serve.__doc__)
+    common(serve)
+    serve.add_argument("--workload", required=True, metavar="FILE.jsonl",
+                       help="JSONL request stream (see docs/serving.md)")
+    serve.add_argument("--cache-policy", default="full",
+                       dest="cache_policy", metavar="POLICY",
+                       help="'none', 'full', or a comma list of "
+                            "answer,plan,retrieval,embedding")
+    serve.add_argument("--batch-size", type=int, default=8)
+    serve.add_argument("--session-budget", type=int, default=None,
+                       metavar="WORK_UNITS",
+                       help="per-session lifetime work budget")
+    serve.add_argument("--max-queue-depth", type=int, default=None,
+                       metavar="N",
+                       help="questions allowed to queue between writes")
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -71,6 +71,10 @@ class BenchmarkError(ReproError):
     """A benchmark workload or harness was misconfigured."""
 
 
+class ServingError(ReproError):
+    """A serving workload or server configuration was invalid."""
+
+
 class ResilienceError(ReproError):
     """Base class for the resilience layer's control-flow signals.
 

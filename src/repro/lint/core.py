@@ -127,7 +127,7 @@ class Rule:
         return iter(())
 
 
-_REGISTRY: Dict[str, Rule] = {}
+_REGISTRY: Dict[str, Rule] = {}  # lint: ignore[module-state]
 
 
 def register(rule_cls):

@@ -96,7 +96,7 @@ def _is_entry_point(module: ModuleInfo) -> bool:
     rel = module.relpath
     return (
         rel in ("cli.py", "obs/smoke.py", "resilience/smoke.py",
-                "__init__.py")
+                "serving/smoke.py", "__init__.py")
         or rel.startswith("bench/")
     )
 
@@ -336,10 +336,11 @@ _INFRA = _BASE | {"obs"}
 _ALLOWED_DEPS: Dict[str, Set[str]] = {
     "errors": set(),
     "metering": set(),
+    "caching": set(),
     "obs": set(_BASE),
     "text": {"errors"},
     "storage": _INFRA | {"text"},
-    "slm": _INFRA | {"text"},
+    "slm": _INFRA | {"text", "caching"},
     "extraction": _INFRA | {"text", "slm", "storage"},
     "graphindex": _INFRA | {"text", "slm", "storage"},
     "entropy": _INFRA | {"text", "slm"},
@@ -349,6 +350,10 @@ _ALLOWED_DEPS: Dict[str, Set[str]] = {
     "qa": _INFRA | {
         "text", "slm", "storage", "extraction", "graphindex",
         "entropy", "retrieval", "resilience", "semql",
+    },
+    "serving": _INFRA | {
+        "caching", "text", "slm", "storage", "extraction", "graphindex",
+        "entropy", "retrieval", "resilience", "semql", "qa",
     },
     "lint": {"errors", "storage"},
 }
@@ -483,7 +488,7 @@ class MutableDefaultRule(Rule):
 
 # print() is part of the interface in these modules.
 _PRINT_ALLOWED = {"cli.py", "bench/reporting.py", "obs/smoke.py",
-                  "resilience/smoke.py", "lint/cli.py"}
+                  "resilience/smoke.py", "serving/smoke.py", "lint/cli.py"}
 
 
 @register
@@ -592,3 +597,167 @@ class UnusedImportRule(Rule):
                 yield node
             else:
                 stack.extend(ast.iter_child_nodes(node))
+
+
+# ----------------------------------------------------------------------
+# Cross-request state
+# ----------------------------------------------------------------------
+
+# Mutating method names on the builtin containers (and their
+# collections cousins). A call ``NAME.append(...)`` where NAME is a
+# module-level container is a module-state write.
+_MUTATOR_METHODS = {
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "appendleft",
+    "extendleft", "sort", "reverse",
+}
+
+# Constructor names whose bare call builds a mutable container.
+_CONTAINER_CONSTRUCTORS = {
+    "list", "dict", "set", "OrderedDict", "defaultdict", "Counter",
+    "deque",
+}
+
+
+@register
+class ModuleStateRule(Rule):
+    """No cross-request mutable module-level state outside ``serving/``.
+
+    Serving made request lifetime a first-class concept: anything that
+    survives one request and influences the next must live in an owned,
+    bounded, invalidated cache tier — not in an ad-hoc module-level
+    dict. This rule flags a module-level mutable container (list/dict/
+    set literal or constructor) that any function in the same module
+    mutates (method call, subscript write/delete, augmented assign, or
+    a ``global`` rebind). The two sanctioned process-wide registries
+    (the lint rule registry, the obs active-tracer cell) carry explicit
+    ``# lint: ignore[module-state]`` pragmas.
+    """
+
+    id = "module-state"
+    summary = ("forbid module-level mutable containers mutated from "
+               "function bodies outside repro.serving")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if _is_entry_point(module) or module.relpath.startswith("serving/"):
+            return
+        containers = self._module_containers(module.tree)
+        if not containers:
+            return
+        flagged: Set[str] = set()
+        for func in ast.walk(module.tree):
+            if not isinstance(func, _FUNCTION_NODES):
+                continue
+            local = self._local_bindings(func)
+            declared_global = {
+                name for node in ast.walk(func)
+                if isinstance(node, ast.Global) for name in node.names
+            }
+            for name in self._mutated_names(func):
+                if name not in containers or name in flagged:
+                    continue
+                if name in local and name not in declared_global:
+                    continue  # a local shadows the module name
+                flagged.add(name)
+        for name in sorted(flagged):
+            yield module.finding(
+                containers[name], self.id,
+                "module-level %r is mutated from a function body; "
+                "cross-request state belongs in an owned cache/registry "
+                "object (see repro.serving), not module globals" % name,
+            )
+
+    @staticmethod
+    def _module_containers(tree: ast.Module) -> Dict[str, ast.stmt]:
+        """Top-level names bound to a mutable container literal/call."""
+        containers: Dict[str, ast.stmt] = {}
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            if not ModuleStateRule._is_container(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    containers[target.id] = stmt
+        return containers
+
+    @staticmethod
+    def _is_container(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                return func.attr in _CONTAINER_CONSTRUCTORS
+            if isinstance(func, ast.Name):
+                return func.id in _CONTAINER_CONSTRUCTORS
+        return False
+
+    @staticmethod
+    def _local_bindings(func: ast.AST) -> Set[str]:
+        """Names bound inside *func* (conservatively, nested scopes too)."""
+        args = func.args
+        bound: Set[str] = {
+            a.arg for a in
+            list(getattr(args, "posonlyargs", [])) + list(args.args)
+            + list(args.kwonlyargs)
+        }
+        for special in (args.vararg, args.kwarg):
+            if special is not None:
+                bound.add(special.arg)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    bound.update(ModuleStateRule._target_names(target))
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign, ast.For)):
+                bound.update(ModuleStateRule._target_names(node.target))
+            elif isinstance(node, ast.withitem):
+                if node.optional_vars is not None:
+                    bound.update(
+                        ModuleStateRule._target_names(node.optional_vars)
+                    )
+            elif isinstance(node, _FUNCTION_NODES + (ast.ClassDef,)):
+                if node is not func:
+                    bound.add(node.name)
+        return bound
+
+    @staticmethod
+    def _target_names(target: ast.expr) -> Set[str]:
+        names: Set[str] = set()
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                names.update(ModuleStateRule._target_names(element))
+        return names
+
+    @staticmethod
+    def _mutated_names(func: ast.AST) -> Iterator[str]:
+        """Names a statement in *func* mutates in place or rebinds."""
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                target = node.func
+                if (isinstance(target, ast.Attribute)
+                        and target.attr in _MUTATOR_METHODS
+                        and isinstance(target.value, ast.Name)):
+                    yield target.value.id
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if (isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)):
+                        yield target.value.id
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if (isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)):
+                        yield target.value.id
+            elif isinstance(node, ast.Global):
+                for name in node.names:
+                    yield name

@@ -182,7 +182,7 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 # One-slot mutable cell so `span()` reads a stable global binding.
-_ACTIVE: List[Optional[Tracer]] = [None]
+_ACTIVE: List[Optional[Tracer]] = [None]  # lint: ignore[module-state]
 
 
 def active_tracer() -> Optional[Tracer]:

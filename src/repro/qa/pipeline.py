@@ -94,6 +94,48 @@ class HybridQAPipeline:
         self._text_qa: Optional[TextQAEngine] = None
         self._table_qa: Optional[TableQAEngine] = None
         self._router: Optional[FederatedRouter] = None
+        self._plan_cache: Optional[Any] = None
+        self._retriever_wrapper: Optional[Any] = None
+        self._rebuild_listeners: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # Serving hooks
+    # ------------------------------------------------------------------
+    def set_plan_cache(self, cache: Optional[Any]) -> None:
+        """Install a plan cache on the TableQA engine, surviving rebuilds.
+
+        Engines are recreated on ``build()``/``ingest_incremental()``/
+        ``enable_resilience()``; storing the cache here re-injects it
+        into every future :class:`TableQAEngine` this pipeline builds.
+        """
+        self._plan_cache = cache
+        if self._table_qa is not None:
+            self._table_qa.set_plan_cache(cache)
+
+    def set_retriever_wrapper(self, wrapper: Optional[Any]) -> None:
+        """Install ``wrapper(retriever) -> retriever`` over the retriever.
+
+        The serving layer's retrieval-cache hook. Applied now (when a
+        retriever exists) and re-applied each time the retriever is
+        rebuilt, always over the freshly indexed instance.
+        """
+        self._retriever_wrapper = wrapper
+        if self._retriever is not None and wrapper is not None:
+            self._retriever = wrapper(self._retriever)
+            self._text_qa = TextQAEngine(self._retriever, self._slm)
+
+    def add_rebuild_listener(self, listener: Any) -> None:
+        """Subscribe ``listener()`` to index/engine rebuilds.
+
+        Fires after ``build()`` and ``ingest_incremental()`` complete —
+        the moment every serving-layer cache keyed on corpus state must
+        treat its entries as stale.
+        """
+        self._rebuild_listeners.append(listener)
+
+    def _notify_rebuild(self) -> None:
+        for listener in self._rebuild_listeners:
+            listener()
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -200,16 +242,20 @@ class HybridQAPipeline:
             resolve_aliases(self._graph, embedder=self._slm.embedder)
         self._index_retriever()
         self._build_engines()
+        self._notify_rebuild()
 
     def _index_retriever(self) -> None:
         chunks = self.text_store.chunks()
         if not chunks:
             return
-        self._retriever = TopologyRetriever(
+        retriever = TopologyRetriever(
             self._graph, self._slm, config=self._topology_config,
             meter=self._meter,
         )
-        self._retriever.index(chunks)
+        retriever.index(chunks)
+        self._retriever = retriever
+        if self._retriever_wrapper is not None:
+            self._retriever = self._retriever_wrapper(retriever)
         self._text_qa = TextQAEngine(self._retriever, self._slm)
 
     def _build_engines(self) -> None:
@@ -229,6 +275,8 @@ class HybridQAPipeline:
         self._table_qa = TableQAEngine(
             self.db, catalog, system_name=ANSWER_SYSTEM_HYBRID
         )
+        if self._plan_cache is not None:
+            self._table_qa.set_plan_cache(self._plan_cache)
         self._router = FederatedRouter(catalog)
 
     def _document_entity_paths(self) -> List[str]:
@@ -276,6 +324,11 @@ class HybridQAPipeline:
         """The router's decision for *question* (for inspection)."""
         self._check_built()
         return self._router.route(question)
+
+    @property
+    def slm(self) -> SmallLanguageModel:
+        """The SLM facade (a resilience proxy once chaos is enabled)."""
+        return self._slm
 
     @property
     def meter(self) -> CostMeter:
@@ -611,3 +664,4 @@ class HybridQAPipeline:
                 self.generate_table(name)
         self._index_retriever()
         self._build_engines()
+        self._notify_rebuild()

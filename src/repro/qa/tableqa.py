@@ -30,6 +30,18 @@ class TableQAEngine:
         self._synthesizer = OperatorSynthesizer(self._catalog)
         self._compiler = QueryCompiler(db)
         self._system = system_name
+        self._plan_cache: Optional[Any] = None
+
+    def set_plan_cache(self, cache: Optional[Any]) -> None:
+        """Install a synthesized-plan cache (or None to remove it).
+
+        *cache* is duck-typed: ``get(question) -> Optional[QuerySpec]``
+        and ``put(question, spec)``. Synthesis is deterministic over a
+        fixed schema, so a cached plan re-executes against live tables
+        — the serving layer invalidates on schema change, not on data
+        change.
+        """
+        self._plan_cache = cache
 
     @property
     def catalog(self) -> SchemaCatalog:
@@ -45,7 +57,14 @@ class TableQAEngine:
         """Synthesize, compile, execute; abstains on unbound questions."""
         with span("qa.tableqa") as sp:
             try:
-                spec = self._synthesizer.synthesize(question)
+                spec = None
+                if self._plan_cache is not None:
+                    spec = self._plan_cache.get(question)
+                    sp.set("plan_cached", spec is not None)
+                if spec is None:
+                    spec = self._synthesizer.synthesize(question)
+                    if self._plan_cache is not None:
+                        self._plan_cache.put(question, spec)
                 result = self._compiler.execute(spec)
             except (SynthesisError, PlanError, ExecutionError) as exc:
                 sp.set("abstained", True)

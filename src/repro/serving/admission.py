@@ -1,0 +1,116 @@
+"""Admission control: per-session work budgets and load shedding.
+
+The serving layer's protection against one client starving the rest.
+Two deterministic limits, both measured on the CostMeter work clock
+(never wall time, matching :mod:`repro.resilience`):
+
+* **session budget** — total work units one session may consume across
+  its whole lifetime on the server;
+* **queue depth** — how many questions may wait between two write
+  barriers before later arrivals are shed.
+
+Shedding never raises: a shed request receives a typed abstention
+through the same degradation vocabulary the resilience layer uses
+(:class:`~repro.resilience.DegradationEvent` +
+:func:`~repro.resilience.summarize`), so downstream consumers handle
+overload and backend failure with one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..obs import incr
+from ..qa.answer import Answer
+from ..resilience import DegradationEvent, summarize
+
+#: System name stamped on shed abstentions.
+ANSWER_SYSTEM_SERVING = "serving"
+
+SHED_BUDGET = "session_budget"
+SHED_QUEUE = "queue_depth"
+
+
+class AdmissionPolicy:
+    """Limits an :class:`AdmissionController` enforces (None = off)."""
+
+    def __init__(self, session_budget: Optional[int] = None,
+                 max_queue_depth: Optional[int] = None):
+        if session_budget is not None and session_budget < 1:
+            raise ValueError("session_budget must be positive")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be positive")
+        self.session_budget = session_budget
+        self.max_queue_depth = max_queue_depth
+
+
+def shed_answer(kind: str, detail: str) -> Answer:
+    """A typed-abstention Answer for one shed request.
+
+    Mirrors the pipeline's degradation metadata exactly, so callers
+    cannot tell load shedding apart from any other graceful
+    degradation except by the recorded event kind.
+    """
+    event = DegradationEvent("serving", "admit", kind, detail, fatal=True)
+    answer = Answer.abstain(ANSWER_SYSTEM_SERVING, reason=detail)
+    answer.metadata["degradation"] = summarize([event], abstained=True)
+    answer.metadata["degraded"] = True
+    answer.metadata["shed"] = True
+    incr("serving.admission.shed")
+    return answer
+
+
+class AdmissionController:
+    """Tracks per-session spend and applies an :class:`AdmissionPolicy`."""
+
+    def __init__(self, policy: Optional[AdmissionPolicy] = None):
+        self._policy = policy or AdmissionPolicy()
+        self._spent: Dict[str, int] = {}
+        self._shed_count = 0
+
+    @property
+    def policy(self) -> AdmissionPolicy:
+        """The enforced limits."""
+        return self._policy
+
+    def admit(self, session: str) -> Optional[Answer]:
+        """None when *session* may proceed, else its shed abstention."""
+        limit = self._policy.session_budget
+        if limit is None:
+            return None
+        spent = self._spent.get(session, 0)
+        if spent < limit:
+            return None
+        self._shed_count += 1
+        return shed_answer(
+            SHED_BUDGET,
+            "session %r exhausted its work budget (%d of %d units)"
+            % (session, spent, limit),
+        )
+
+    def over_depth(self, depth: int) -> Optional[Answer]:
+        """None when a queue of *depth* may grow, else a shed abstention."""
+        limit = self._policy.max_queue_depth
+        if limit is None or depth < limit:
+            return None
+        self._shed_count += 1
+        return shed_answer(
+            SHED_QUEUE,
+            "queue depth %d at limit %d; request shed" % (depth, limit),
+        )
+
+    def charge(self, session: str, work: int) -> None:
+        """Record *work* units against *session*'s budget."""
+        if work > 0:
+            self._spent[session] = self._spent.get(session, 0) + work
+
+    def spent(self, session: str) -> int:
+        """Work units *session* has consumed so far."""
+        return self._spent.get(session, 0)
+
+    def stats(self) -> Dict[str, Any]:
+        """Spend per session plus the shed count."""
+        return {
+            "sessions": dict(sorted(self._spent.items())),
+            "shed": self._shed_count,
+        }

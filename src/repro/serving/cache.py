@@ -1,0 +1,261 @@
+"""Multi-tier caching for the query-serving subsystem.
+
+Four tiers, each a :class:`~repro.caching.CostAwareLRU` sized in
+CostMeter work units, each invalidated write-through by generation
+stamps:
+
+* **answer tier** — whole :class:`~repro.qa.answer.Answer` objects
+  keyed by the normalized question; depends on every store kind;
+* **plan tier** — synthesized SemQL logical plans keyed by question,
+  injected into :class:`~repro.qa.tableqa.TableQAEngine`; depends on
+  the relational store only (text ingests must not flush plans);
+* **retrieval tier** — ranked chunk lists keyed by
+  ``(retriever, query, k)`` (see :mod:`.retrieval`); depends on the
+  text and graph kinds;
+* **embedding memo** — the bounded whole-text memo living inside
+  :class:`~repro.slm.embeddings.EmbeddingModel`; embeddings are pure
+  functions of their text, so this tier depends on nothing.
+
+Invalidation is *write-through*: store mutation listeners and pipeline
+rebuild listeners bump :class:`Generations` counters, and every cache
+entry carries the generation stamp of its dependency set as its LRU
+tag. A stamp mismatch at lookup time atomically drops the entry — no
+tier ever serves a value computed against superseded data.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Optional, Tuple
+
+from ..caching import CostAwareLRU
+from ..metering import CostMeter
+from ..obs import incr
+from ..resilience import work_now
+
+KIND_RELATIONAL = "relational"
+KIND_DOCUMENT = "document"
+KIND_TEXT = "text"
+KIND_GRAPH = "graph"
+
+#: Every store kind a generation counter tracks.
+STORE_KINDS = (KIND_RELATIONAL, KIND_DOCUMENT, KIND_TEXT, KIND_GRAPH)
+
+#: Dependency sets: which kinds invalidate which tier.
+ANSWER_DEPS = STORE_KINDS
+PLAN_DEPS = (KIND_RELATIONAL,)
+RETRIEVAL_DEPS = (KIND_TEXT, KIND_GRAPH)
+
+
+class Generations:
+    """Monotone per-store-kind generation counters.
+
+    The serving layer's whole invalidation protocol: writers bump, cache
+    tiers stamp entries with :meth:`stamp` over their dependency set and
+    reject entries whose stamp no longer matches.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {kind: 0 for kind in STORE_KINDS}
+
+    def bump(self, kind: str) -> None:
+        """Record one mutation of *kind* (invalidates dependent tiers)."""
+        if kind not in self._counts:
+            raise ValueError("unknown store kind %r" % kind)
+        self._counts[kind] += 1
+        incr("serving.generation.bump")
+
+    def bump_all(self) -> None:
+        """Record a full rebuild (invalidates every tier)."""
+        for kind in self._counts:
+            self._counts[kind] += 1
+        incr("serving.generation.bump_all")
+
+    def stamp(self, kinds: Tuple[str, ...]) -> Tuple[int, ...]:
+        """The current stamp over a dependency set (an LRU entry tag)."""
+        return tuple(self._counts[kind] for kind in kinds)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current counter values (for stats surfaces)."""
+        return dict(self._counts)
+
+
+class PlanCache:
+    """Question → synthesized logical plan, relational-generation tagged.
+
+    Duck-types the hook :meth:`~repro.qa.tableqa.TableQAEngine.
+    set_plan_cache` expects. Entry cost is measured, not guessed: a miss
+    snapshots the work clock, and the matching ``put`` charges the
+    entry with the work synthesis actually spent — so the LRU budget is
+    denominated in real CostMeter units.
+    """
+
+    def __init__(self, generations: Generations, meter: CostMeter,
+                 capacity: int = 4096):
+        self._generations = generations
+        self._meter = meter
+        self._lru = CostAwareLRU(capacity=capacity, name="serving.plans")
+        self._pending: Dict[str, int] = {}
+
+    @property
+    def lru(self) -> CostAwareLRU:
+        """The backing LRU (stats and tests)."""
+        return self._lru
+
+    def get(self, question: str) -> Optional[Any]:
+        """The cached plan for *question*, or None on miss/staleness."""
+        tag = self._generations.stamp(PLAN_DEPS)
+        spec = self._lru.get(question, tag=tag)
+        if spec is not None:
+            incr("serving.cache.plan.hit")
+            return spec
+        incr("serving.cache.plan.miss")
+        self._pending[question] = work_now(self._meter)
+        return None
+
+    def put(self, question: str, spec: Any) -> None:
+        """Store a freshly synthesized plan at its measured work cost."""
+        started = self._pending.pop(question, None)
+        cost = 1
+        if started is not None:
+            cost = max(1, work_now(self._meter) - started)
+        self._lru.put(question, spec, cost=cost,
+                      tag=self._generations.stamp(PLAN_DEPS))
+
+
+class AnswerCache:
+    """Normalized question → finished Answer, all-kinds tagged.
+
+    Answers are deep-copied on both store and hit so a caller mutating
+    ``answer.metadata`` can never poison the cached object.
+    """
+
+    def __init__(self, generations: Generations, capacity: int = 65536):
+        self._generations = generations
+        self._lru = CostAwareLRU(capacity=capacity, name="serving.answers")
+
+    @property
+    def lru(self) -> CostAwareLRU:
+        """The backing LRU (stats and tests)."""
+        return self._lru
+
+    def stamp(self) -> Tuple[int, ...]:
+        """The current answer-tier generation stamp."""
+        return self._generations.stamp(ANSWER_DEPS)
+
+    def get(self, question: str) -> Optional[Any]:
+        """A private copy of the cached answer, or None."""
+        answer = self._lru.get(question, tag=self.stamp())
+        if answer is None:
+            incr("serving.cache.answer.miss")
+            return None
+        incr("serving.cache.answer.hit")
+        return copy.deepcopy(answer)
+
+    def put(self, question: str, answer: Any, cost: int,
+            tag: Tuple[int, ...]) -> None:
+        """Store *answer* under the stamp its computation started from.
+
+        Callers pass the stamp captured *before* answering: if a write
+        raced the computation the stamp already moved on, and the next
+        ``get`` drops the entry instead of serving a stale answer.
+        """
+        self._lru.put(question, copy.deepcopy(answer),
+                      cost=max(1, cost), tag=tag)
+
+
+class CachePolicy:
+    """Which tiers a :class:`~repro.serving.server.QueryServer` enables.
+
+    Parsed from the CLI's ``--cache-policy``: ``none``, ``full``, or a
+    comma list drawn from ``answer``, ``plan``, ``retrieval``,
+    ``embedding`` (e.g. ``plan,retrieval``).
+    """
+
+    TIERS = ("answer", "plan", "retrieval", "embedding")
+
+    def __init__(self, answer: bool = True, plan: bool = True,
+                 retrieval: bool = True, embedding: bool = True,
+                 answer_capacity: int = 65536, plan_capacity: int = 4096,
+                 retrieval_capacity: int = 16384,
+                 embedding_capacity: int = 2048):
+        self.answer = answer
+        self.plan = plan
+        self.retrieval = retrieval
+        self.embedding = embedding
+        self.answer_capacity = answer_capacity
+        self.plan_capacity = plan_capacity
+        self.retrieval_capacity = retrieval_capacity
+        self.embedding_capacity = embedding_capacity
+
+    @classmethod
+    def none(cls) -> "CachePolicy":
+        """Every tier disabled (the uncached reference configuration)."""
+        return cls(answer=False, plan=False, retrieval=False,
+                   embedding=False)
+
+    @classmethod
+    def from_string(cls, text: str) -> "CachePolicy":
+        """Parse a ``--cache-policy`` value.
+
+        >>> CachePolicy.from_string("plan,retrieval").answer
+        False
+        """
+        text = (text or "full").strip().lower()
+        if text == "full":
+            return cls()
+        if text == "none":
+            return cls.none()
+        wanted = {part.strip() for part in text.split(",") if part.strip()}
+        unknown = wanted - set(cls.TIERS)
+        if unknown:
+            raise ValueError(
+                "unknown cache tier(s) %s; expected 'none', 'full' or a "
+                "comma list of %s" % (sorted(unknown), ", ".join(cls.TIERS))
+            )
+        return cls(answer="answer" in wanted, plan="plan" in wanted,
+                   retrieval="retrieval" in wanted,
+                   embedding="embedding" in wanted)
+
+    def describe(self) -> str:
+        """Canonical string form ('none' / 'full' / comma list)."""
+        on = [tier for tier in self.TIERS if getattr(self, tier)]
+        if len(on) == len(self.TIERS):
+            return "full"
+        return ",".join(on) or "none"
+
+
+class MultiTierCache:
+    """All enabled tiers plus their shared generation counters."""
+
+    def __init__(self, policy: CachePolicy, generations: Generations,
+                 meter: CostMeter):
+        self.policy = policy
+        self.generations = generations
+        self.answers: Optional[AnswerCache] = (
+            AnswerCache(generations, capacity=policy.answer_capacity)
+            if policy.answer else None
+        )
+        self.plans: Optional[PlanCache] = (
+            PlanCache(generations, meter, capacity=policy.plan_capacity)
+            if policy.plan else None
+        )
+        self.retrieval: Optional[CostAwareLRU] = (
+            CostAwareLRU(capacity=policy.retrieval_capacity,
+                         name="serving.retrieval")
+            if policy.retrieval else None
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-tier hit/miss/eviction counters plus generation counts."""
+        out: Dict[str, Any] = {
+            "policy": self.policy.describe(),
+            "generations": self.generations.snapshot(),
+        }
+        if self.answers is not None:
+            out["answer"] = self.answers.lru.stats.snapshot()
+        if self.plans is not None:
+            out["plan"] = self.plans.lru.stats.snapshot()
+        if self.retrieval is not None:
+            out["retrieval"] = self.retrieval.stats.snapshot()
+        return out

@@ -1,0 +1,180 @@
+"""Deterministic micro-batch scheduling with single-flight dedup.
+
+The scheduler turns an ordered request stream into micro-batches of
+questions separated by write barriers:
+
+* consecutive ``ask`` requests buffer into batches of at most
+  ``batch_size``;
+* any write (``sql`` / ``add_doc`` / ``add_text``) flushes the pending
+  batch first, then executes — so a question never observes a write
+  that arrived after it, and always observes every write before it;
+* within one batch, identical (normalized) questions are answered
+  **once** and the result fanned out to every requester — single-flight
+  deduplication.
+
+Because answering is read-only and the answer path is history
+independent (see :meth:`repro.slm.generator.AnswerGenerator._call_rng`),
+this reordering is semantics-preserving: the scheduled results are
+byte-for-byte identical to answering the same stream one request at a
+time. The serving smoke and test suite assert exactly that.
+
+Admission control hooks in at two deterministic points: queue depth is
+checked when a question enters the buffer (depth = questions admitted
+since the last barrier), session budgets when its batch flushes
+(spend updated after every batch, in request order).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..metering import CostMeter
+from ..obs import incr, span
+from ..qa.answer import Answer
+from ..resilience import work_now
+from .admission import AdmissionController
+
+
+def normalize_question(question: str) -> str:
+    """Canonical question form: stripped, inner whitespace collapsed.
+
+    Deliberately *not* case-folded: the answer path hashes the exact
+    question string into its sampling RNG, so two casings are distinct
+    queries and must not share a cache entry.
+    """
+    return " ".join(question.split())
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One workload operation: a question or a store write."""
+
+    op: str  # "ask" | "sql" | "add_doc" | "add_text"
+    payload: Dict[str, Any] = field(default_factory=dict)
+    session: str = "default"
+
+
+@dataclass
+class ServeResult:
+    """The outcome of one :class:`ServeRequest`, in stream order."""
+
+    index: int
+    op: str
+    session: str
+    answer: Optional[Answer] = None
+    detail: str = ""
+    shed: bool = False
+    deduped: bool = False
+
+
+class BatchScheduler:
+    """Run request streams through micro-batches and write barriers."""
+
+    def __init__(self, answer_fn: Callable[[str], Answer],
+                 write_fn: Callable[[ServeRequest], str],
+                 meter: CostMeter, batch_size: int = 8,
+                 admission: Optional[AdmissionController] = None):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self._answer_fn = answer_fn
+        self._write_fn = write_fn
+        self._meter = meter
+        self._batch_size = batch_size
+        self._admission = admission
+        self.n_batches = 0
+        self.n_asks = 0
+        self.n_deduped = 0
+        self.n_shed = 0
+        self.n_writes = 0
+
+    def run(self, requests: List[ServeRequest]) -> List[ServeResult]:
+        """Execute the stream; results align with the request order."""
+        results: List[Optional[ServeResult]] = [None] * len(requests)
+        buffer: List[Tuple[int, ServeRequest, str]] = []
+        depth = 0
+        for index, request in enumerate(requests):
+            if request.op == "ask":
+                self.n_asks += 1
+                shed = self._check_depth(depth)
+                if shed is not None:
+                    self.n_shed += 1
+                    results[index] = ServeResult(
+                        index, request.op, request.session,
+                        answer=shed, shed=True,
+                    )
+                    continue
+                depth += 1
+                question = normalize_question(
+                    str(request.payload.get("question", ""))
+                )
+                buffer.append((index, request, question))
+                if len(buffer) >= self._batch_size:
+                    self._flush(buffer, results)
+                    buffer = []
+            else:
+                self._flush(buffer, results)
+                buffer = []
+                depth = 0
+                self.n_writes += 1
+                detail = self._write_fn(request)
+                results[index] = ServeResult(
+                    index, request.op, request.session, detail=detail,
+                )
+        self._flush(buffer, results)
+        return [r for r in results if r is not None]
+
+    def _check_depth(self, depth: int) -> Optional[Answer]:
+        if self._admission is None:
+            return None
+        return self._admission.over_depth(depth)
+
+    def _flush(self, buffer: List[Tuple[int, ServeRequest, str]],
+               results: List[Optional[ServeResult]]) -> None:
+        if not buffer:
+            return
+        self.n_batches += 1
+        with span("serving.batch") as sp:
+            sp.set("size", len(buffer))
+            answered: Dict[str, Answer] = {}
+            for index, request, question in buffer:
+                shed = (self._admission.admit(request.session)
+                        if self._admission is not None else None)
+                if shed is not None:
+                    self.n_shed += 1
+                    results[index] = ServeResult(
+                        index, request.op, request.session,
+                        answer=shed, shed=True,
+                    )
+                    continue
+                deduped = question in answered
+                if deduped:
+                    # Single-flight: the in-batch duplicate rides the
+                    # first requester's computation and costs nothing.
+                    self.n_deduped += 1
+                    incr("serving.batch.deduped")
+                    answer = copy.deepcopy(answered[question])
+                    work = 0
+                else:
+                    started = work_now(self._meter)
+                    answer = self._answer_fn(question)
+                    work = work_now(self._meter) - started
+                    answered[question] = answer
+                if self._admission is not None:
+                    self._admission.charge(request.session, work)
+                results[index] = ServeResult(
+                    index, request.op, request.session, answer=answer,
+                    deduped=deduped,
+                )
+            sp.set("unique", len(answered))
+
+    def stats(self) -> Dict[str, int]:
+        """Scheduler throughput counters."""
+        return {
+            "batches": self.n_batches,
+            "asks": self.n_asks,
+            "deduped": self.n_deduped,
+            "shed": self.n_shed,
+            "writes": self.n_writes,
+        }

@@ -1,0 +1,204 @@
+"""The QueryServer: caching + batching + admission over one pipeline.
+
+Composition root of the serving subsystem. Construction wires every
+hook the rest of the repo exposes:
+
+* store mutation listeners (relational / document / text) bump the
+  shared :class:`~.cache.Generations` counters, so every write
+  invalidates exactly the cache tiers that depend on that store kind;
+* a pipeline rebuild listener bumps all kinds at once (a rebuilt index
+  supersedes everything);
+* the plan tier plugs into
+  :meth:`~repro.qa.pipeline.HybridQAPipeline.set_plan_cache`, the
+  retrieval tier into
+  :meth:`~repro.qa.pipeline.HybridQAPipeline.set_retriever_wrapper`,
+  and the embedding memo into the SLM's
+  :meth:`~repro.slm.embeddings.EmbeddingModel.enable_text_memo`.
+
+The answer path is chaos-safe by construction: an answer is cached
+only when it is not degraded, no fault fired during its computation
+(witnessed through the injector audit log), and no write raced it
+(witnessed through the generation stamp). Faulted results are served —
+the resilience contract — but never remembered.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..metering import CostMeter
+from ..obs import incr, span
+from ..qa.answer import Answer
+from ..qa.pipeline import HybridQAPipeline
+from ..resilience import work_now
+from .admission import AdmissionController, AdmissionPolicy
+from .cache import (
+    KIND_DOCUMENT, KIND_RELATIONAL, KIND_TEXT, CachePolicy, Generations,
+    MultiTierCache,
+)
+from .retrieval import CachingRetriever
+from .scheduler import (
+    BatchScheduler, ServeRequest, ServeResult, normalize_question,
+)
+
+
+class QueryServer:
+    """Serve questions and writes over one built pipeline."""
+
+    def __init__(self, pipeline: HybridQAPipeline,
+                 policy: Optional[CachePolicy] = None,
+                 admission: Optional[AdmissionPolicy] = None,
+                 batch_size: int = 8):
+        self._pipeline = pipeline
+        self._meter: CostMeter = pipeline.meter
+        self._policy = policy or CachePolicy()
+        self._generations = Generations()
+        self._tiers = MultiTierCache(self._policy, self._generations,
+                                     self._meter)
+        self._admission = AdmissionController(admission)
+        self._scheduler = BatchScheduler(
+            self._answer, self._apply_write, self._meter,
+            batch_size=batch_size, admission=self._admission,
+        )
+        pipeline.db.add_mutation_listener(
+            lambda op: self._generations.bump(KIND_RELATIONAL)
+        )
+        pipeline.doc_store.add_mutation_listener(
+            lambda op: self._generations.bump(KIND_DOCUMENT)
+        )
+        pipeline.text_store.add_mutation_listener(
+            lambda op: self._generations.bump(KIND_TEXT)
+        )
+        pipeline.add_rebuild_listener(self._generations.bump_all)
+        if self._tiers.plans is not None:
+            pipeline.set_plan_cache(self._tiers.plans)
+        if self._tiers.retrieval is not None:
+            pipeline.set_retriever_wrapper(self._wrap_retriever)
+        if self._policy.embedding:
+            pipeline.slm.embedder.enable_text_memo(
+                capacity=self._policy.embedding_capacity
+            )
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @property
+    def pipeline(self) -> HybridQAPipeline:
+        """The pipeline this server fronts."""
+        return self._pipeline
+
+    @property
+    def cache(self) -> MultiTierCache:
+        """The cache tiers (inspection and tests)."""
+        return self._tiers
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The admission controller (inspection and tests)."""
+        return self._admission
+
+    def _wrap_retriever(self, retriever: Any) -> CachingRetriever:
+        return CachingRetriever(
+            retriever, self._tiers.retrieval, self._generations,
+            self._meter, fault_witness=self._fault_count,
+        )
+
+    def _fault_count(self) -> int:
+        injector = self._pipeline.resilience.injector
+        return len(injector.log) if injector is not None else 0
+
+    # ------------------------------------------------------------------
+    # The answer path
+    # ------------------------------------------------------------------
+    def _answer(self, question: str) -> Answer:
+        """Answer one (already normalized) question through the caches."""
+        answers = self._tiers.answers
+        if answers is not None:
+            hit = answers.get(question)
+            if hit is not None:
+                return hit
+        stamp = answers.stamp() if answers is not None else None
+        faults_before = self._fault_count()
+        started = work_now(self._meter)
+        answer = self._pipeline.answer(question)
+        cost = work_now(self._meter) - started
+        if answers is not None and self._cacheable(
+            answer, faults_before, stamp
+        ):
+            answers.put(question, answer, cost=cost, tag=stamp)
+        return answer
+
+    def _cacheable(self, answer: Answer, faults_before: int,
+                   stamp: Any) -> bool:
+        if answer.metadata.get("degraded"):
+            incr("serving.cache.answer.uncacheable")
+            return False
+        if self._fault_count() != faults_before:
+            # Faults fired but were fully shielded (no degradation
+            # marker); still refuse to cache anything a fault touched.
+            incr("serving.cache.answer.uncacheable")
+            return False
+        if self._tiers.answers.stamp() != stamp:
+            # A write raced the computation; the result may mix pre-
+            # and post-write state.
+            incr("serving.cache.answer.uncacheable")
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+    def ask(self, question: str, session: str = "default") -> Answer:
+        """Answer one question through admission + caches; never raises."""
+        shed = self._admission.admit(session)
+        if shed is not None:
+            return shed
+        started = work_now(self._meter)
+        answer = self._answer(normalize_question(question))
+        self._admission.charge(session, work_now(self._meter) - started)
+        return answer
+
+    def serve(self, requests: List[ServeRequest]) -> List[ServeResult]:
+        """Run a whole workload through the batch scheduler."""
+        with span("serving.serve") as sp:
+            sp.set("requests", len(requests))
+            results = self._scheduler.run(requests)
+            sp.set("batches", self._scheduler.n_batches)
+        return results
+
+    def _apply_write(self, request: ServeRequest) -> str:
+        """Apply one write op; backend errors degrade, never unwind."""
+        detail = self._pipeline.resilience.shield(
+            "serving", request.op, lambda: self._run_write(request),
+        )
+        if detail is None:
+            incr("serving.write.failed")
+            return "write failed (absorbed into degradation record)"
+        incr("serving.write.applied")
+        return detail
+
+    def _run_write(self, request: ServeRequest) -> str:
+        payload = request.payload
+        if request.op == "sql":
+            result = self._pipeline.db.execute(str(payload["statement"]))
+            rows = getattr(result, "rows", None)
+            return "ok (%d rows)" % len(rows) if rows is not None else "ok"
+        if request.op == "add_doc":
+            self._pipeline.doc_store.put(
+                str(payload["doc_id"]), payload["document"]
+            )
+            return "ok (document %s)" % payload["doc_id"]
+        if request.op == "add_text":
+            self._pipeline.ingest_incremental(
+                [(str(payload["doc_id"]), str(payload["text"]))]
+            )
+            return "ok (text %s reindexed)" % payload["doc_id"]
+        raise ValueError("unknown write op %r" % request.op)
+
+    def stats(self) -> Dict[str, Any]:
+        """Cache, scheduler and admission statistics in one document."""
+        return {
+            "cache": self._tiers.stats(),
+            "scheduler": self._scheduler.stats(),
+            "admission": self._admission.stats(),
+        }

@@ -1,0 +1,253 @@
+"""Serving smoke check: the subsystem's five contracts, end to end.
+
+Run as ``python -m repro.serving.smoke`` (CI's ``serving`` job). Over a
+small e-commerce lake it asserts:
+
+* **equality** — a fully cached, batched server produces byte-for-byte
+  the answers of an uncached batched server *and* of an uncached
+  sequential (batch size 1) server, on a mixed read/write workload
+  with in-batch duplicates;
+* **warm speedup** — replaying a repeated-question workload against a
+  warm cache costs at least 3x fewer CostMeter work units than the
+  cold pass, with identical answers;
+* **single-flight** — in-batch duplicate questions are answered once
+  and fanned out;
+* **invalidation** — a relational write between two identical
+  questions invalidates the cached answer: the second ask recomputes
+  and reflects the new data;
+* **chaos safety** — under a seeded fault plan the server never
+  raises, never caches a degraded answer, and replays byte-identically.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, Tuple
+
+from ..bench import LakeSpec, generate_ecommerce_lake
+from ..bench.runner import build_hybrid_system
+from ..resilience import FaultPlan, ResilienceConfig, work_now
+from .cache import CachePolicy
+from .scheduler import ServeRequest, ServeResult
+from .server import QueryServer
+from .workload import repeated_questions
+
+SEED = 13
+PLAN_SEED = 23
+CHAOS_BACKENDS = ("relational", "document", "textstore", "retriever", "slm")
+CHAOS_RATE = 0.3
+BUDGET = 500_000
+
+#: The relational write every invalidation check plays (sales schema:
+#: sid, pid, quarter, year, amount).
+MUTATION_SQL = "INSERT INTO sales VALUES (99001, 1, 'Q1', 2024, 1234.5)"
+TOTAL_QUESTION = "Find the total sales of all products in Q1."
+
+
+def _fingerprint(answer) -> str:
+    """Stable byte-comparable rendering of an Answer."""
+    return repr((
+        answer.text, answer.value, answer.confidence, answer.grounded,
+        answer.system, answer.provenance, sorted(answer.metadata.items()),
+    ))
+
+
+def _server(lake, policy: CachePolicy, batch_size: int = 8,
+            chaos_rate: float = 0.0) -> QueryServer:
+    """A fresh server over a freshly built pipeline for *lake*."""
+    _system, pipeline = build_hybrid_system(lake, seed=SEED)
+    if chaos_rate > 0.0:
+        pipeline.enable_resilience(ResilienceConfig(
+            fault_plan=FaultPlan.uniform(
+                CHAOS_BACKENDS, chaos_rate, seed=PLAN_SEED,
+            ),
+            budget=BUDGET,
+        ))
+    return QueryServer(pipeline, policy=policy, batch_size=batch_size)
+
+
+def _ask(question: str, session: str = "default") -> ServeRequest:
+    return ServeRequest(op="ask", payload={"question": question},
+                        session=session)
+
+
+def _mixed_workload(questions: List[str]) -> List[ServeRequest]:
+    """Reads and writes interleaved, with in-batch duplicates."""
+    requests: List[ServeRequest] = []
+    requests += [_ask(q) for q in questions]
+    requests += [_ask(questions[0]), _ask(questions[0])]  # duplicates
+    # A second full round: these repeats land in a *later* batch, so
+    # they exercise the answer tier rather than single-flight dedup.
+    requests += [_ask(q) for q in questions]
+    requests.append(ServeRequest(op="sql",
+                                 payload={"statement": MUTATION_SQL}))
+    requests += [_ask(q) for q in questions]
+    requests.append(ServeRequest(
+        op="add_doc",
+        payload={"doc_id": "smoke-doc",
+                 "document": {"name": "SmokeWidget", "status": "new"}},
+    ))
+    requests += [_ask(q) for q in questions[:2]]
+    return requests
+
+
+def _ask_fingerprints(results: List[ServeResult]) -> List[str]:
+    return [_fingerprint(r.answer) for r in results if r.op == "ask"]
+
+
+def _run_equality(lake, questions: List[str],
+                  failures: List[str]) -> Optional[QueryServer]:
+    """Cached+batched == uncached+batched == uncached sequential."""
+    workload = _mixed_workload(questions)
+    cached = _server(lake, CachePolicy(), batch_size=8)
+    plain = _server(lake, CachePolicy.none(), batch_size=8)
+    sequential = _server(lake, CachePolicy.none(), batch_size=1)
+    fp_cached = _ask_fingerprints(cached.serve(workload))
+    fp_plain = _ask_fingerprints(plain.serve(workload))
+    fp_sequential = _ask_fingerprints(sequential.serve(workload))
+    if fp_cached != fp_plain:
+        failures.append(
+            "cached answers diverge from uncached on the mixed workload"
+        )
+    if fp_plain != fp_sequential:
+        failures.append(
+            "batched answers diverge from sequential (batch size 1)"
+        )
+    stats = cached.stats()
+    if stats["scheduler"]["deduped"] < 2:
+        failures.append(
+            "single-flight dedup never fired on duplicate questions "
+            "(stats: %r)" % (stats["scheduler"],)
+        )
+    answer_stats = stats["cache"].get("answer", {})
+    if not answer_stats.get("hits"):
+        failures.append("answer tier recorded no hits on repeated asks")
+    return cached
+
+
+def _run_warm_speedup(lake, questions: List[str],
+                      failures: List[str]) -> Tuple[int, int]:
+    """Warm pass must cost <= 1/3 of the cold pass, identically."""
+    server = _server(lake, CachePolicy(), batch_size=8)
+    meter = server.pipeline.meter
+    workload = repeated_questions(questions, repeats=1)
+    before = work_now(meter)
+    cold = _ask_fingerprints(server.serve(workload))
+    cold_work = work_now(meter) - before
+    before = work_now(meter)
+    warm = _ask_fingerprints(server.serve(workload))
+    warm_work = work_now(meter) - before
+    if cold != warm:
+        failures.append("warm answers differ from cold answers")
+    if warm_work * 3 > cold_work:
+        failures.append(
+            "warm pass too slow: %d work units vs %d cold (need >=3x)"
+            % (warm_work, cold_work)
+        )
+    return cold_work, warm_work
+
+
+def _run_invalidation(lake, failures: List[str]) -> None:
+    """A write between identical asks must recompute, not serve stale."""
+    cached = _server(lake, CachePolicy(), batch_size=8)
+    control = _server(lake, CachePolicy.none(), batch_size=1)
+    workload = [
+        _ask(TOTAL_QUESTION),
+        _ask(TOTAL_QUESTION),
+        ServeRequest(op="sql", payload={"statement": MUTATION_SQL}),
+        _ask(TOTAL_QUESTION),
+    ]
+    got = _ask_fingerprints(cached.serve(workload))
+    want = _ask_fingerprints(control.serve(workload))
+    if got != want:
+        failures.append(
+            "post-write answers diverge from the uncached control"
+        )
+    if got[0] != got[1]:
+        failures.append("identical asks before the write disagreed")
+    if got[2] == got[0]:
+        failures.append(
+            "the relational write did not change the cached total "
+            "(stale answer served?)"
+        )
+    stats = cached.stats()["cache"]
+    dropped = (stats.get("answer", {}).get("invalidations", 0)
+               + stats.get("plan", {}).get("invalidations", 0))
+    if dropped == 0:
+        failures.append(
+            "the write invalidated nothing (generation stamps inert?)"
+        )
+
+
+def _run_chaos(lake, questions: List[str], failures: List[str]) -> None:
+    """Faulted results are served but never cached; runs replay."""
+    workload = repeated_questions(questions, repeats=2)
+
+    def one_run() -> Tuple[List[str], QueryServer]:
+        server = _server(lake, CachePolicy(), chaos_rate=CHAOS_RATE)
+        try:
+            results = server.serve(workload)
+        except Exception as exc:  # contract under test: never raise  # lint: ignore[fault-absorption]
+            failures.append(
+                "serve() raised %s(%s) under chaos"
+                % (type(exc).__name__, exc)
+            )
+            return ["<raised>"], server
+        return _ask_fingerprints(results), server
+
+    fp_a, server_a = one_run()
+    fp_b, _server_b = one_run()
+    if fp_a != fp_b:
+        failures.append("chaos serving runs did not replay identically")
+    injector = server_a.pipeline.resilience.injector
+    if injector is None or not injector.log:
+        failures.append("chaos run injected no faults (plan inert?)")
+    answers = server_a.cache.answers
+    for _key, cached_answer in answers.lru.items():
+        if cached_answer.metadata.get("degraded"):
+            failures.append(
+                "a degraded answer was cached: %r" % cached_answer.text
+            )
+            break
+
+
+def run_smoke(verbose: bool = False) -> List[str]:
+    """Run every check; returns failure messages (empty = pass)."""
+    failures: List[str] = []
+    lake = generate_ecommerce_lake(LakeSpec(n_products=6, seed=SEED))
+    questions = [pair.question for pair in lake.qa_pairs(per_kind=1)]
+
+    cached = _run_equality(lake, questions, failures)
+    if verbose and cached is not None:
+        stats = cached.stats()
+        print("equality: %d asks, %d batches, %d deduped, answer tier %r"
+              % (stats["scheduler"]["asks"], stats["scheduler"]["batches"],
+                 stats["scheduler"]["deduped"],
+                 stats["cache"].get("answer")))
+    cold_work, warm_work = _run_warm_speedup(lake, questions, failures)
+    if verbose:
+        ratio = cold_work / warm_work if warm_work else float("inf")
+        print("speedup: cold %d work units, warm %d (%.1fx)"
+              % (cold_work, warm_work, ratio))
+    _run_invalidation(lake, failures)
+    if verbose:
+        print("invalidation: write-through generations verified")
+    _run_chaos(lake, questions, failures)
+    if verbose:
+        print("chaos: no degraded answer cached; replay identical")
+    return failures
+
+
+def main() -> int:
+    """CLI entry point: print the verdict, return the exit code."""
+    failures = run_smoke(verbose=True)
+    if failures:
+        for failure in failures:
+            print("FAIL: %s" % failure)
+        return 1
+    print("serving smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

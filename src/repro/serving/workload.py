@@ -1,0 +1,103 @@
+"""Workload files for the serving layer (JSON Lines).
+
+One request per line. ``op`` selects the shape:
+
+.. code-block:: json
+
+    {"op": "ask", "question": "What was the return rate?",
+     "session": "alice"}
+    {"op": "sql", "statement": "INSERT INTO products VALUES (...)"}
+    {"op": "add_doc", "doc_id": "d9", "document": {"name": "Gadget"}}
+    {"op": "add_text", "doc_id": "t4", "text": "The Q3 report says ..."}
+
+``session`` is optional everywhere (default ``"default"``); blank lines
+and ``#`` comment lines are skipped. Writes act as batch barriers — see
+:mod:`.scheduler`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from ..errors import ServingError
+from .scheduler import ServeRequest
+
+OPS = ("ask", "sql", "add_doc", "add_text")
+
+_REQUIRED: Dict[str, Sequence[str]] = {
+    "ask": ("question",),
+    "sql": ("statement",),
+    "add_doc": ("doc_id", "document"),
+    "add_text": ("doc_id", "text"),
+}
+
+
+def parse_workload(text: str) -> List[ServeRequest]:
+    """Parse a JSONL workload document into requests.
+
+    Raises :class:`~repro.errors.ServingError` on malformed lines,
+    unknown ops or missing fields — workloads are config, and config
+    errors should fail loudly before any request runs.
+    """
+    requests: List[ServeRequest] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServingError(
+                "workload line %d is not valid JSON: %s" % (lineno, exc)
+            ) from exc
+        if not isinstance(record, dict):
+            raise ServingError(
+                "workload line %d must be a JSON object" % lineno
+            )
+        requests.append(_to_request(record, lineno))
+    return requests
+
+
+def _to_request(record: Dict[str, Any], lineno: int) -> ServeRequest:
+    op = record.get("op")
+    if op not in OPS:
+        raise ServingError(
+            "workload line %d has unknown op %r (expected one of %s)"
+            % (lineno, op, ", ".join(OPS))
+        )
+    for field_name in _REQUIRED[op]:
+        if field_name not in record:
+            raise ServingError(
+                "workload line %d (%s) is missing %r"
+                % (lineno, op, field_name)
+            )
+    session = str(record.get("session", "default"))
+    payload = {
+        key: value for key, value in record.items()
+        if key not in ("op", "session")
+    }
+    return ServeRequest(op=op, payload=payload, session=session)
+
+
+def load_workload(path: str) -> List[ServeRequest]:
+    """Read and parse a JSONL workload file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_workload(handle.read())
+
+
+def repeated_questions(questions: Sequence[str], repeats: int,
+                       session: str = "default") -> List[ServeRequest]:
+    """A synthetic ask-only workload cycling *questions* *repeats* times.
+
+    The canonical warm-cache benchmark shape: pass 1 is all misses,
+    every later pass is all hits.
+    """
+    if repeats < 1:
+        raise ServingError("repeats must be positive")
+    return [
+        ServeRequest(op="ask", payload={"question": question},
+                     session=session)
+        for _ in range(repeats)
+        for question in questions
+    ]

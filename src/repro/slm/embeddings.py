@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..caching import CostAwareLRU
 from ..metering import EMBEDDING_CALLS, CostMeter, GLOBAL_METER
 from ..text.stemmer import stem
 from ..text.stopwords import STOPWORDS
@@ -58,10 +59,17 @@ class EmbeddingModel:
     meter:
         Cost meter charged one ``embedding_calls`` unit per embedded
         text — the unit the E1 efficiency bench counts.
+    token_cache_size:
+        Bound (in entries) of the per-token vector memo. Token vectors
+        are pure functions of the token, so the cache only trades
+        recomputation for memory; bounding it keeps a long-lived
+        serving process from growing without limit on adversarial or
+        high-churn vocabularies.
     """
 
     def __init__(self, dim: int = 128, char_weight: float = 0.35,
-                 meter: Optional[CostMeter] = None):
+                 meter: Optional[CostMeter] = None,
+                 token_cache_size: int = 4096):
         if dim < 8:
             raise ValueError("dim must be >= 8")
         if not 0.0 <= char_weight <= 1.0:
@@ -69,7 +77,9 @@ class EmbeddingModel:
         self.dim = dim
         self._char_weight = char_weight
         self._meter = meter if meter is not None else GLOBAL_METER
-        self._token_cache: Dict[str, np.ndarray] = {}
+        self._token_cache = CostAwareLRU(capacity=token_cache_size,
+                                         name="slm.token_vectors")
+        self._text_memo: Optional[CostAwareLRU] = None
         self._doc_freq: Dict[str, int] = {}
         self._n_docs = 0
 
@@ -98,6 +108,33 @@ class EmbeddingModel:
     def _terms(text: str) -> List[str]:
         return [w for w in words(text) if w not in STOPWORDS]
 
+    @property
+    def token_cache(self) -> CostAwareLRU:
+        """The bounded token-vector memo (for inspection and tests)."""
+        return self._token_cache
+
+    @property
+    def text_memo(self) -> Optional[CostAwareLRU]:
+        """The whole-text embedding memo, None until enabled."""
+        return self._text_memo
+
+    def enable_text_memo(self, capacity: int = 2048) -> CostAwareLRU:
+        """Install a bounded memo over whole-text embeddings.
+
+        Embeddings are pure functions of their text, so the memo never
+        needs invalidation; it turns repeated ``embed`` calls (shared
+        sub-queries across a served workload) into O(1) lookups that
+        skip the ``embedding_calls`` meter charge — that skipped work
+        is exactly the saving the serving benchmarks measure.
+        """
+        self._text_memo = CostAwareLRU(capacity=capacity,
+                                       name="slm.text_memo")
+        return self._text_memo
+
+    def disable_text_memo(self) -> None:
+        """Remove the whole-text memo (returns to always-compute)."""
+        self._text_memo = None
+
     def _token_vector(self, token: str) -> np.ndarray:
         cached = self._token_cache.get(token)
         if cached is not None:
@@ -114,12 +151,27 @@ class EmbeddingModel:
         else:
             vec = base
         vec = vec / (np.linalg.norm(vec) or 1.0)
-        self._token_cache[token] = vec
+        self._token_cache.put(token, vec)
         return vec
 
     def embed(self, text: str) -> np.ndarray:
-        """Embed *text* into a unit vector (zero vector for empty text)."""
+        """Embed *text* into a unit vector (zero vector for empty text).
+
+        With :meth:`enable_text_memo` active, repeated texts return a
+        copy of the memoized vector without recomputing (or paying the
+        ``embedding_calls`` charge).
+        """
+        if self._text_memo is not None:
+            memoized = self._text_memo.get(text)
+            if memoized is not None:
+                return memoized.copy()
         self._meter.charge(EMBEDDING_CALLS)
+        vec = self._embed_uncached(text)
+        if self._text_memo is not None:
+            self._text_memo.put(text, vec.copy())
+        return vec
+
+    def _embed_uncached(self, text: str) -> np.ndarray:
         terms = self._terms(text)
         if not terms:
             return np.zeros(self.dim)

@@ -19,6 +19,7 @@ behaviour the paper describes for ambiguous queries.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from dataclasses import dataclass
@@ -144,9 +145,25 @@ class AnswerGenerator:
                  meter: Optional[CostMeter] = None):
         if not 0.0 <= hallucination_bias <= 1.0:
             raise ValueError("hallucination_bias must be in [0, 1]")
-        self._rng = random.Random(seed)
+        self._seed = seed
         self._bias = hallucination_bias
         self._meter = meter if meter is not None else GLOBAL_METER
+
+    def _call_rng(self, question: str, contexts: Sequence[str],
+                  temperature: float) -> random.Random:
+        """A fresh RNG derived from the model seed and the call inputs.
+
+        Identical calls draw identical samples regardless of call
+        history — the property the serving layer's caches and
+        single-flight deduplication rely on for byte-for-byte
+        equality between batched/cached and sequential execution.
+        (``sample_many`` still passes one explicit RNG across its
+        samples, so multi-sample draws stay diverse.)
+        """
+        digest = hashlib.sha256(repr(
+            (self._seed, question, tuple(contexts), round(temperature, 9))
+        ).encode("utf-8")).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
 
     # ------------------------------------------------------------------
     def _extract_core(self, sentence: str, kind: str) -> Optional[str]:
@@ -237,7 +254,7 @@ class AnswerGenerator:
         if temperature <= 0:
             raise ValueError("temperature must be positive")
         self._meter.charge(GENERATION_CALLS)
-        rng = rng or self._rng
+        rng = rng or self._call_rng(question, contexts, temperature)
         kind = classify_answer_kind(question)
         cands = self._candidates(question, contexts, kind)
         confidence = self._confidence(cands)
@@ -309,7 +326,10 @@ class AnswerGenerator:
         """Draw *n_samples* independent answers (the E3 protocol)."""
         if n_samples < 1:
             raise ValueError("n_samples must be >= 1")
-        rng = random.Random(self._rng.random() if seed is None else seed)
+        if seed is None:
+            rng = self._call_rng(question, contexts, temperature)
+        else:
+            rng = random.Random(seed)
         return [
             self.generate(question, contexts, temperature, rng)
             for _ in range(n_samples)

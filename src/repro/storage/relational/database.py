@@ -47,6 +47,29 @@ class Database:
         self._tables: Dict[str, Table] = {}
         self._views: Dict[str, SelectStatement] = {}
         self._snapshot: Optional[tuple] = None  # open transaction
+        self._mutation_listeners: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # Write-through mutation notification
+    # ------------------------------------------------------------------
+    def add_mutation_listener(self, listener) -> None:
+        """Subscribe ``listener(op)`` to every write on this database.
+
+        Listeners fire after DDL/DML statements and bulk loads commit
+        to the in-memory heap — the hook the serving layer's caches
+        use for write-through invalidation. Listeners must not write
+        back into the database.
+        """
+        self._mutation_listeners.append(listener)
+
+    def remove_mutation_listener(self, listener) -> None:
+        """Unsubscribe a previously added listener (missing is a no-op)."""
+        if listener in self._mutation_listeners:
+            self._mutation_listeners.remove(listener)
+
+    def _notify_mutation(self, op: str) -> None:
+        for listener in self._mutation_listeners:
+            listener(op)
 
     # ------------------------------------------------------------------
     # Catalog
@@ -57,12 +80,14 @@ class Database:
             raise StorageError("table %r already exists" % schema.name)
         table = Table(schema, meter=self._meter)
         self._tables[schema.name] = table
+        self._notify_mutation("create_table")
         return table
 
     def drop_table(self, name: str) -> None:
         """Remove a table and its data."""
         if self._tables.pop(name.lower(), None) is None:
             raise StorageError("no table %r" % name)
+        self._notify_mutation("drop_table")
 
     def table(self, name: str) -> Table:
         """Fetch a table by name."""
@@ -222,6 +247,7 @@ class Database:
             raise StorageError("no open transaction to roll back")
         self._tables, self._views = self._snapshot
         self._snapshot = None
+        self._notify_mutation("rollback")
 
     @property
     def in_transaction(self) -> bool:
@@ -317,6 +343,8 @@ class Database:
             else:
                 table.insert(values, coerce=True)
             count += 1
+        if count:
+            self._notify_mutation("insert")
         return count
 
     def _run_update(self, stmt: UpdateStatement) -> int:
@@ -337,6 +365,8 @@ class Database:
                 new_row[schema.index_of(column)] = expr.evaluate(context)
             table.update(row_id, new_row, coerce=True)
             count += 1
+        if count:
+            self._notify_mutation("update")
         return count
 
     def _run_delete(self, stmt: DeleteStatement) -> int:
@@ -349,6 +379,8 @@ class Database:
                 doomed.append(row_id)
         for row_id in doomed:
             table.delete(row_id)
+        if doomed:
+            self._notify_mutation("delete")
         return len(doomed)
 
     # ------------------------------------------------------------------
@@ -362,6 +394,8 @@ class Database:
         for row in rows:
             tbl.insert(row, coerce=coerce)
             count += 1
+        if count:
+            self._notify_mutation("load_rows")
         return count
 
     def load_dicts(self, table: str, records: Iterable[Dict[str, Any]],
@@ -372,4 +406,6 @@ class Database:
         for record in records:
             tbl.insert_dict(record, coerce=coerce)
             count += 1
+        if count:
+            self._notify_mutation("load_dicts")
         return count

@@ -303,6 +303,92 @@ class TestUnusedImportRule:
 
 
 # ----------------------------------------------------------------------
+# module-state
+# ----------------------------------------------------------------------
+
+class TestModuleStateRule:
+    def test_mutated_module_dict_flagged(self):
+        findings = run_rule("module-state", """\
+            _CACHE = {}
+            def remember(key, value):
+                _CACHE[key] = value
+        """)
+        assert len(findings) == 1
+        assert "'_CACHE'" in findings[0].message
+        assert findings[0].line == 1  # anchored at the definition
+
+    def test_method_mutation_flagged(self):
+        findings = run_rule("module-state", """\
+            _SEEN = []
+            def record(item):
+                _SEEN.append(item)
+        """)
+        assert len(findings) == 1
+
+    def test_global_rebind_flagged(self):
+        findings = run_rule("module-state", """\
+            _STATE = {"a": 1}
+            def reset():
+                global _STATE
+                _STATE = {}
+        """)
+        assert len(findings) == 1
+
+    def test_constructor_containers_covered(self):
+        findings = run_rule("module-state", """\
+            import collections
+            _ORDER = collections.OrderedDict()
+            def push(k, v):
+                _ORDER[k] = v
+        """)
+        assert len(findings) == 1
+
+    def test_read_only_module_constant_allowed(self):
+        findings = run_rule("module-state", """\
+            _TABLE = {"a": 1, "b": 2}
+            def lookup(key):
+                return _TABLE.get(key)
+        """)
+        assert findings == []
+
+    def test_local_shadow_not_flagged(self):
+        findings = run_rule("module-state", """\
+            _ROWS = []
+            def build():
+                _ROWS = []
+                _ROWS.append(1)
+                return _ROWS
+        """)
+        assert findings == []
+
+    def test_instance_state_not_flagged(self):
+        findings = run_rule("module-state", """\
+            class Cache:
+                def __init__(self):
+                    self._entries = {}
+                def put(self, k, v):
+                    self._entries[k] = v
+        """)
+        assert findings == []
+
+    def test_serving_modules_exempt(self):
+        findings = run_rule("module-state", """\
+            _CACHE = {}
+            def remember(key, value):
+                _CACHE[key] = value
+        """, relpath="serving/anything.py")
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = run_rule("module-state", """\
+            _REGISTRY = {}  # lint: ignore[module-state]
+            def register(k, v):
+                _REGISTRY[k] = v
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # import-cycle (project scope)
 # ----------------------------------------------------------------------
 

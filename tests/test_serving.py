@@ -1,0 +1,319 @@
+"""Tests for the query-serving subsystem (repro.serving).
+
+The load-bearing properties: batched+cached answering is byte-for-byte
+identical to sequential uncached answering; every store write
+invalidates exactly the tiers that depend on it; admission control
+sheds with typed abstentions instead of raising; the workload format
+rejects malformed input with :class:`~repro.errors.ServingError`.
+"""
+
+import pytest
+
+from repro.bench import LakeSpec, generate_ecommerce_lake
+from repro.bench.runner import build_hybrid_system
+from repro.errors import ServingError
+from repro.resilience import FaultPlan, ResilienceConfig, work_now
+from repro.serving import (
+    AdmissionPolicy, CachePolicy, QueryServer, ServeRequest,
+    normalize_question, parse_workload, repeated_questions,
+)
+
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def lake():
+    return generate_ecommerce_lake(LakeSpec(n_products=4, seed=SEED))
+
+
+@pytest.fixture(scope="module")
+def questions(lake):
+    return [pair.question for pair in lake.qa_pairs(per_kind=1)][:4]
+
+
+def make_server(lake, policy=None, admission=None, batch_size=4,
+                chaos_rate=0.0):
+    _system, pipeline = build_hybrid_system(lake, seed=SEED)
+    if chaos_rate > 0.0:
+        pipeline.enable_resilience(ResilienceConfig(
+            fault_plan=FaultPlan.uniform(
+                ("relational", "retriever", "slm"), chaos_rate, seed=5,
+            ),
+            budget=500_000,
+        ))
+    return QueryServer(pipeline, policy=policy or CachePolicy(),
+                       admission=admission, batch_size=batch_size)
+
+
+def ask(question, session="default"):
+    return ServeRequest(op="ask", payload={"question": question},
+                        session=session)
+
+
+def fingerprints(results):
+    return [
+        (r.answer.text, r.answer.value, r.answer.confidence,
+         r.answer.grounded, r.answer.system,
+         tuple(r.answer.provenance),
+         tuple(sorted(r.answer.metadata.items())))
+        for r in results if r.op == "ask"
+    ]
+
+
+# ----------------------------------------------------------------------
+# Equality: caching and batching must be invisible in the answers
+# ----------------------------------------------------------------------
+
+class TestEquality:
+    def test_cached_batched_equals_sequential_uncached(self, lake,
+                                                       questions):
+        workload = (
+            [ask(q) for q in questions]
+            + [ask(questions[0]), ask(questions[0])]
+            + [ServeRequest(op="sql", payload={"statement":
+                "INSERT INTO sales VALUES (99001, 1, 'Q1', 2024, 50.0)"})]
+            + [ask(q) for q in questions]
+        )
+        cached = make_server(lake, CachePolicy(), batch_size=4)
+        sequential = make_server(lake, CachePolicy.none(), batch_size=1)
+        assert fingerprints(cached.serve(workload)) == fingerprints(
+            sequential.serve(workload))
+
+    def test_single_flight_dedup(self, lake, questions):
+        server = make_server(lake, batch_size=8)
+        results = server.serve([ask(questions[0])] * 3)
+        fps = fingerprints(results)
+        assert fps[0] == fps[1] == fps[2]
+        assert server.stats()["scheduler"]["deduped"] == 2
+        assert [r.deduped for r in results] == [False, True, True]
+
+    def test_warm_pass_at_least_three_times_cheaper(self, lake,
+                                                    questions):
+        server = make_server(lake, batch_size=4)
+        meter = server.pipeline.meter
+        workload = repeated_questions(questions, repeats=1)
+        before = work_now(meter)
+        cold = fingerprints(server.serve(workload))
+        cold_work = work_now(meter) - before
+        before = work_now(meter)
+        warm = fingerprints(server.serve(workload))
+        warm_work = work_now(meter) - before
+        assert cold == warm
+        assert warm_work * 3 <= cold_work
+
+
+# ----------------------------------------------------------------------
+# Invalidation: each store kind flushes its dependent tiers
+# ----------------------------------------------------------------------
+
+TOTAL_QUESTION = "Find the total sales of all products in Q1."
+
+
+def invalidation_workload(write):
+    return [ask(TOTAL_QUESTION), ask(TOTAL_QUESTION), write,
+            ask(TOTAL_QUESTION)]
+
+
+class TestInvalidation:
+    def check_write(self, lake, write, kind):
+        cached = make_server(lake, CachePolicy(), batch_size=4)
+        control = make_server(lake, CachePolicy.none(), batch_size=1)
+        workload = invalidation_workload(write)
+        got = fingerprints(cached.serve(workload))
+        want = fingerprints(control.serve(workload))
+        assert got == want
+        assert got[0] == got[1]  # pre-write repeat served consistently
+        stats = cached.stats()["cache"]
+        assert stats["generations"][kind] > 0
+        return got, stats
+
+    def test_relational_write_invalidates_and_changes_answer(self, lake):
+        write = ServeRequest(op="sql", payload={"statement":
+            "INSERT INTO sales VALUES (99002, 1, 'Q1', 2024, 777.0)"})
+        got, stats = self.check_write(lake, write, "relational")
+        assert got[2] != got[0]  # the new row changed the total
+        dropped = (stats["answer"]["invalidations"]
+                   + stats["plan"]["invalidations"])
+        assert dropped > 0
+
+    def test_document_write_invalidates_answer_tier(self, lake):
+        write = ServeRequest(op="add_doc", payload={
+            "doc_id": "t-doc",
+            "document": {"name": "TestWidget", "status": "new"},
+        })
+        _got, stats = self.check_write(lake, write, "document")
+        assert stats["answer"]["invalidations"] > 0
+        # Plans depend on the relational store only: still valid.
+        assert stats["plan"]["invalidations"] == 0
+
+    def test_text_write_invalidates_answer_tier(self, lake):
+        write = ServeRequest(op="add_text", payload={
+            "doc_id": "t-note",
+            "text": "The TestWidget launch was delayed to Q3.",
+        })
+        _got, stats = self.check_write(lake, write, "text")
+        assert stats["answer"]["invalidations"] > 0
+
+
+# ----------------------------------------------------------------------
+# Admission control: shedding is a typed abstention, never an exception
+# ----------------------------------------------------------------------
+
+class TestAdmission:
+    def test_session_budget_sheds_after_spend(self, lake, questions):
+        server = make_server(
+            lake, admission=AdmissionPolicy(session_budget=1),
+            batch_size=1,
+        )
+        results = server.serve([ask(questions[0]), ask(questions[0])])
+        first, second = results
+        assert not first.shed
+        assert second.shed
+        answer = second.answer
+        assert answer.abstained
+        assert answer.metadata["shed"] is True
+        assert answer.metadata["degraded"] is True
+        assert "degradation" in answer.metadata
+        assert server.admission.spent("default") > 0
+
+    def test_budget_is_per_session(self, lake, questions):
+        server = make_server(
+            lake, admission=AdmissionPolicy(session_budget=1),
+            batch_size=1,
+        )
+        results = server.serve([
+            ask(questions[0], session="alice"),
+            ask(questions[0], session="alice"),
+            ask(questions[0], session="bob"),
+        ])
+        assert [r.shed for r in results] == [False, True, False]
+
+    def test_queue_depth_sheds_excess_arrivals(self, lake, questions):
+        server = make_server(
+            lake, admission=AdmissionPolicy(max_queue_depth=2),
+            batch_size=8,
+        )
+        results = server.serve([ask(q) for q in questions])
+        assert [r.shed for r in results] == [False, False, True, True]
+        assert server.stats()["scheduler"]["shed"] == 2
+
+    def test_write_barrier_resets_queue_depth(self, lake, questions):
+        server = make_server(
+            lake, admission=AdmissionPolicy(max_queue_depth=2),
+            batch_size=8,
+        )
+        write = ServeRequest(op="add_doc", payload={
+            "doc_id": "d1", "document": {"name": "X"}})
+        results = server.serve([
+            ask(questions[0]), ask(questions[1]), write,
+            ask(questions[2]), ask(questions[3]),
+        ])
+        assert not any(r.shed for r in results)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(session_budget=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_queue_depth=-1)
+
+
+# ----------------------------------------------------------------------
+# Chaos safety: faulted results are served but never cached
+# ----------------------------------------------------------------------
+
+class TestChaosSafety:
+    def test_no_degraded_answer_is_cached(self, lake, questions):
+        server = make_server(lake, chaos_rate=0.4)
+        workload = repeated_questions(questions[:3], repeats=2)
+        server.serve(workload)  # contract: never raises
+        injector = server.pipeline.resilience.injector
+        assert injector is not None and injector.log
+        for _key, answer in server.cache.answers.lru.items():
+            assert not answer.metadata.get("degraded")
+
+
+# ----------------------------------------------------------------------
+# Workload format and policy parsing
+# ----------------------------------------------------------------------
+
+class TestWorkloadParsing:
+    def test_parses_ops_and_skips_comments(self):
+        text = "\n".join([
+            '{"op": "ask", "question": "Q1?"}',
+            "# a comment",
+            "",
+            '{"op": "sql", "statement": "SELECT 1"}',
+            '{"op": "add_doc", "doc_id": "d", "document": {"a": 1}}',
+            '{"op": "add_text", "doc_id": "t", "text": "hello"}',
+        ])
+        requests = parse_workload(text)
+        assert [r.op for r in requests] == [
+            "ask", "sql", "add_doc", "add_text"]
+        assert requests[0].payload["question"] == "Q1?"
+
+    def test_bad_json_raises(self):
+        with pytest.raises(ServingError):
+            parse_workload("{not json}")
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ServingError):
+            parse_workload('{"op": "drop_tables"}')
+
+    def test_missing_field_raises(self):
+        with pytest.raises(ServingError):
+            parse_workload('{"op": "ask"}')
+
+    def test_repeated_questions_shape(self):
+        requests = repeated_questions(["a", "b"], repeats=2)
+        assert [r.payload["question"] for r in requests] == [
+            "a", "b", "a", "b"]
+
+    def test_normalize_question(self):
+        assert normalize_question("  what \n is\tthis ") == "what is this"
+        # Case is significant: the answer path hashes the exact string.
+        assert normalize_question("What") != normalize_question("what")
+
+    def test_cache_policy_from_string(self):
+        assert CachePolicy.from_string("full").describe() == "full"
+        assert CachePolicy.from_string("none").describe() == "none"
+        partial = CachePolicy.from_string("plan,retrieval")
+        assert (partial.plan, partial.retrieval) == (True, True)
+        assert (partial.answer, partial.embedding) == (False, False)
+        with pytest.raises(ValueError):
+            CachePolicy.from_string("answer,bogus")
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+
+class TestServeCli:
+    def test_serve_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        workload = tmp_path / "workload.jsonl"
+        workload.write_text("\n".join([
+            '{"op": "ask", "question": "How many products are there?"}',
+            '{"op": "ask", "question": "How many products are there?"}',
+            '{"op": "sql", "statement": "SELECT COUNT(*) FROM products"}',
+        ]), encoding="utf-8")
+        code = main([
+            "serve", "--workload", str(workload), "--seed", str(SEED),
+            "--batch-size", "2", "--cache-policy", "full",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("[ask]") == 2
+        assert "[sql]" in out
+        assert "scheduler:" in out
+        assert "cache.answer" in out
+
+    def test_serve_rejects_unknown_policy(self, tmp_path):
+        from repro.cli import main
+
+        workload = tmp_path / "w.jsonl"
+        workload.write_text('{"op": "ask", "question": "q"}',
+                            encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["serve", "--workload", str(workload),
+                  "--cache-policy", "bogus"])
