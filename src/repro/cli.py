@@ -90,6 +90,9 @@ def cmd_demo(args) -> int:
 def cmd_ask(args) -> int:
     """Answer one user question."""
     _, pipeline = _build(args.domain, args.seed, args.faults)
+    if args.explain_plan:
+        print(pipeline.explain_plan(args.question))
+        return 0
     with _tracing(args, pipeline):
         answer, estimate = pipeline.answer_with_uncertainty(args.question)
         print(answer.text or "<abstain>")
@@ -241,6 +244,10 @@ def build_parser() -> argparse.ArgumentParser:
     ask = sub.add_parser("ask", help=cmd_ask.__doc__)
     common(ask)
     ask.add_argument("question")
+    ask.add_argument("--explain-plan", action="store_true",
+                     help="print the compiled federated plan DAG "
+                          "(stages, signatures, static checks) "
+                          "instead of answering")
     ask.set_defaults(func=cmd_ask)
 
     stats = sub.add_parser("stats", help=cmd_stats.__doc__)

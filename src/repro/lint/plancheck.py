@@ -1,13 +1,27 @@
 """Plan-lint facade: static semantic checking of query plans.
 
-The implementation lives in
-:mod:`repro.storage.relational.plancheck` so the planner can run it
-without importing upward into :mod:`repro.lint`; this module is the
-stable, documented entry point for tooling and tests.
+Two checkers share this entry point:
+
+* **relational** — :func:`check_select` over a parsed SQL plan; the
+  implementation lives in :mod:`repro.storage.relational.plancheck` so
+  the planner can run it without importing upward into
+  :mod:`repro.lint`;
+* **federated** — :func:`check_federated_plan` over a compiled
+  :class:`~repro.qa.plan.FederatedPlan` DAG (unreachable stages,
+  engine/route mismatches, missing grounding on hybrid); implemented
+  in :mod:`repro.qa.plan` beside the compiler for the same reason.
+
+Both emit :class:`PlanDiagnostic` records, so tooling renders them
+uniformly. This module is the stable, documented entry point for
+tooling and tests.
 """
 
+from ..qa.plan import (  # lint: ignore[unused-import]
+    check_plan as check_federated_plan,
+)
 from ..storage.relational.plancheck import (  # lint: ignore[unused-import]
     ERROR, PlanDiagnostic, WARNING, check_select,
 )
 
-__all__ = ["PlanDiagnostic", "check_select", "ERROR", "WARNING"]
+__all__ = ["PlanDiagnostic", "check_select", "check_federated_plan",
+           "ERROR", "WARNING"]

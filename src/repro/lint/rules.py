@@ -355,7 +355,9 @@ _ALLOWED_DEPS: Dict[str, Set[str]] = {
         "caching", "text", "slm", "storage", "extraction", "graphindex",
         "entropy", "retrieval", "resilience", "semql", "qa",
     },
-    "lint": {"errors", "storage"},
+    # lint is the tooling plane: it may reach the plancheck facades
+    # (relational in storage, federated in qa) but nothing imports it.
+    "lint": {"errors", "storage", "qa"},
 }
 
 
@@ -597,6 +599,73 @@ class UnusedImportRule(Rule):
                 yield node
             else:
                 stack.extend(ast.iter_child_nodes(node))
+
+
+# ----------------------------------------------------------------------
+# Engine dispatch
+# ----------------------------------------------------------------------
+
+# The only qa/ modules allowed to call the answer engines directly:
+# the executor (which owns the guard path) and the engines themselves.
+_DISPATCH_ALLOWED = {"qa/executor.py", "qa/tableqa.py", "qa/textqa.py"}
+
+# Attribute names that look like an engine/retriever reference.
+_ENGINE_RECEIVERS = {
+    "table_qa", "text_qa", "retriever",
+    "_table_qa", "_text_qa", "_retriever",
+}
+
+
+@register
+class EngineDispatchRule(Rule):
+    """Within ``qa/``, only the plan executor dispatches to engines.
+
+    Since the federated-plan refactor, every ``TableQAEngine``/
+    ``TextQAEngine``/retriever call on the answer path runs inside
+    :class:`repro.qa.executor.PlanExecutor`, which owns the resilience
+    guard (budget → breaker → fault → call), the obs span and the
+    degradation bookkeeping per stage. A direct ``.answer()`` /
+    ``.retrieve()`` on an engine reference elsewhere in ``qa/``
+    silently bypasses all three — exactly the interleaved dispatch the
+    plan IR removed.
+    """
+
+    id = "engine-dispatch"
+    summary = ("forbid direct engine .answer()/.retrieve() calls in "
+               "qa/ outside the plan executor")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if (not module.relpath.startswith("qa/")
+                or module.relpath in _DISPATCH_ALLOWED):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (not isinstance(func, ast.Attribute)
+                    or func.attr not in ("answer", "retrieve")):
+                continue
+            receiver = self._receiver_name(func.value)
+            if receiver in _ENGINE_RECEIVERS:
+                yield module.finding(
+                    node, self.id,
+                    "direct engine call %s.%s() bypasses the plan "
+                    "executor's resilience guard and spans; dispatch "
+                    "through repro.qa.executor.PlanExecutor"
+                    % (receiver, func.attr),
+                )
+
+    @staticmethod
+    def _receiver_name(node: ast.expr) -> Optional[str]:
+        """The engine-ish name a call receiver ends in, if any."""
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Call):
+            # text_qa().answer(...) -- provider-style access.
+            return EngineDispatchRule._receiver_name(node.func)
+        return None
 
 
 # ----------------------------------------------------------------------

@@ -9,7 +9,8 @@ text. See ``docs/observability.md`` for the span taxonomy.
 
 from .export import aggregate_stages, render_trace, trace_to_json
 from .metrics import (
-    Counter, Histogram, MetricsRegistry, REGISTRY, incr, observe,
+    Counter, Histogram, METRIC_ANSWER_LATENCY, METRIC_ANSWER_WORK,
+    MetricsRegistry, REGISTRY, incr, observe,
 )
 from .tracer import Span, Tracer, active_tracer, install, span
 
@@ -17,5 +18,6 @@ __all__ = [
     "Span", "Tracer", "active_tracer", "install", "span",
     "Counter", "Histogram", "MetricsRegistry", "REGISTRY", "incr",
     "observe",
+    "METRIC_ANSWER_LATENCY", "METRIC_ANSWER_WORK",
     "aggregate_stages", "render_trace", "trace_to_json",
 ]

@@ -8,7 +8,8 @@ an integer add, cheap enough to record unconditionally.
 
 Canonical metric names used across the library:
 
-* ``qa.answer.count`` / ``qa.answer.latency`` — pipeline answers;
+* ``qa.answer.count`` / ``qa.answer.latency`` / ``qa.answer.work`` —
+  pipeline answers (wall seconds and CostMeter work units);
 * ``retrieval.fusion.candidates`` — RRF merged pool size per query;
 * ``sql.statements`` / ``sql.rows_scanned`` — relational engine work.
 """
@@ -18,6 +19,13 @@ from __future__ import annotations
 import json
 from collections import deque
 from typing import Any, Deque, Dict, Optional
+
+#: Per-answer wall latency in seconds (machine-dependent; useful for
+#: live dashboards, never for reproducible comparisons).
+METRIC_ANSWER_LATENCY = "qa.answer.latency"
+#: Per-answer cost in CostMeter work units — the machine-independent
+#: latency reading, on the same clock as resilience budgets/backoff.
+METRIC_ANSWER_WORK = "qa.answer.work"
 
 # Bound the per-histogram sample reservoir so long-running processes
 # keep constant memory; quantiles are over the most recent window.

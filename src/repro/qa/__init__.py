@@ -4,11 +4,13 @@ from .answer import (
     ANSWER_SYSTEM_HYBRID, ANSWER_SYSTEM_RAG, ANSWER_SYSTEM_TEXT2SQL, Answer,
 )
 from .compare import ComparativeQA, ComparisonFrame, detect_comparison
-from .federation import (
-    ROUTE_HYBRID, ROUTE_STRUCTURED, ROUTE_UNSTRUCTURED, FederatedRouter,
-    RouteDecision, best_answer,
-)
+from .executor import PlanExecutor
+from .federation import FederatedRouter, RouteDecision, best_answer
 from .pipeline import HybridQAPipeline
+from .plan import (
+    ROUTE_HYBRID, ROUTE_STRUCTURED, ROUTE_UNSTRUCTURED, FederatedPlan,
+    PlanStage, check_plan, compile_plan, render_plan,
+)
 from .session import QASession
 from .state import load_pipeline, save_pipeline
 from .tableqa import TableQAEngine
@@ -20,6 +22,8 @@ __all__ = [
     "ComparativeQA", "ComparisonFrame", "detect_comparison",
     "ROUTE_HYBRID", "ROUTE_STRUCTURED", "ROUTE_UNSTRUCTURED",
     "FederatedRouter", "RouteDecision", "best_answer",
+    "FederatedPlan", "PlanStage", "PlanExecutor",
+    "check_plan", "compile_plan", "render_plan",
     "HybridQAPipeline",
     "QASession",
     "load_pipeline", "save_pipeline",

@@ -1,0 +1,247 @@
+"""One shared executor for federated plans.
+
+:class:`PlanExecutor` interprets the :class:`~repro.qa.plan.
+FederatedPlan` DAG that every question compiles to, and is the single
+place engine dispatch happens: per executable stage it owns the
+resilience guard (budget → breaker → fault → call), the obs span, and
+the degradation bookkeeping — the pipeline merely compiles, delegates,
+and stamps the question-scope summary on the way out.
+
+Engine references are taken through zero-argument *providers* rather
+than bound once: ``enable_resilience()`` swaps the pipeline's
+resilience manager, SLM facade and text engine in place (without
+necessarily rebuilding engines), and the executor must always see the
+current instance.
+
+Producer stages (``SynthesizeSpec``, ``RetrieveTopology``) execute
+*jointly* with their consumer (``ExecuteTable``/``ExecuteText``)
+inside one guarded call: splitting them would change the guarded-call
+sequence the fault injector and degradation events key off, breaking
+the byte-identical contract with the pre-plan pipeline.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Optional
+
+from ..obs import span
+from .answer import ANSWER_SYSTEM_HYBRID, ANSWER_SYSTEM_RAG, Answer
+from .compare import ComparativeQA
+from .federation import best_answer
+from .plan import (
+    ROUTE_STRUCTURED, STAGE_ESTIMATE_ENTROPY, STAGE_EXECUTE_TABLE,
+    STAGE_EXECUTE_TEXT, STAGE_GROUND, STAGE_RETRIEVE_TOPOLOGY,
+    STAGE_ROUTE, STAGE_SELECT_BEST, STAGE_SYNTHESIZE_SPEC, WHEN_ALWAYS,
+    WHEN_RESCUE_ABSTAIN, WHEN_RESCUE_FAILED, WHEN_ROUTE, FederatedPlan,
+    PlanStage, compile_plan,
+)
+
+
+def cross_check(answer: Answer, candidates: List[Answer]) -> None:
+    """Cross-modal consistency: when both engines answered with a
+    number, agreement raises confidence, disagreement is flagged.
+
+    This is the grounding check the paper motivates — an LLM-ish text
+    answer that *agrees* with an independently computed SQL result is
+    far more trustworthy than either alone.
+    """
+    def numeric(candidate: Answer):
+        value = candidate.value
+        if isinstance(value, (int, float)) and not isinstance(
+            value, bool
+        ):
+            return float(value)
+        match = re.search(r"[-+]?\d+(?:\.\d+)?",
+                          (candidate.text or "").replace(",", ""))
+        return float(match.group()) if match else None
+
+    live = [c for c in candidates if not c.abstained]
+    if len(live) < 2:
+        return
+    values = [numeric(c) for c in live]
+    if any(v is None for v in values):
+        return
+    if all(abs(abs(v) - abs(values[0])) < 1e-6 for v in values[1:]):
+        answer.confidence = min(1.0, answer.confidence + 0.08)
+        answer.metadata["cross_check"] = "agree"
+    else:
+        answer.metadata["cross_check"] = "disagree"
+
+
+class PlanExecutor:
+    """Compile questions to federated plans and run them.
+
+    *router* and *table_qa* are rebuilt together with the executor (in
+    the pipeline's ``_build_engines``) so plain references suffice;
+    *text_qa*, *resilience* and *slm* are providers returning the
+    pipeline's **current** instance (see the module docstring).
+    """
+
+    def __init__(self, router, table_qa,
+                 text_qa: Callable[[], Optional[object]],
+                 resilience: Callable[[], object],
+                 slm: Callable[[], object]):
+        self._router = router
+        self._table_qa = table_qa
+        self._text_qa = text_qa
+        self._resilience = resilience
+        self._slm = slm
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile(self, question: str,
+                include_entropy: bool = False) -> FederatedPlan:
+        """Route *question* and compile the decision into a plan DAG."""
+        decision = self._router.route(question)
+        return compile_plan(
+            question, decision,
+            has_text_engine=self._text_qa() is not None,
+            include_entropy=include_entropy,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def answer(self, question: str) -> Answer:
+        """Full answer path: comparison decomposition, then one plan.
+
+        Comparison questions ("Compare X and Y ...") decompose into
+        per-entity sub-questions first, each compiled and executed
+        through its own plan.
+        """
+        comparer = ComparativeQA(self._slm(), self.answer_single)
+        compared = self._resilience().shield(
+            "compare", "try_answer", lambda: comparer.try_answer(question),
+        )
+        if compared is not None and not compared.abstained:
+            compared.metadata.setdefault("route", "comparison")
+            return compared
+        return self.answer_single(question)
+
+    def answer_single(self, question: str) -> Answer:
+        """Compile one (non-comparison) question and execute its plan."""
+        return self.execute(self.compile(question))
+
+    def execute(self, plan: FederatedPlan) -> Answer:
+        """Interpret *plan* stage by stage under the resilience guard.
+
+        ``EstimateEntropy`` stages are declarative only here — the
+        ``answer_with_uncertainty`` surface drives entropy sampling
+        with its own parameters (sample count, temperature, seed) that
+        a compiled plan does not carry.
+        """
+        manager = self._resilience()
+        question = plan.question
+        plan_key = plan.signature()
+        candidates: List[Answer] = []
+        failed_engines: List[str] = []
+        answer: Optional[Answer] = None
+
+        for stage in plan.stages:
+            if stage.kind in (STAGE_ROUTE, STAGE_SYNTHESIZE_SPEC,
+                              STAGE_RETRIEVE_TOPOLOGY,
+                              STAGE_ESTIMATE_ENTROPY):
+                # Route is bound at compile time; producers run jointly
+                # with their consumer stage; entropy is surface-driven.
+                continue
+            if not self._due(stage, candidates, failed_engines):
+                continue
+            if stage.kind == STAGE_EXECUTE_TABLE:
+                result, event = manager.try_call(
+                    "structured", "answer",
+                    lambda: self._table_qa.answer(question,
+                                                  plan_key=plan_key),
+                )
+                if event is not None:
+                    failed_engines.append("structured")
+                elif result is not None:
+                    candidates.append(result)
+            elif stage.kind == STAGE_EXECUTE_TEXT:
+                text_qa = self._text_qa()
+                if text_qa is None:
+                    continue
+                result, event = manager.try_call(
+                    "text", "answer",
+                    lambda: text_qa.answer(question),
+                )
+                if event is not None:
+                    failed_engines.append("text")
+                elif result is not None:
+                    candidates.append(result)
+            elif stage.kind == STAGE_SELECT_BEST:
+                if not candidates and not failed_engines:
+                    return Answer.abstain(
+                        ANSWER_SYSTEM_HYBRID, "no engine available"
+                    )
+                answer = best_answer(candidates)
+            elif stage.kind == STAGE_GROUND and answer is not None:
+                with span("qa.cross_check") as sp:
+                    cross_check(answer, candidates)
+                    sp.set("verdict",
+                           answer.metadata.get("cross_check", "n/a"))
+        if answer is None:
+            if not candidates and not failed_engines:
+                return Answer.abstain(
+                    ANSWER_SYSTEM_HYBRID, "no engine available"
+                )
+            answer = best_answer(candidates)
+        answer.metadata.setdefault("route", plan.route)
+        if failed_engines:
+            answer.metadata["degraded"] = True
+            winner = ("text" if answer.system == ANSWER_SYSTEM_RAG
+                      else "structured")
+            if not answer.abstained and winner not in failed_engines:
+                answer.metadata["fallback_engine"] = winner
+        return answer
+
+    @staticmethod
+    def _due(stage: PlanStage, candidates: List[Answer],
+             failed_engines: List[str]) -> bool:
+        """Whether a conditional stage fires given the run so far."""
+        if stage.when in (WHEN_ALWAYS, WHEN_ROUTE):
+            return True
+        all_abstained = all(a.abstained for a in candidates)
+        if stage.when == WHEN_RESCUE_ABSTAIN:
+            return all_abstained
+        if stage.when == WHEN_RESCUE_FAILED:
+            # The degradation ladder: another engine is down, this one
+            # is not, and nothing has answered yet.
+            return (bool(failed_engines)
+                    and "structured" not in failed_engines
+                    and all_abstained)
+        return False
+
+    # ------------------------------------------------------------------
+    # Auxiliary dispatch (explain / entropy surfaces)
+    # ------------------------------------------------------------------
+    def explain_lines(self, question: str) -> List[str]:
+        """The per-question lines of the pipeline's ``explain()``."""
+        decision = self._router.route(question)
+        lines = ["route: %s (%s)" % (decision.route, decision.reason)]
+        if decision.bound_tables:
+            lines.append("bound tables: %s"
+                         % ", ".join(decision.bound_tables))
+        answer = self._table_qa.answer(question)
+        if answer.abstained:
+            lines.append("tableqa: abstained (%s)"
+                         % answer.metadata.get("reason", ""))
+        else:
+            lines.append("tableqa plan: %s"
+                         % answer.metadata.get("plan", "?"))
+            lines.append("tableqa answer: %s" % answer.text)
+        text_qa = self._text_qa()
+        if text_qa is not None and decision.route != ROUTE_STRUCTURED:
+            hits = text_qa.retrieve(question)
+            lines.append("retrieval: %d chunks (%s)" % (
+                len(hits), ", ".join(h.chunk_id for h in hits[:3])
+            ))
+        return lines
+
+    def retrieve_contexts(self, question: str) -> List[str]:
+        """Retrieved chunk texts for *question* (entropy sampling)."""
+        text_qa = self._text_qa()
+        if text_qa is None:
+            return []
+        return [hit.chunk.text for hit in text_qa.retrieve(question)]

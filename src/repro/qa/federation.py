@@ -18,9 +18,11 @@ from ..semql.catalog import SchemaCatalog
 from ..semql.intents import analyze
 from .answer import ANSWER_SYSTEM_HYBRID, Answer
 
-ROUTE_STRUCTURED = "structured"
-ROUTE_UNSTRUCTURED = "unstructured"
-ROUTE_HYBRID = "hybrid"
+# Routing constants are single-sourced in repro.qa.plan (the stage
+# vocabulary); these aliases keep the historical import path working.
+from .plan import (  # lint: ignore[unused-import]
+    ROUTE_HYBRID, ROUTE_STRUCTURED, ROUTE_UNSTRUCTURED,
+)
 
 
 @dataclass

@@ -27,10 +27,12 @@ from ..extraction.table_gen import TableGenerator
 from ..graphindex.builder import BuilderConfig, GraphIndexBuilder
 from ..graphindex.hetgraph import HeterogeneousGraph
 from ..metering import CostMeter, GLOBAL_METER
-from ..obs import incr, observe, span
+from ..obs import (
+    METRIC_ANSWER_LATENCY, METRIC_ANSWER_WORK, incr, observe, span,
+)
 from ..resilience import (
     CONFIDENCE_PENALTY, QuestionScope, ResilienceConfig,
-    ResilienceManager, summarize,
+    ResilienceManager, summarize, work_now,
 )
 from ..retrieval.topology import TopologyConfig, TopologyRetriever
 from ..semql.catalog import SchemaCatalog
@@ -38,12 +40,10 @@ from ..slm.model import SmallLanguageModel
 from ..storage.document.store import DocumentStore
 from ..storage.relational.database import Database
 from ..storage.textstore import TextStore
-from .answer import ANSWER_SYSTEM_HYBRID, ANSWER_SYSTEM_RAG, Answer
-from .compare import ComparativeQA
-from .federation import (
-    ROUTE_HYBRID, ROUTE_STRUCTURED, ROUTE_UNSTRUCTURED, FederatedRouter,
-    best_answer,
-)
+from .answer import ANSWER_SYSTEM_HYBRID, Answer
+from .executor import PlanExecutor, cross_check
+from .federation import FederatedRouter
+from .plan import FederatedPlan, render_plan
 from .tableqa import TableQAEngine
 from .textqa import TextQAEngine
 
@@ -94,6 +94,7 @@ class HybridQAPipeline:
         self._text_qa: Optional[TextQAEngine] = None
         self._table_qa: Optional[TableQAEngine] = None
         self._router: Optional[FederatedRouter] = None
+        self._executor: Optional[PlanExecutor] = None
         self._plan_cache: Optional[Any] = None
         self._retriever_wrapper: Optional[Any] = None
         self._rebuild_listeners: List[Any] = []
@@ -278,6 +279,14 @@ class HybridQAPipeline:
         if self._plan_cache is not None:
             self._table_qa.set_plan_cache(self._plan_cache)
         self._router = FederatedRouter(catalog)
+        # Providers, not bound references: enable_resilience() and
+        # set_retriever_wrapper() swap these attributes in place.
+        self._executor = PlanExecutor(
+            self._router, self._table_qa,
+            text_qa=lambda: self._text_qa,
+            resilience=lambda: self._resilience,
+            slm=lambda: self._slm,
+        )
 
     def _document_entity_paths(self) -> List[str]:
         # Use shallow scalar keys that appear in most documents.
@@ -388,17 +397,21 @@ class HybridQAPipeline:
 
         Comparison questions ("Compare X and Y ...") are decomposed
         into per-entity sub-questions first (paper Section III.C's
-        Multi-Entity QA), each answered through the full route. Every
-        backend call runs under the resilience manager: faults retry,
-        budgets bound per-question work, and exhausted engines degrade
-        to the other modality (or a typed abstention) with the coping
-        story recorded in ``metadata["degradation"]``.
+        Multi-Entity QA), each answered through the full route. The
+        route itself is a compiled :class:`~repro.qa.plan.FederatedPlan`
+        interpreted by the shared :class:`~repro.qa.executor.
+        PlanExecutor`: every backend call runs under the resilience
+        manager — faults retry, budgets bound per-question work, and
+        exhausted engines degrade to the other modality (or a typed
+        abstention) with the coping story recorded in
+        ``metadata["degradation"]``.
         """
         self._check_built()
         started = time.perf_counter()
+        work_started = work_now(self._meter)
         with span("qa.answer") as sp:
             with self._resilience.question() as scope:
-                answer = self._answer_traced(question)
+                answer = self._executor.answer(question)
                 self._attach_degradation(answer, scope)
             sp.set("route", answer.metadata.get("route", "?"))
             sp.set("abstained", answer.abstained)
@@ -406,73 +419,35 @@ class HybridQAPipeline:
         incr("qa.answer.count")
         if scope.events:
             incr("qa.answer.degraded")
-        observe("qa.answer.latency", time.perf_counter() - started)
+        observe(METRIC_ANSWER_LATENCY, time.perf_counter() - started)
+        observe(METRIC_ANSWER_WORK, work_now(self._meter) - work_started)
         return answer
 
-    def _answer_traced(self, question: str) -> Answer:
-        comparer = ComparativeQA(self._slm, self._answer_single)
-        compared = self._resilience.shield(
-            "compare", "try_answer", lambda: comparer.try_answer(question),
-        )
-        if compared is not None and not compared.abstained:
-            compared.metadata.setdefault("route", "comparison")
-            return compared
-        return self._answer_single(question)
+    def compile_plan(self, question: str,
+                     include_entropy: bool = False) -> FederatedPlan:
+        """Compile *question* into its federated plan without executing."""
+        self._check_built()
+        return self._executor.compile(question, include_entropy)
 
-    def _answer_single(self, question: str) -> Answer:
-        decision = self._router.route(question)
-        manager = self._resilience
-        candidates: List[Answer] = []
-        failed_engines: List[str] = []
+    def explain_plan(self, question: str) -> str:
+        """Render the compiled plan DAG(s) for *question*.
 
-        def run_structured() -> None:
-            result, event = manager.try_call(
-                "structured", "answer",
-                lambda: self._table_qa.answer(question),
-            )
-            if event is not None:
-                failed_engines.append("structured")
-            elif result is not None:
-                candidates.append(result)
+        Comparison questions show one compiled plan per decomposed
+        sub-question; everything else shows a single DAG with its
+        signature digest and static-check verdict.
+        """
+        self._check_built()
+        from .compare import decompose, detect_comparison
 
-        def run_text() -> None:
-            if self._text_qa is None:
-                return
-            result, event = manager.try_call(
-                "text", "answer",
-                lambda: self._text_qa.answer(question),
-            )
-            if event is not None:
-                failed_engines.append("text")
-            elif result is not None:
-                candidates.append(result)
-
-        if decision.route in (ROUTE_STRUCTURED, ROUTE_HYBRID):
-            run_structured()
-        if decision.route in (ROUTE_UNSTRUCTURED, ROUTE_HYBRID) or all(
-            a.abstained for a in candidates
-        ):
-            run_text()
-        if failed_engines and "structured" not in failed_engines and all(
-            a.abstained for a in candidates
-        ):
-            # Text side is down on an unstructured question: the
-            # structured engine is the degradation ladder's next rung.
-            run_structured()
-        if not candidates and not failed_engines:
-            return Answer.abstain(ANSWER_SYSTEM_HYBRID, "no engine available")
-        answer = best_answer(candidates)
-        with span("qa.cross_check") as sp:
-            self._cross_check(answer, candidates)
-            sp.set("verdict", answer.metadata.get("cross_check", "n/a"))
-        answer.metadata.setdefault("route", decision.route)
-        if failed_engines:
-            answer.metadata["degraded"] = True
-            winner = ("text" if answer.system == ANSWER_SYSTEM_RAG
-                      else "structured")
-            if not answer.abstained and winner not in failed_engines:
-                answer.metadata["fallback_engine"] = winner
-        return answer
+        frame = detect_comparison(question, self._slm)
+        if frame is None:
+            return render_plan(self._executor.compile(question))
+        lines = ["comparison of: %s" % ", ".join(frame.entity_names)]
+        for entity, sub_question in decompose(frame):
+            lines.append("sub[%s]:" % entity)
+            rendered = render_plan(self._executor.compile(sub_question))
+            lines.extend("  " + line for line in rendered.splitlines())
+        return "\n".join(lines)
 
     @staticmethod
     def _attach_degradation(answer: Answer, scope: QuestionScope) -> None:
@@ -497,36 +472,10 @@ class HybridQAPipeline:
 
     @staticmethod
     def _cross_check(answer: Answer, candidates: List[Answer]) -> None:
-        """Cross-modal consistency: when both engines answered with a
-        number, agreement raises confidence, disagreement is flagged.
-
-        This is the grounding check the paper motivates — an LLM-ish
-        text answer that *agrees* with an independently computed SQL
-        result is far more trustworthy than either alone.
-        """
-        import re as _re
-
-        def numeric(candidate: Answer):
-            value = candidate.value
-            if isinstance(value, (int, float)) and not isinstance(
-                value, bool
-            ):
-                return float(value)
-            match = _re.search(r"[-+]?\d+(?:\.\d+)?",
-                               (candidate.text or "").replace(",", ""))
-            return float(match.group()) if match else None
-
-        live = [c for c in candidates if not c.abstained]
-        if len(live) < 2:
-            return
-        values = [numeric(c) for c in live]
-        if any(v is None for v in values):
-            return
-        if all(abs(abs(v) - abs(values[0])) < 1e-6 for v in values[1:]):
-            answer.confidence = min(1.0, answer.confidence + 0.08)
-            answer.metadata["cross_check"] = "agree"
-        else:
-            answer.metadata["cross_check"] = "disagree"
+        """Cross-modal grounding check (kept for API stability; the
+        implementation lives in :func:`repro.qa.executor.cross_check`,
+        which the executor's ``Ground`` stage runs)."""
+        cross_check(answer, candidates)
 
     def explain(self, question: str) -> str:
         """Human-readable trace of how *question* would be answered.
@@ -549,32 +498,12 @@ class HybridQAPipeline:
                     lines.append("  sub[%s]: %s" % (entity, sub_question))
                     lines.extend(
                         "    " + line
-                        for line in self._explain_single(sub_question)
+                        for line in self._executor.explain_lines(
+                            sub_question)
                     )
                 return "\n".join(lines)
-            lines.extend(self._explain_single(question))
+            lines.extend(self._executor.explain_lines(question))
             return "\n".join(lines)
-
-    def _explain_single(self, question: str) -> List[str]:
-        decision = self._router.route(question)
-        lines = ["route: %s (%s)" % (decision.route, decision.reason)]
-        if decision.bound_tables:
-            lines.append("bound tables: %s"
-                         % ", ".join(decision.bound_tables))
-        answer = self._table_qa.answer(question)
-        if answer.abstained:
-            lines.append("tableqa: abstained (%s)"
-                         % answer.metadata.get("reason", ""))
-        else:
-            lines.append("tableqa plan: %s"
-                         % answer.metadata.get("plan", "?"))
-            lines.append("tableqa answer: %s" % answer.text)
-        if self._text_qa is not None and decision.route != ROUTE_STRUCTURED:
-            hits = self._text_qa.retrieve(question)
-            lines.append("retrieval: %d chunks (%s)" % (
-                len(hits), ", ".join(h.chunk_id for h in hits[:3])
-            ))
-        return lines
 
     def answer_with_uncertainty(
         self, question: str, n_samples: int = 8,
@@ -621,9 +550,7 @@ class HybridQAPipeline:
                           temperature: float,
                           seed: Optional[int]) -> EntropyEstimate:
         with span("qa.entropy", n_samples=n_samples) as sp:
-            contexts = [
-                hit.chunk.text for hit in self._text_qa.retrieve(question)
-            ]
+            contexts = self._executor.retrieve_contexts(question)
             samples = self._slm.sample_answers(
                 question, contexts, n_samples=n_samples,
                 temperature=temperature, seed=seed,

@@ -35,11 +35,13 @@ class TableQAEngine:
     def set_plan_cache(self, cache: Optional[Any]) -> None:
         """Install a synthesized-plan cache (or None to remove it).
 
-        *cache* is duck-typed: ``get(question) -> Optional[QuerySpec]``
-        and ``put(question, spec)``. Synthesis is deterministic over a
-        fixed schema, so a cached plan re-executes against live tables
-        — the serving layer invalidates on schema change, not on data
-        change.
+        *cache* is duck-typed: ``get(key) -> Optional[QuerySpec]`` and
+        ``put(key, spec)``, where the key is the question string or —
+        when the caller passes ``plan_key`` to :meth:`answer` — the
+        federated plan's canonical :meth:`~repro.qa.plan.FederatedPlan.
+        signature`. Synthesis is deterministic over a fixed schema, so
+        a cached plan re-executes against live tables — the serving
+        layer invalidates on schema change, not on data change.
         """
         self._plan_cache = cache
 
@@ -53,18 +55,26 @@ class TableQAEngine:
         self._catalog.build_value_index()
 
     # ------------------------------------------------------------------
-    def answer(self, question: str) -> Answer:
-        """Synthesize, compile, execute; abstains on unbound questions."""
+    def answer(self, question: str,
+               plan_key: Optional[Any] = None) -> Answer:
+        """Synthesize, compile, execute; abstains on unbound questions.
+
+        *plan_key* overrides the plan-cache key — the executor passes
+        the federated plan's :meth:`~repro.qa.plan.FederatedPlan.
+        signature` so the serving plan tier keys off one principled
+        identity instead of the raw question string.
+        """
+        key = plan_key if plan_key is not None else question
         with span("qa.tableqa") as sp:
             try:
                 spec = None
                 if self._plan_cache is not None:
-                    spec = self._plan_cache.get(question)
+                    spec = self._plan_cache.get(key)
                     sp.set("plan_cached", spec is not None)
                 if spec is None:
                     spec = self._synthesizer.synthesize(question)
                     if self._plan_cache is not None:
-                        self._plan_cache.put(question, spec)
+                        self._plan_cache.put(key, spec)
                 result = self._compiler.execute(spec)
             except (SynthesisError, PlanError, ExecutionError) as exc:
                 sp.set("abstained", True)

@@ -81,13 +81,17 @@ class Generations:
 
 
 class PlanCache:
-    """Question → synthesized logical plan, relational-generation tagged.
+    """Plan signature → synthesized logical plan, generation tagged.
 
     Duck-types the hook :meth:`~repro.qa.tableqa.TableQAEngine.
-    set_plan_cache` expects. Entry cost is measured, not guessed: a miss
-    snapshots the work clock, and the matching ``put`` charges the
-    entry with the work synthesis actually spent — so the LRU budget is
-    denominated in real CostMeter units.
+    set_plan_cache` expects. Keys are whatever the engine passes —
+    since the federated-plan refactor that is the canonical
+    :meth:`~repro.qa.plan.FederatedPlan.signature` tuple (question,
+    route, stage DAG) rather than a per-tier munged string; callers
+    outside the executor may still key by raw question. Entry cost is
+    measured, not guessed: a miss snapshots the work clock, and the
+    matching ``put`` charges the entry with the work synthesis actually
+    spent — so the LRU budget is denominated in real CostMeter units.
     """
 
     def __init__(self, generations: Generations, meter: CostMeter,
@@ -95,31 +99,31 @@ class PlanCache:
         self._generations = generations
         self._meter = meter
         self._lru = CostAwareLRU(capacity=capacity, name="serving.plans")
-        self._pending: Dict[str, int] = {}
+        self._pending: Dict[Any, int] = {}
 
     @property
     def lru(self) -> CostAwareLRU:
         """The backing LRU (stats and tests)."""
         return self._lru
 
-    def get(self, question: str) -> Optional[Any]:
-        """The cached plan for *question*, or None on miss/staleness."""
+    def get(self, key: Any) -> Optional[Any]:
+        """The cached plan under *key*, or None on miss/staleness."""
         tag = self._generations.stamp(PLAN_DEPS)
-        spec = self._lru.get(question, tag=tag)
+        spec = self._lru.get(key, tag=tag)
         if spec is not None:
             incr("serving.cache.plan.hit")
             return spec
         incr("serving.cache.plan.miss")
-        self._pending[question] = work_now(self._meter)
+        self._pending[key] = work_now(self._meter)
         return None
 
-    def put(self, question: str, spec: Any) -> None:
+    def put(self, key: Any, spec: Any) -> None:
         """Store a freshly synthesized plan at its measured work cost."""
-        started = self._pending.pop(question, None)
+        started = self._pending.pop(key, None)
         cost = 1
         if started is not None:
             cost = max(1, work_now(self._meter) - started)
-        self._lru.put(question, spec, cost=cost,
+        self._lru.put(key, spec, cost=cost,
                       tag=self._generations.stamp(PLAN_DEPS))
 
 
