@@ -13,7 +13,11 @@ Subcommands:
 * ``serve --workload FILE.jsonl [--cache-policy P]`` — run a JSONL
   request workload (questions and writes) through the serving layer's
   caches, batch scheduler and admission control (see
-  ``docs/serving.md``).
+  ``docs/serving.md``);
+* ``load --spec SPEC.json [--slo SLO.json]`` — deterministic
+  closed-loop load harness with SLO gates: expands a seeded workload
+  spec, drives the full server, and exits non-zero on any gate breach
+  (see ``docs/serving.md``, "Load testing & SLOs").
 
 Every subcommand accepts ``--trace``: after the command's own output it
 prints the recorded span tree (nested stages, wall time, per-span cost
@@ -219,6 +223,20 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_load(args) -> int:
+    """Run the closed-loop load harness with optional SLO gating."""
+    from .loadgen import cli as loadgen_cli
+
+    forwarded = ["--spec", args.spec]
+    if args.slo:
+        forwarded += ["--slo", args.slo]
+    if args.out:
+        forwarded += ["--out", args.out]
+    if args.emit_workload:
+        forwarded += ["--emit-workload", args.emit_workload]
+    return loadgen_cli.main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -283,6 +301,21 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="questions allowed to queue between writes")
     serve.set_defaults(func=cmd_serve)
+
+    load = sub.add_parser("load", help=cmd_load.__doc__)
+    load.add_argument("--spec", required=True, metavar="SPEC.json",
+                      help="load-generation spec (domain, seed, mixes, "
+                           "skew, writes, faults)")
+    load.add_argument("--slo", default=None, metavar="SLO.json",
+                      help="SLO gate spec; omit to measure without "
+                           "gating")
+    load.add_argument("--out", default=None, metavar="REPORT.json",
+                      help="write the canonical BENCH_load payload here")
+    load.add_argument("--emit-workload", default=None,
+                      metavar="FILE.jsonl",
+                      help="also save the generated request stream as "
+                           "a serving JSONL workload")
+    load.set_defaults(func=cmd_load)
     return parser
 
 

@@ -75,6 +75,16 @@ class ServingError(ReproError):
     """A serving workload or server configuration was invalid."""
 
 
+class LoadGenError(ReproError):
+    """A load-generation spec or SLO spec was invalid.
+
+    Specs are config: unknown keys, negative thresholds or impossible
+    schedules fail loudly at parse time, before any request runs —
+    the same contract :func:`repro.serving.workload.parse_workload`
+    enforces for workload files.
+    """
+
+
 class ResilienceError(ReproError):
     """Base class for the resilience layer's control-flow signals.
 

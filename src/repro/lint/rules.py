@@ -355,6 +355,14 @@ _ALLOWED_DEPS: Dict[str, Set[str]] = {
         "caching", "text", "slm", "storage", "extraction", "graphindex",
         "entropy", "retrieval", "resilience", "semql", "qa",
     },
+    # loadgen is the verification plane over serving: it drives the
+    # whole stack (including bench lake construction) but nothing
+    # below it may import it.
+    "loadgen": _INFRA | {
+        "caching", "text", "slm", "storage", "extraction", "graphindex",
+        "entropy", "retrieval", "resilience", "semql", "qa", "serving",
+        "bench",
+    },
     # lint is the tooling plane: it may reach the plancheck facades
     # (relational in storage, federated in qa) but nothing imports it.
     "lint": {"errors", "storage", "qa"},
@@ -490,7 +498,8 @@ class MutableDefaultRule(Rule):
 
 # print() is part of the interface in these modules.
 _PRINT_ALLOWED = {"cli.py", "bench/reporting.py", "obs/smoke.py",
-                  "resilience/smoke.py", "serving/smoke.py", "lint/cli.py"}
+                  "resilience/smoke.py", "serving/smoke.py", "lint/cli.py",
+                  "loadgen/cli.py"}
 
 
 @register

@@ -1,0 +1,8 @@
+"""``python -m repro.loadgen`` — run the load harness CLI."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

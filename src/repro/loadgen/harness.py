@@ -1,0 +1,244 @@
+"""The closed-loop load harness: spec -> traffic -> measurements -> SLO.
+
+:func:`run_load` closes the loop the ROADMAP asks for: it builds the
+benchmark domain named by a :class:`~.spec.LoadSpec`, expands the spec
+into seeded arrival bursts, drives the full
+:class:`~repro.serving.QueryServer` stack (caches, micro-batches,
+admission, optional chaos), collects per-request **work-clock**
+latency samples plus error/abstention/shed counts and cache-tier hit
+rates, and evaluates the result against a declarative
+:class:`~.slo.SLOSpec`. Every measured number is deterministic — two
+runs of the same spec produce byte-identical reports — so an SLO
+breach in CI is a real regression, never flake.
+
+Arrival think-time is charged to the pipeline's CostMeter between
+bursts (counter ``loadgen.think_work``): the arrival schedule lives on
+the same work clock as resilience budgets and cache costs, advancing
+deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..bench import (
+    HealthSpec, LakeSpec, generate_ecommerce_lake, generate_healthcare_lake,
+)
+from ..bench.runner import build_hybrid_system
+from ..errors import LoadGenError
+from ..obs import MetricsRegistry
+from ..resilience import ResilienceConfig, work_now
+from ..serving import (
+    AdmissionPolicy, CachePolicy, QueryServer, ServeRequest, ServeResult,
+)
+from .slo import SLOReport, SLOSpec, evaluate
+from .spec import Burst, LoadSpec, generate_workload
+
+#: CostMeter counter charged for inter-burst think time.
+THINK_WORK = "loadgen.think_work"
+
+#: Local-registry histogram holding every per-request work sample.
+METRIC_LOAD_WORK = "loadgen.request.work"
+
+#: Tiers whose hit rates the harness reports (when enabled).
+_RATED_TIERS = ("answer", "plan", "retrieval")
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run produced.
+
+    ``measurements`` is the flat, JSON-ready metric dict SLO gates
+    read; ``verdict`` is None when no SLO spec was supplied.
+    """
+
+    spec: LoadSpec
+    slo: Optional[SLOSpec]
+    measurements: Dict[str, Any]
+    verdict: Optional[SLOReport]
+    questions: Tuple[str, ...]
+
+    @property
+    def passed(self) -> bool:
+        """True when there is no verdict or every gate passed."""
+        return self.verdict is None or self.verdict.passed
+
+
+def build_server(spec: LoadSpec) -> Tuple[Any, QueryServer]:
+    """Build the lake + pipeline + server a spec describes.
+
+    Applies the spec's cache policy, admission limits and (optional)
+    resilience/fault configuration — the same wiring the CLI's
+    ``serve`` subcommand performs, derived entirely from the spec so
+    runs are self-describing.
+    """
+    if spec.domain == "ecommerce":
+        lake = generate_ecommerce_lake(LakeSpec(seed=spec.seed))
+    else:
+        lake = generate_healthcare_lake(HealthSpec(seed=spec.seed))
+    _system, pipeline = build_hybrid_system(lake, seed=spec.seed)
+    if spec.faults is not None:
+        pipeline.enable_resilience(ResilienceConfig.from_dict(spec.faults))
+    try:
+        policy = CachePolicy.from_string(spec.cache_policy)
+    except ValueError as exc:
+        raise LoadGenError("spec cache_policy invalid: %s" % exc) from exc
+    admission = None
+    if spec.session_budget is not None or spec.max_queue_depth is not None:
+        admission = AdmissionPolicy(
+            session_budget=spec.session_budget,
+            max_queue_depth=spec.max_queue_depth,
+        )
+    server = QueryServer(pipeline, policy=policy, admission=admission,
+                         batch_size=spec.batch_size)
+    return lake, server
+
+
+def _tier_lookups(server: QueryServer) -> Dict[str, Tuple[int, int]]:
+    """Per-tier (hits, misses) right now — for delta hit rates."""
+    stats = server.stats()["cache"]
+    return {
+        tier: (stats[tier]["hits"], stats[tier]["misses"])
+        for tier in _RATED_TIERS if tier in stats
+    }
+
+
+def _hit_rates(before: Dict[str, Tuple[int, int]],
+               after: Dict[str, Tuple[int, int]]) -> Dict[str, float]:
+    """Hit rate per tier over the lookups between two snapshots."""
+    rates: Dict[str, float] = {}
+    for tier in _RATED_TIERS:
+        if tier not in after:
+            rates["%s_hit_rate" % tier] = 0.0
+            continue
+        hits = after[tier][0] - before.get(tier, (0, 0))[0]
+        misses = after[tier][1] - before.get(tier, (0, 0))[1]
+        total = hits + misses
+        rates["%s_hit_rate" % tier] = (
+            round(hits / total, 6) if total else 0.0
+        )
+    return rates
+
+
+def _warmup_requests(spec: LoadSpec,
+                     questions: Tuple[str, ...]) -> List[ServeRequest]:
+    """One ask per pool question, on a dedicated warmup session.
+
+    Warmup traffic primes the cache tiers without touching the measured
+    sessions' budgets, so admission isolation results stay clean.
+    """
+    return [
+        ServeRequest(op="ask", payload={"question": question},
+                     session="warmup")
+        for question in questions
+    ] * spec.warmup_passes
+
+
+def _measure(results: List[ServeResult], registry: MetricsRegistry,
+             total_work: int, warmup_work: int,
+             think_charged: int, n_batches: int,
+             rates: Dict[str, float]) -> Dict[str, Any]:
+    """Fold serve results into the flat measurement dict gates read."""
+    asks = [r for r in results if r.op == "ask"]
+    writes = [r for r in results if r.op != "ask"]
+    served = [r for r in asks if not r.shed]
+    n_shed = len(asks) - len(served)
+    n_deduped = sum(1 for r in served if r.deduped)
+    n_errors = sum(
+        1 for r in served
+        if r.answer is not None and r.answer.metadata.get("degraded")
+    )
+    n_abstained = sum(
+        1 for r in asks if r.answer is not None and r.answer.abstained
+    )
+    histogram = registry.histogram(METRIC_LOAD_WORK, reservoir=0)
+    for result in served:
+        histogram.observe(result.work)
+    n_asks = len(asks)
+    measurements: Dict[str, Any] = {
+        "asks": n_asks,
+        "writes": len(writes),
+        "batches": n_batches,
+        "served": len(served),
+        "shed": n_shed,
+        "deduped": n_deduped,
+        "errors": n_errors,
+        "abstained": n_abstained,
+        "total_work": total_work,
+        "warmup_work": warmup_work,
+        "think_work": think_charged,
+        "error_rate": round(n_errors / n_asks, 6) if n_asks else 0.0,
+        "abstain_rate": round(n_abstained / n_asks, 6) if n_asks else 0.0,
+        "shed_rate": round(n_shed / n_asks, 6) if n_asks else 0.0,
+        "dedup_rate": round(n_deduped / n_asks, 6) if n_asks else 0.0,
+    }
+    measurements.update(rates)
+    if served:
+        measurements.update({
+            "work_p50": int(histogram.quantile(0.50)),
+            "work_p95": int(histogram.quantile(0.95)),
+            "work_p99": int(histogram.quantile(0.99)),
+            "work_max": int(histogram.max or 0),
+            "work_mean": round(histogram.mean, 2),
+        })
+    return measurements
+
+
+def run_load(spec: LoadSpec,
+             slo: Optional[SLOSpec] = None) -> LoadReport:
+    """Run one spec end to end and (optionally) gate it on an SLO.
+
+    Deterministic by construction: the lake, the pipeline, the
+    workload and every measured number derive from ``spec.seed`` and
+    the work clock — wall time never appears in the measurements.
+    """
+    lake, server = build_server(spec)
+    pairs = lake.qa_pairs(per_kind=spec.questions_per_kind)
+    questions = tuple(pair.question for pair in pairs)
+    bursts = generate_workload(spec, questions)
+    meter = server.pipeline.meter
+
+    warmup_before = work_now(meter)
+    warmup = _warmup_requests(spec, questions)
+    if warmup:
+        server.serve(warmup)
+    warmup_work = work_now(meter) - warmup_before
+
+    lookups_before = _tier_lookups(server)
+    batches_before = server.stats()["scheduler"]["batches"]
+    measured_before = work_now(meter)
+    think_charged = 0
+    results: List[ServeResult] = []
+    for burst in bursts:
+        if burst.gap:
+            meter.charge(THINK_WORK, burst.gap)
+            think_charged += burst.gap
+        results.extend(server.serve(list(burst.requests)))
+    total_work = work_now(meter) - measured_before
+    n_batches = server.stats()["scheduler"]["batches"] - batches_before
+
+    registry = MetricsRegistry()
+    measurements = _measure(
+        results, registry, total_work, warmup_work, think_charged,
+        n_batches, _hit_rates(lookups_before, _tier_lookups(server)),
+    )
+    verdict = evaluate(measurements, slo)
+    return LoadReport(spec=spec, slo=slo, measurements=measurements,
+                      verdict=verdict, questions=questions)
+
+
+def run_bursts(server: QueryServer,
+               bursts: List[Burst]) -> List[ServeResult]:
+    """Serve pre-generated bursts on an existing server (test hook).
+
+    Charges each burst's think gap to the server's meter first, exactly
+    as :func:`run_load` does, but leaves measurement to the caller.
+    """
+    results: List[ServeResult] = []
+    meter = server.pipeline.meter
+    for burst in bursts:
+        if burst.gap:
+            meter.charge(THINK_WORK, burst.gap)
+        results.extend(server.serve(list(burst.requests)))
+    return results

@@ -1,0 +1,58 @@
+"""Canonical machine-readable load reports (``BENCH_load.json``).
+
+One payload shape shared by the CLI, the benchmark harness and CI:
+a ``runs`` list of per-spec records, each echoing the spec and SLO it
+ran under, the flat measurement dict, and the gate verdicts. The
+serialization is canonical — sorted keys, fixed indentation, trailing
+newline, and **no wall-clock fields anywhere** — so two runs of the
+same spec at the same seed produce byte-identical files, and a diff
+between two commits' artifacts is a real behavioural delta.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List
+
+from .harness import LoadReport
+
+
+def run_payload(report: LoadReport) -> Dict[str, Any]:
+    """The JSON-ready record for one load run."""
+    payload: Dict[str, Any] = {
+        "spec": report.spec.to_dict(),
+        "questions": len(report.questions),
+        "metrics": dict(report.measurements),
+        "passed": report.passed,
+    }
+    if report.verdict is not None:
+        payload["slo"] = report.verdict.to_dict()
+    return payload
+
+
+def bench_payload(reports: List[LoadReport]) -> Dict[str, Any]:
+    """The full ``BENCH_load.json`` document over several runs."""
+    runs = sorted(
+        (run_payload(report) for report in reports),
+        key=lambda run: (run["spec"]["domain"], run["spec"]["name"]),
+    )
+    return {
+        "bench": "load",
+        "runs": runs,
+        "passed": all(run["passed"] for run in runs),
+    }
+
+
+def to_json(payload: Dict[str, Any]) -> str:
+    """Canonical serialization (sorted keys, indent 2, newline)."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_report(path: str, payload: Dict[str, Any]) -> str:
+    """Write the canonical serialization to *path*; returns the path."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(payload))
+    return path

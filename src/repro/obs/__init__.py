@@ -10,14 +10,14 @@ text. See ``docs/observability.md`` for the span taxonomy.
 from .export import aggregate_stages, render_trace, trace_to_json
 from .metrics import (
     Counter, Histogram, METRIC_ANSWER_LATENCY, METRIC_ANSWER_WORK,
-    MetricsRegistry, REGISTRY, incr, observe,
+    MetricsRegistry, REGISTRY, incr, nearest_rank, observe,
 )
 from .tracer import Span, Tracer, active_tracer, install, span
 
 __all__ = [
     "Span", "Tracer", "active_tracer", "install", "span",
     "Counter", "Histogram", "MetricsRegistry", "REGISTRY", "incr",
-    "observe",
+    "nearest_rank", "observe",
     "METRIC_ANSWER_LATENCY", "METRIC_ANSWER_WORK",
     "aggregate_stages", "render_trace", "trace_to_json",
 ]

@@ -17,8 +17,9 @@ Canonical metric names used across the library:
 from __future__ import annotations
 
 import json
+import math
 from collections import deque
-from typing import Any, Deque, Dict, Optional
+from typing import Any, Deque, Dict, Optional, Sequence, Tuple
 
 #: Per-answer wall latency in seconds (machine-dependent; useful for
 #: live dashboards, never for reproducible comparisons).
@@ -30,6 +31,32 @@ METRIC_ANSWER_WORK = "qa.answer.work"
 # Bound the per-histogram sample reservoir so long-running processes
 # keep constant memory; quantiles are over the most recent window.
 _RESERVOIR = 1024
+
+
+def nearest_rank(values: Sequence[float], q: float) -> float:
+    """Exact nearest-rank quantile of *values* (q in [0, 1]).
+
+    The smallest element whose cumulative frequency is >= q: rank
+    ``max(1, ceil(q * n))`` in the sorted sample. Unlike interpolating
+    estimators this always returns an *observed* value, so percentile
+    gates computed from integer work-unit samples stay integers and
+    compare deterministically.
+
+    >>> nearest_rank([10, 20, 30, 40], 0.5)
+    20
+    >>> nearest_rank([7], 0.99)
+    7
+
+    Raises :class:`ValueError` on an empty sample or q outside [0, 1]
+    — SLO math must fail loudly, never silently default.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1], got %r" % (q,))
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("nearest_rank() of an empty sample")
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
 
 
 class Counter:
@@ -51,19 +78,25 @@ class Counter:
 class Histogram:
     """Streaming summary of observed values.
 
-    Keeps exact count/sum/min/max plus a bounded reservoir of the most
-    recent observations for quantile estimates.
+    Keeps exact count/sum/min/max plus a reservoir of the most recent
+    observations for quantile estimates. The reservoir is bounded by
+    default (constant memory for long-running processes); pass
+    ``reservoir=0`` to keep *every* observation, which makes
+    :meth:`quantile` exact over the full sample — the mode the load
+    harness uses for SLO percentile gates.
     """
 
     __slots__ = ("name", "count", "total", "min", "max", "_recent")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, reservoir: Optional[int] = _RESERVOIR):
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
-        self._recent: Deque[float] = deque(maxlen=_RESERVOIR)
+        self._recent: Deque[float] = deque(
+            maxlen=reservoir if reservoir else None
+        )
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -82,17 +115,24 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> Optional[float]:
-        """Approximate quantile over the recent-observation window."""
+        """Nearest-rank quantile over the observation window.
+
+        Exact over every observation when the histogram was built with
+        ``reservoir=0``; otherwise over the most recent window. None
+        before any observation.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
         if not self._recent:
             return None
-        ordered = sorted(self._recent)
-        index = min(len(ordered) - 1, int(q * len(ordered)))
-        return ordered[index]
+        return nearest_rank(self._recent, q)
+
+    def values(self) -> Tuple[float, ...]:
+        """The retained observations, in arrival order."""
+        return tuple(self._recent)
 
     def summary(self) -> Dict[str, Any]:
-        """count/mean/min/max/p50/p95 as a plain dict."""
+        """count/mean/min/max/p50/p95/p99 as a plain dict."""
         return {
             "count": self.count,
             "mean": self.mean,
@@ -100,6 +140,7 @@ class Histogram:
             "max": self.max,
             "p50": self.quantile(0.5),
             "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 
@@ -124,11 +165,19 @@ class MetricsRegistry:
             counter = self._counters[name] = Counter(name)
         return counter
 
-    def histogram(self, name: str) -> Histogram:
-        """The histogram named *name*, created on first use."""
+    def histogram(self, name: str,
+                  reservoir: Optional[int] = _RESERVOIR) -> Histogram:
+        """The histogram named *name*, created on first use.
+
+        *reservoir* applies only at creation time (``0`` = keep every
+        observation, for exact full-sample percentiles); a histogram
+        that already exists keeps its original window.
+        """
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms[name] = Histogram(name)
+            histogram = self._histograms[name] = Histogram(
+                name, reservoir=reservoir
+            )
         return histogram
 
     def snapshot(self) -> Dict[str, Any]:

@@ -32,11 +32,13 @@ from .cache import (
 )
 from .retrieval import CachingRetriever
 from .scheduler import (
-    BatchScheduler, ServeRequest, ServeResult, normalize_question,
+    BatchScheduler, METRIC_REQUEST_WORK, ServeRequest, ServeResult,
+    normalize_question,
 )
 from .server import QueryServer
 from .workload import (
-    OPS, load_workload, parse_workload, repeated_questions,
+    OPS, load_workload, parse_workload, render_jsonl,
+    repeated_questions, request_from_record,
 )
 
 __all__ = [
@@ -47,7 +49,9 @@ __all__ = [
     "AnswerCache", "CachePolicy", "Generations", "MultiTierCache",
     "PlanCache",
     "CachingRetriever",
-    "BatchScheduler", "ServeRequest", "ServeResult", "normalize_question",
+    "BatchScheduler", "METRIC_REQUEST_WORK", "ServeRequest",
+    "ServeResult", "normalize_question",
     "QueryServer",
-    "OPS", "load_workload", "parse_workload", "repeated_questions",
+    "OPS", "load_workload", "parse_workload", "render_jsonl",
+    "repeated_questions", "request_from_record",
 ]

@@ -31,10 +31,16 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..metering import CostMeter
-from ..obs import incr, span
+from ..obs import incr, observe, span
 from ..qa.answer import Answer
 from ..resilience import work_now
 from .admission import AdmissionController
+
+#: Histogram of per-request work-clock cost, one observation per ask
+#: that reached the answer path (shed requests are excluded; dedup
+#: riders observe 0). The load harness reads the same field off
+#: :attr:`ServeResult.work`, so the two surfaces always agree.
+METRIC_REQUEST_WORK = "serving.request.work"
 
 
 def normalize_question(question: str) -> str:
@@ -58,7 +64,13 @@ class ServeRequest:
 
 @dataclass
 class ServeResult:
-    """The outcome of one :class:`ServeRequest`, in stream order."""
+    """The outcome of one :class:`ServeRequest`, in stream order.
+
+    ``work`` is the request's own work-clock cost: the CostMeter delta
+    around its computation. A dedup rider or answer-cache hit costs ~0,
+    a shed request exactly 0 — the per-request latency sample the load
+    harness aggregates into SLO percentiles.
+    """
 
     index: int
     op: str
@@ -67,6 +79,7 @@ class ServeResult:
     detail: str = ""
     shed: bool = False
     deduped: bool = False
+    work: int = 0
 
 
 class BatchScheduler:
@@ -88,6 +101,7 @@ class BatchScheduler:
         self.n_deduped = 0
         self.n_shed = 0
         self.n_writes = 0
+        self.batch_sizes: List[int] = []
 
     def run(self, requests: List[ServeRequest]) -> List[ServeResult]:
         """Execute the stream; results align with the request order."""
@@ -118,9 +132,11 @@ class BatchScheduler:
                 buffer = []
                 depth = 0
                 self.n_writes += 1
+                started = work_now(self._meter)
                 detail = self._write_fn(request)
                 results[index] = ServeResult(
                     index, request.op, request.session, detail=detail,
+                    work=work_now(self._meter) - started,
                 )
         self._flush(buffer, results)
         return [r for r in results if r is not None]
@@ -135,6 +151,7 @@ class BatchScheduler:
         if not buffer:
             return
         self.n_batches += 1
+        self.batch_sizes.append(len(buffer))
         with span("serving.batch") as sp:
             sp.set("size", len(buffer))
             answered: Dict[str, Answer] = {}
@@ -163,18 +180,20 @@ class BatchScheduler:
                     answered[question] = answer
                 if self._admission is not None:
                     self._admission.charge(request.session, work)
+                observe(METRIC_REQUEST_WORK, work)
                 results[index] = ServeResult(
                     index, request.op, request.session, answer=answer,
-                    deduped=deduped,
+                    deduped=deduped, work=work,
                 )
             sp.set("unique", len(answered))
 
-    def stats(self) -> Dict[str, int]:
-        """Scheduler throughput counters."""
+    def stats(self) -> Dict[str, Any]:
+        """Scheduler throughput counters plus per-batch sizes."""
         return {
             "batches": self.n_batches,
             "asks": self.n_asks,
             "deduped": self.n_deduped,
             "shed": self.n_shed,
             "writes": self.n_writes,
+            "batch_sizes": list(self.batch_sizes),
         }

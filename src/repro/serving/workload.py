@@ -33,44 +33,70 @@ _REQUIRED: Dict[str, Sequence[str]] = {
 }
 
 
+#: Longest slice of an offending workload line echoed in error text.
+_SNIPPET_LIMIT = 80
+
+
+def _snippet(line: str) -> str:
+    """The offending line's content, truncated for error messages."""
+    if len(line) <= _SNIPPET_LIMIT:
+        return line
+    return line[:_SNIPPET_LIMIT] + "..."
+
+
 def parse_workload(text: str) -> List[ServeRequest]:
     """Parse a JSONL workload document into requests.
 
     Raises :class:`~repro.errors.ServingError` on malformed lines,
     unknown ops or missing fields — workloads are config, and config
-    errors should fail loudly before any request runs.
+    errors should fail loudly before any request runs. Every error
+    carries both the line number and the (truncated) offending line, so
+    a bad record in a generated thousand-line workload is findable
+    without counting lines.
     """
     requests: List[ServeRequest] = []
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
+        context = "workload line %d" % lineno
         try:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
             raise ServingError(
-                "workload line %d is not valid JSON: %s" % (lineno, exc)
+                "%s is not valid JSON: %s (line: %r)"
+                % (context, exc, _snippet(line))
             ) from exc
         if not isinstance(record, dict):
             raise ServingError(
-                "workload line %d must be a JSON object" % lineno
+                "%s must be a JSON object (line: %r)"
+                % (context, _snippet(line))
             )
-        requests.append(_to_request(record, lineno))
+        requests.append(request_from_record(record, context=context))
     return requests
 
 
-def _to_request(record: Dict[str, Any], lineno: int) -> ServeRequest:
+def request_from_record(record: Dict[str, Any],
+                        context: str = "workload record") -> ServeRequest:
+    """Validate one workload record dict into a :class:`ServeRequest`.
+
+    The single validation path for the workload vocabulary: the JSONL
+    parser and the load generator's spec-embedded write templates both
+    route through here, so every surface rejects unknown ops and
+    missing fields identically. *context* prefixes error messages
+    (e.g. ``"workload line 7"``).
+    """
     op = record.get("op")
     if op not in OPS:
         raise ServingError(
-            "workload line %d has unknown op %r (expected one of %s)"
-            % (lineno, op, ", ".join(OPS))
+            "%s has unknown op %r (expected one of %s) (record: %r)"
+            % (context, op, ", ".join(OPS), _snippet(repr(record)))
         )
     for field_name in _REQUIRED[op]:
         if field_name not in record:
             raise ServingError(
-                "workload line %d (%s) is missing %r"
-                % (lineno, op, field_name)
+                "%s (%s) is missing %r (record: %r)"
+                % (context, op, field_name, _snippet(repr(record)))
             )
     session = str(record.get("session", "default"))
     payload = {
@@ -78,6 +104,23 @@ def _to_request(record: Dict[str, Any], lineno: int) -> ServeRequest:
         if key not in ("op", "session")
     }
     return ServeRequest(op=op, payload=payload, session=session)
+
+
+def render_jsonl(requests: Sequence[ServeRequest]) -> str:
+    """Serialize requests back into the JSONL workload format.
+
+    The inverse of :func:`parse_workload` (round-trips exactly), so a
+    generated workload can be saved and replayed later through
+    ``repro serve --workload``.
+    """
+    lines = []
+    for request in requests:
+        record: Dict[str, Any] = {"op": request.op}
+        record.update(request.payload)
+        if request.session != "default":
+            record["session"] = request.session
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def load_workload(path: str) -> List[ServeRequest]:

@@ -7,6 +7,8 @@ sheds with typed abstentions instead of raising; the workload format
 rejects malformed input with :class:`~repro.errors.ServingError`.
 """
 
+import random
+
 import pytest
 
 from repro.bench import LakeSpec, generate_ecommerce_lake
@@ -15,7 +17,8 @@ from repro.errors import ServingError
 from repro.resilience import FaultPlan, ResilienceConfig, work_now
 from repro.serving import (
     AdmissionPolicy, CachePolicy, QueryServer, ServeRequest,
-    normalize_question, parse_workload, repeated_questions,
+    normalize_question, parse_workload, render_jsonl, repeated_questions,
+    request_from_record,
 )
 
 SEED = 11
@@ -156,6 +159,66 @@ class TestInvalidation:
 
 
 # ----------------------------------------------------------------------
+# Property: scheduler determinism under permuted submission order
+# ----------------------------------------------------------------------
+
+class TestSchedulerPermutation:
+    """Answers and batch composition are order-independent between
+    write barriers: submission interleaving is scheduling detail, not
+    semantics."""
+
+    def permuted_segments(self, segments, seed):
+        rng = random.Random(seed)
+        workload = []
+        for segment in segments:
+            chunk = list(segment)
+            rng.shuffle(chunk)
+            workload.extend(chunk)
+        return workload
+
+    def test_permuted_interleavings_are_equivalent(self, lake,
+                                                   questions):
+        write = ServeRequest(op="sql", payload={"statement":
+            "INSERT INTO sales VALUES (99003, 1, 'Q2', 2024, 10.0)"})
+        segments = [
+            [ask(questions[0]), ask(questions[1]), ask(questions[2]),
+             ask(questions[0])],
+            [write],
+            [ask(questions[1]), ask(questions[3]), ask(questions[2])],
+        ]
+        baseline_by_question = None
+        baseline_batches = None
+        for seed in range(5):
+            workload = self.permuted_segments(segments, seed)
+            server = make_server(lake, CachePolicy(), batch_size=4)
+            results = server.serve(workload)
+            by_question = {}
+            for result in results:
+                if result.op != "ask":
+                    continue
+                question = workload[result.index].payload["question"]
+                fp = fingerprints([result])[0]
+                # Duplicate asks (dedup riders) must match the primary.
+                assert by_question.setdefault(question, fp) == fp
+            batches = server.stats()["scheduler"]["batch_sizes"]
+            if baseline_by_question is None:
+                baseline_by_question = by_question
+                baseline_batches = batches
+            else:
+                assert by_question == baseline_by_question, (
+                    "answers diverged under permutation seed %d" % seed)
+                assert batches == baseline_batches, (
+                    "batch composition diverged under permutation "
+                    "seed %d" % seed)
+
+    def test_per_request_work_is_recorded(self, lake, questions):
+        server = make_server(lake, batch_size=4)
+        results = server.serve([ask(q) for q in questions[:2]])
+        assert all(r.work >= 0 for r in results)
+        assert any(r.work > 0 for r in results)
+
+
+# ----------------------------------------------------------------------
 # Admission control: shedding is a typed abstention, never an exception
 # ----------------------------------------------------------------------
 
@@ -218,6 +281,66 @@ class TestAdmission:
 
 
 # ----------------------------------------------------------------------
+# Sustained overload: shedding stays typed, monotone, and isolated
+# ----------------------------------------------------------------------
+
+class TestSustainedOverload:
+    def offered(self, questions, n, session="default"):
+        return [ask(questions[i % len(questions)], session=session)
+                for i in range(n)]
+
+    def test_overload_never_raises_and_sheds_typed(self, lake,
+                                                   questions):
+        server = make_server(
+            lake, admission=AdmissionPolicy(max_queue_depth=2),
+            batch_size=16,
+        )
+        results = server.serve(self.offered(questions, 24))
+        assert len(results) == 24
+        for result in results:
+            assert result.answer is not None
+            if result.shed:
+                assert result.answer.abstained
+                assert result.answer.metadata["shed"] is True
+                assert result.answer.metadata["degraded"] is True
+                assert result.work == 0
+
+    def test_shed_rate_monotone_in_offered_load(self, lake, questions):
+        rates = []
+        for offered_load in (2, 4, 8, 16, 32):
+            server = make_server(
+                lake, admission=AdmissionPolicy(max_queue_depth=4),
+                batch_size=64,
+            )
+            results = server.serve(self.offered(questions, offered_load))
+            shed = sum(1 for r in results if r.shed)
+            rates.append(shed / offered_load)
+        assert rates == sorted(rates), (
+            "shed rate not monotone in offered load: %r" % (rates,))
+        assert rates[0] == 0.0
+        assert rates[-1] > 0.5
+
+    def test_session_budget_isolates_greedy_from_quiet(self, lake,
+                                                       questions):
+        server = make_server(
+            lake, admission=AdmissionPolicy(session_budget=200),
+            batch_size=4,
+        )
+        workload = []
+        for i in range(12):
+            workload.append(ask(questions[i % len(questions)],
+                                session="greedy"))
+            if i % 4 == 0:
+                workload.append(ask(questions[0], session="quiet"))
+        results = server.serve(workload)
+        greedy = [r for r in results if r.session == "greedy"]
+        quiet = [r for r in results if r.session == "quiet"]
+        assert any(r.shed for r in greedy), "greedy session never shed"
+        assert not any(r.shed for r in quiet), (
+            "quiet session shed by the greedy session's spend")
+
+
+# ----------------------------------------------------------------------
 # Chaos safety: faulted results are served but never cached
 # ----------------------------------------------------------------------
 
@@ -262,6 +385,43 @@ class TestWorkloadParsing:
     def test_missing_field_raises(self):
         with pytest.raises(ServingError):
             parse_workload('{"op": "ask"}')
+
+    def test_bad_json_error_names_line_and_content(self):
+        text = "\n".join([
+            '{"op": "ask", "question": "fine"}',
+            '{"op": "ask", "question": "also fine"}',
+            "{definitely not json}",
+        ])
+        with pytest.raises(ServingError) as excinfo:
+            parse_workload(text)
+        message = str(excinfo.value)
+        assert "workload line 3" in message
+        assert "(line: '{definitely not json}')" in message
+
+    def test_bad_json_error_truncates_long_lines(self):
+        line = '{"op": "ask", "question": ' + "x" * 300
+        with pytest.raises(ServingError) as excinfo:
+            parse_workload(line)
+        message = str(excinfo.value)
+        assert "workload line 1" in message
+        assert "...'" in message
+        # The embedded snippet is bounded, not the whole 300-char line.
+        assert len(message) < 300
+
+    def test_non_object_line_error_names_content(self):
+        with pytest.raises(ServingError) as excinfo:
+            parse_workload('["a", "list"]')
+        assert "must be a JSON object" in str(excinfo.value)
+        assert "(line: " in str(excinfo.value)
+
+    def test_request_from_record_roundtrips_via_render(self):
+        records = [
+            {"op": "ask", "question": "Q1?", "session": "s01"},
+            {"op": "sql", "statement": "SELECT 1"},
+            {"op": "add_doc", "doc_id": "d", "document": {"a": 1}},
+        ]
+        requests = [request_from_record(dict(r)) for r in records]
+        assert parse_workload(render_jsonl(requests)) == requests
 
     def test_repeated_questions_shape(self):
         requests = repeated_questions(["a", "b"], repeats=2)
