@@ -1,0 +1,88 @@
+"""Runtime of the whole-program effect analysis over the shipped tree.
+
+The analyzer runs in CI on every push (`repro analyze --check`), so
+its wall-clock cost is a budget, not a curiosity. Each pipeline stage
+is benchmarked in isolation — parse+index, fixpoint effect
+propagation, capability-table projection — plus the end-to-end path
+the CLI takes, with a summary table of corpus and signature sizes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+import repro
+from repro.analysis import EffectAnalyzer, ProjectIndex, build_table
+from repro.bench import render_table
+from repro.lint.core import load_module
+
+from _common import emit
+
+PACKAGE = pathlib.Path(repro.__file__).resolve().parent
+RESULTS = []
+
+
+def _load_modules():
+    modules = []
+    for path in sorted(PACKAGE.rglob("*.py")):
+        modules.append(load_module(path, PACKAGE))
+    return modules
+
+
+@pytest.fixture(scope="module")
+def modules():
+    return _load_modules()
+
+
+@pytest.fixture(scope="module")
+def index(modules):
+    return ProjectIndex(modules)
+
+
+@pytest.fixture(scope="module")
+def signatures(index):
+    return EffectAnalyzer(index).analyze()
+
+
+def test_parse_and_index(benchmark, modules):
+    idx = benchmark(lambda: ProjectIndex(_load_modules()))
+    assert len(idx.functions) > 100
+
+
+def test_fixpoint_effect_propagation(benchmark, index):
+    sigs = benchmark(lambda: EffectAnalyzer(index).analyze())
+    assert len(sigs) == len(index.functions)
+
+
+def test_capability_table_projection(benchmark, index, signatures):
+    table = benchmark(build_table, index, signatures)
+    assert len(table.pairs) == 36
+
+
+def test_end_to_end_analysis(benchmark):
+    def run():
+        idx = ProjectIndex(_load_modules())
+        return build_table(idx)
+
+    table = benchmark(run)
+    assert len(table.stages) == 8
+
+
+def test_analysis_report(benchmark, index, signatures):
+    benchmark(lambda: None)
+    effect_counts = [len(sig.effects) for sig in signatures.values()]
+    RESULTS.append({
+        "modules": len({fn.module_name
+                        for fn in index.functions.values()}),
+        "functions": len(index.functions),
+        "classes": len(index.classes),
+        "total_effects": sum(effect_counts),
+        "max_signature": max(effect_counts),
+        "truncated": sum(1 for sig in signatures.values()
+                         if sig.truncated),
+    })
+    emit("analysis", render_table(
+        RESULTS, title="Effect analysis: corpus and signature sizes"
+    ))

@@ -1,0 +1,28 @@
+"""Whole-program effect analysis and stage-interference certification.
+
+The pipeline: :class:`~repro.analysis.callgraph.ProjectIndex` builds
+the package-closed call graph, :class:`~repro.analysis.effects.
+EffectAnalyzer` infers per-function effect signatures by fixpoint
+propagation, and :mod:`~repro.analysis.interference` projects them
+through :data:`repro.qa.executor.STAGE_HANDLERS` onto the eight plan
+stage kinds, emitting the committed capability table
+(``analysis/parallel_safety.json``) that certifies which stage pairs a
+parallel executor may overlap. ``repro analyze`` is the CLI surface.
+"""
+
+from .callgraph import FunctionInfo, ProjectIndex  # lint: ignore[unused-import]
+from .effects import EffectAnalyzer  # lint: ignore[unused-import]
+from .interference import (  # lint: ignore[unused-import]
+    HYBRID_ARM_PAIRS, VERDICT_CONFLICTS, VERDICT_SAFE, VERDICT_UNKNOWN,
+    CapabilityTable, build_table, diff_tables, pair_key,
+)
+from .model import (  # lint: ignore[unused-import]
+    EFFECT_KINDS, KIND_MODES, Effect, FunctionEffects,
+)
+
+__all__ = [
+    "CapabilityTable", "Effect", "EffectAnalyzer", "EFFECT_KINDS",
+    "FunctionEffects", "FunctionInfo", "HYBRID_ARM_PAIRS",
+    "KIND_MODES", "ProjectIndex", "VERDICT_CONFLICTS", "VERDICT_SAFE",
+    "VERDICT_UNKNOWN", "build_table", "diff_tables", "pair_key",
+]

@@ -1,0 +1,574 @@
+"""Project-wide call graph with best-effort, type-seeded resolution.
+
+The :class:`ProjectIndex` ingests the same parsed modules the lint
+engine loads (:func:`repro.lint.core.load_module`) and builds:
+
+* a symbol table per module (imported names resolved through the
+  package's own import graph, relative imports included);
+* a class index — methods, base classes, and **attribute types**
+  recovered from three seeds: ``self.x = ClassName(...)`` constructor
+  assignments, ``self.x = param`` where the parameter carries a type
+  annotation, and annotation forms ``Optional[X]`` /
+  ``Callable[..., X]`` (the executor's provider idiom: calling the
+  attribute yields an ``X``);
+* a function index keyed by qualified name
+  (``qa.executor.PlanExecutor.execute``).
+
+:meth:`ProjectIndex.resolve_call` maps one AST call site to the
+functions it may invoke. Resolution is *best-effort and closed under
+the package*: receivers typed via the seeds resolve exactly; untyped
+receivers fall back to a name match over every known class, accepted
+only when few classes define the method (``_AMBIGUITY_CAP``) —
+otherwise the call is reported as *opaque* so downstream verdicts
+degrade to ``unknown`` instead of silently guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lint.core import ModuleInfo
+
+#: Max classes a name-based method fallback may match before the call
+#: is declared opaque.
+_AMBIGUITY_CAP = 4
+
+# Attribute-type flavors.
+TYPE_INSTANCE = "instance"  #: the attribute *is* an instance of the class
+TYPE_PROVIDER = "provider"  #: calling the attribute *returns* an instance
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the package."""
+
+    qualname: str  # e.g. "qa.executor.PlanExecutor.execute"
+    module_name: str
+    relpath: str
+    lineno: int
+    node: ast.AST
+    class_name: Optional[str] = None
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, bases, and inferred attribute types."""
+
+    name: str
+    module_name: str
+    relpath: str
+    bases: Tuple[str, ...] = ()
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: attr name -> (TYPE_INSTANCE | TYPE_PROVIDER, class name)
+    attr_types: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+
+@dataclass
+class Resolution:
+    """Outcome of resolving one call site.
+
+    ``targets`` are in-package functions the call may reach (empty for
+    external/opaque calls); ``dotted`` is the external dotted path when
+    the call leaves the package (``re.search``); ``opaque_name`` is set
+    when nothing resolved; ``receiver`` describes the call receiver for
+    effect classification — one of ``("self",)``, ``("self_attr",
+    class_name, attr)``, ``("param", name)``, ``("local", name)``,
+    ``("global", name)``, ``("class", name)``, ``("module", dotted)``
+    or ``()``; ``const_arg0`` carries the first positional argument
+    when it is a string literal (keyed-dispatch intrinsics).
+    """
+
+    targets: List[FunctionInfo] = field(default_factory=list)
+    dotted: Optional[str] = None
+    opaque_name: Optional[str] = None
+    method_name: Optional[str] = None
+    receiver: Tuple = ()
+    const_arg0: Optional[str] = None
+    ambiguous: bool = False
+
+
+def parse_type_annotation(node) -> Optional[Tuple[str, str]]:
+    """Extract ``(flavor, class_name)`` from an annotation AST.
+
+    Understands ``X``, ``"X"`` (string forward refs, parsed),
+    ``Optional[X]``, ``X | None``, and ``Callable[..., X]`` (provider
+    flavor, including nested ``Callable[[], Optional[X]]``). Returns
+    ``None`` for anything else (``object``, containers, unions of
+    concrete types).
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Name):
+        if node.id in ("object", "Any", "None"):
+            return None
+        return (TYPE_INSTANCE, node.id)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        for side in (node.left, node.right):
+            if not (isinstance(side, ast.Constant) and side.value is None):
+                return parse_type_annotation(side)
+        return None
+    if isinstance(node, ast.Subscript):
+        head = node.value
+        if not isinstance(head, (ast.Name, ast.Attribute)):
+            return None
+        head_name = head.attr if isinstance(head, ast.Attribute) else head.id
+        inner = node.slice
+        if head_name == "Optional":
+            return parse_type_annotation(inner)
+        if head_name == "Callable":
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                returned = parse_type_annotation(inner.elts[-1])
+                if returned is not None:
+                    return (TYPE_PROVIDER, returned[1])
+        return None
+    return None
+
+
+def _relative_prefix(module: ModuleInfo,
+                     node: ast.ImportFrom) -> Optional[List[str]]:
+    """Package-path prefix a relative import resolves to, or None."""
+    pkg = module.relpath.split("/")[:-1]
+    drop = node.level - 1
+    if drop > len(pkg):
+        return None
+    base = pkg[:len(pkg) - drop] if drop else pkg
+    prefix = list(base)
+    if node.module:
+        prefix.extend(node.module.split("."))
+    return prefix
+
+
+class ProjectIndex:
+    """Symbol, class and function indexes over one package tree."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]):
+        self.modules = list(modules)
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, List[ClassInfo]] = {}
+        self.class_of: Dict[str, ClassInfo] = {}  # "module.Class"
+        #: module_name -> local name -> ("class"|"func"|"external"|
+        #:                               "module", payload)
+        self.symbols: Dict[str, Dict[str, Tuple[str, object]]] = {}
+        self.methods_by_name: Dict[str, List[FunctionInfo]] = {}
+        #: "module.NAME" -> class name, for module-level singletons
+        #: (``GLOBAL_METER = CostMeter()``).
+        self.global_instances: Dict[str, str] = {}
+        for module in self.modules:
+            self._index_module(module)
+        self._link_imports()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _index_module(self, module: ModuleInfo) -> None:
+        mod = module.module_name
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = "%s.%s" % (mod, stmt.name)
+                self.functions[qual] = FunctionInfo(
+                    qualname=qual, module_name=mod,
+                    relpath=module.relpath, lineno=stmt.lineno,
+                    node=stmt,
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                self._index_class(module, stmt)
+            elif isinstance(stmt, ast.Assign):
+                # Module-level singleton: NAME = ClassName(...)
+                value = stmt.value
+                if (isinstance(value, ast.Call)
+                        and isinstance(value.func, ast.Name)
+                        and value.func.id[:1].isupper()):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            self.global_instances[
+                                "%s.%s" % (mod, target.id)
+                            ] = value.func.id
+
+    def _index_class(self, module: ModuleInfo, stmt: ast.ClassDef) -> None:
+        mod = module.module_name
+        bases = tuple(
+            base.id for base in stmt.bases if isinstance(base, ast.Name)
+        )
+        info = ClassInfo(name=stmt.name, module_name=mod,
+                         relpath=module.relpath, bases=bases)
+        for item in stmt.body:
+            if not isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            qual = "%s.%s.%s" % (mod, stmt.name, item.name)
+            fn = FunctionInfo(
+                qualname=qual, module_name=mod, relpath=module.relpath,
+                lineno=item.lineno, node=item, class_name=stmt.name,
+            )
+            info.methods[item.name] = fn
+            self.functions[qual] = fn
+            self.methods_by_name.setdefault(item.name, []).append(fn)
+        self._seed_attr_types(info)
+        self.classes.setdefault(stmt.name, []).append(info)
+        self.class_of["%s.%s" % (mod, stmt.name)] = info
+
+    def _seed_attr_types(self, info: ClassInfo) -> None:
+        """Infer ``self.attr`` types from constructor-style seeds."""
+        for method in info.methods.values():
+            params = _param_annotations(method.node)
+            for node in ast.walk(method.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if not (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        continue
+                    seeded = self._value_type(node.value, params)
+                    if seeded is not None:
+                        info.attr_types.setdefault(target.attr, seeded)
+
+    @staticmethod
+    def _value_type(value: ast.expr,
+                    params: Dict[str, Tuple[str, str]]
+                    ) -> Optional[Tuple[str, str]]:
+        """Type of an assigned value: ctor call or annotated param."""
+        if (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id[:1].isupper()):
+            return (TYPE_INSTANCE, value.func.id)
+        if isinstance(value, ast.Name):
+            return params.get(value.id)
+        if isinstance(value, ast.BoolOp) and value.values:
+            # "catalog or SchemaCatalog(db)" — either side may seed.
+            for side in value.values:
+                seeded = ProjectIndex._value_type(side, params)
+                if seeded is not None:
+                    return seeded
+        if isinstance(value, ast.IfExp):
+            # "meter if meter is not None else GLOBAL_METER"
+            for side in (value.body, value.orelse):
+                seeded = ProjectIndex._value_type(side, params)
+                if seeded is not None:
+                    return seeded
+        return None
+
+    def _link_imports(self) -> None:
+        """Resolve every module's imported names to indexed symbols."""
+        known = {m.module_name: m for m in self.modules}
+        for module in self.modules:
+            table: Dict[str, Tuple[str, object]] = {}
+            # Names defined in the module itself.
+            for stmt in module.tree.body:
+                if isinstance(stmt, ast.ClassDef):
+                    table[stmt.name] = (
+                        "class",
+                        self.class_of["%s.%s" % (module.module_name,
+                                                 stmt.name)],
+                    )
+                elif isinstance(stmt, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    table[stmt.name] = (
+                        "func",
+                        self.functions["%s.%s" % (module.module_name,
+                                                  stmt.name)],
+                    )
+            for qual, cls_name in self.global_instances.items():
+                mod_of, _, name = qual.rpartition(".")
+                if mod_of == module.module_name:
+                    table.setdefault(name, ("instance", cls_name))
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ImportFrom):
+                    self._link_import_from(module, node, known, table)
+                elif isinstance(node, ast.Import):
+                    for alias in node.names:
+                        bound = alias.asname or alias.name.split(".")[0]
+                        table.setdefault(
+                            bound, ("module", alias.name if alias.asname
+                                    else alias.name.split(".")[0]))
+            self.symbols[module.module_name] = table
+
+    def _link_import_from(self, module: ModuleInfo, node: ast.ImportFrom,
+                          known: Dict[str, ModuleInfo],
+                          table: Dict[str, Tuple[str, object]]) -> None:
+        if node.level > 0:
+            prefix = _relative_prefix(module, node)
+            if prefix is None:
+                return
+        elif node.module and (node.module == "repro"
+                              or node.module.startswith("repro.")):
+            prefix = node.module.split(".")[1:]
+        else:
+            # External import: record the dotted origin.
+            if node.module is None:
+                return
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                table.setdefault(
+                    bound,
+                    ("external", "%s.%s" % (node.module, alias.name)))
+            return
+        source = ".".join(prefix)
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name
+            target = self._package_symbol(source, alias.name, known)
+            if target is not None:
+                table.setdefault(bound, target)
+
+    def _package_symbol(self, source: str, name: str,
+                        known: Dict[str, ModuleInfo]
+                        ) -> Optional[Tuple[str, object]]:
+        """Resolve ``from <source> import <name>`` inside the package."""
+        qual_class = "%s.%s" % (source, name) if source else name
+        if qual_class in self.class_of:
+            return ("class", self.class_of[qual_class])
+        if qual_class in self.functions:
+            return ("func", self.functions[qual_class])
+        if qual_class in self.global_instances:
+            return ("instance", self.global_instances[qual_class])
+        submodule = qual_class
+        if submodule in known:
+            return ("module", submodule)
+        # "from . import x" or a package __init__ re-export: search the
+        # package's own modules for a unique definition of the name.
+        hits: List[Tuple[str, object]] = []
+        for cls_list in self.classes.get(name, []) or []:
+            hits.append(("class", cls_list))
+        if not hits:
+            for qual, fn in self.functions.items():
+                if qual.endswith("." + name) and "." not in qual[
+                        :-(len(name) + 1)].split(".")[-1]:
+                    if fn.class_name is None:
+                        hits.append(("func", fn))
+        if len(hits) == 1:
+            return hits[0]
+        return None
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def resolve_class_name(self, name: str) -> Optional[ClassInfo]:
+        """The class *name* denotes, when unique package-wide."""
+        candidates = self.classes.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def method_on(self, cls: ClassInfo,
+                  method: str) -> Optional[FunctionInfo]:
+        """Resolve *method* on *cls* or (transitively) its bases."""
+        seen = set()
+        frontier = [cls]
+        while frontier:
+            current = frontier.pop(0)
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            if method in current.methods:
+                return current.methods[method]
+            for base in current.bases:
+                parent = self.resolve_class_name(base)
+                if parent is not None:
+                    frontier.append(parent)
+        return None
+
+    # ------------------------------------------------------------------
+    # Call resolution
+    # ------------------------------------------------------------------
+    def resolve_call(self, fn: FunctionInfo, call: ast.Call,
+                     local_types: Dict[str, Tuple[str, str]],
+                     param_types: Dict[str, Tuple[str, str]]
+                     ) -> Resolution:
+        """Best-effort resolution of one call site inside *fn*."""
+        out = Resolution()
+        if call.args and isinstance(call.args[0], ast.Constant) \
+                and isinstance(call.args[0].value, str):
+            out.const_arg0 = call.args[0].value
+        func = call.func
+        if isinstance(func, ast.Name):
+            self._resolve_name_call(fn, func.id, out)
+            return out
+        if isinstance(func, ast.Attribute):
+            self._resolve_attr_call(fn, func, out, local_types,
+                                    param_types)
+            return out
+        out.opaque_name = "<dynamic>"
+        return out
+
+    def _resolve_name_call(self, fn: FunctionInfo, name: str,
+                           out: Resolution) -> None:
+        table = self.symbols.get(fn.module_name, {})
+        entry = table.get(name)
+        out.method_name = name
+        if entry is None:
+            out.receiver = ("local", name)
+            out.opaque_name = name  # builtin handling happens upstream
+            return
+        kind, payload = entry
+        if kind == "func":
+            out.targets.append(payload)
+        elif kind == "class":
+            ctor = self.method_on(payload, "__init__")
+            out.receiver = ("class", payload.name)
+            if ctor is not None:
+                out.targets.append(ctor)
+        elif kind == "external":
+            out.dotted = payload
+        elif kind == "module":
+            out.dotted = payload
+
+    def _resolve_attr_call(self, fn: FunctionInfo, func: ast.Attribute,
+                           out: Resolution,
+                           local_types: Dict[str, Tuple[str, str]],
+                           param_types: Dict[str, Tuple[str, str]]
+                           ) -> None:
+        method = func.attr
+        out.method_name = method
+        base = func.value
+        own_class = (self.resolve_class_name(fn.class_name)
+                     if fn.class_name else None)
+
+        # self.method(...)
+        if isinstance(base, ast.Name) and base.id == "self" \
+                and own_class is not None:
+            out.receiver = ("self",)
+            resolved = self.method_on(own_class, method)
+            if resolved is not None:
+                out.targets.append(resolved)
+                return
+            # Maybe a typed callable attribute: self._provider().
+            self._fallback(method, out)
+            return
+
+        # self.attr.method(...) — typed attribute receivers.
+        if (isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self" and own_class is not None):
+            out.receiver = ("self_attr", own_class.name, base.attr)
+            seeded = own_class.attr_types.get(base.attr)
+            if seeded is not None and seeded[0] == TYPE_INSTANCE:
+                cls = self.resolve_class_name(seeded[1])
+                if cls is not None:
+                    resolved = self.method_on(cls, method)
+                    if resolved is not None:
+                        out.targets.append(resolved)
+                        return
+            self._fallback(method, out)
+            return
+
+        # self.attr(...) as the call itself (provider invocation) is a
+        # Name/Attribute call handled above; here: name.method(...).
+        if isinstance(base, ast.Name):
+            name = base.id
+            seeded = local_types.get(name) or param_types.get(name)
+            if seeded is not None and seeded[0] == TYPE_INSTANCE:
+                out.receiver = ("local", name)
+                cls = self.resolve_class_name(seeded[1])
+                if cls is not None:
+                    resolved = self.method_on(cls, method)
+                    if resolved is not None:
+                        out.targets.append(resolved)
+                        return
+            entry = self.symbols.get(fn.module_name, {}).get(name)
+            if entry is not None:
+                kind, payload = entry
+                if kind == "class":
+                    out.receiver = ("class", payload.name)
+                    resolved = self.method_on(payload, method)
+                    if resolved is not None:
+                        out.targets.append(resolved)
+                        return
+                elif kind == "instance":
+                    out.receiver = ("global", name)
+                    cls = self.resolve_class_name(str(payload))
+                    if cls is not None:
+                        resolved = self.method_on(cls, method)
+                        if resolved is not None:
+                            out.targets.append(resolved)
+                            return
+                elif kind == "module":
+                    out.receiver = ("module", str(payload))
+                    qual = "%s.%s" % (payload, method)
+                    if qual in self.functions:
+                        out.targets.append(self.functions[qual])
+                    else:
+                        out.dotted = qual
+                    return
+                elif kind == "external":
+                    out.receiver = ("module", str(payload))
+                    out.dotted = "%s.%s" % (payload, method)
+                    return
+            if name in param_types:
+                out.receiver = ("param", name)
+            elif out.receiver == ():
+                out.receiver = ("local", name)
+            self._fallback(method, out)
+            return
+
+        # super().method(...) — resolve through the base classes.
+        if isinstance(base, ast.Call) \
+                and isinstance(base.func, ast.Name) \
+                and base.func.id == "super" and own_class is not None:
+            out.receiver = ("self",)
+            for parent_name in own_class.bases:
+                parent = self.resolve_class_name(parent_name)
+                if parent is not None:
+                    resolved = self.method_on(parent, method)
+                    if resolved is not None:
+                        out.targets.append(resolved)
+                        return
+            return  # base outside the package (object, Exception, ...)
+
+        # ClassName(...).method(...) — constructor-chained receiver.
+        if isinstance(base, ast.Call) and isinstance(base.func,
+                                                     ast.Name):
+            entry = self.symbols.get(fn.module_name, {}).get(
+                base.func.id)
+            cls = (entry[1] if entry is not None and entry[0] == "class"
+                   else self.resolve_class_name(base.func.id))
+            if isinstance(cls, ClassInfo):
+                out.receiver = ("local", base.func.id)
+                ctor = self.method_on(cls, "__init__")
+                if ctor is not None:
+                    out.targets.append(ctor)
+                resolved = self.method_on(cls, method)
+                if resolved is not None:
+                    out.targets.append(resolved)
+                    return
+
+        # chained/other receivers: x.y.method(), call().method(), ...
+        out.receiver = ()
+        self._fallback(method, out)
+
+    def _fallback(self, method: str, out: Resolution) -> None:
+        """Name-based resolution over every known class, capped."""
+        candidates = self.methods_by_name.get(method, [])
+        if 0 < len(candidates) <= _AMBIGUITY_CAP:
+            out.targets.extend(candidates)
+            out.ambiguous = True
+        else:
+            out.opaque_name = method
+
+
+def _param_annotations(node) -> Dict[str, Tuple[str, str]]:
+    """Annotated parameter types of one function definition."""
+    out: Dict[str, Tuple[str, str]] = {}
+    args = node.args
+    every = (list(getattr(args, "posonlyargs", [])) + list(args.args)
+             + list(args.kwonlyargs))
+    for arg in every:
+        seeded = parse_type_annotation(arg.annotation)
+        if seeded is not None:
+            out[arg.arg] = seeded
+    return out
+
+
+def param_annotations(node) -> Dict[str, Tuple[str, str]]:
+    """Public alias of the parameter-annotation extractor."""
+    return _param_annotations(node)

@@ -1,0 +1,208 @@
+"""Command-line entry point: ``repro analyze`` /
+``python -m repro.analysis``.
+
+Modes (combinable):
+
+* default — run the analysis, report findings (``text``/``json``/
+  ``github`` formats, same reporters as ``repro.lint``);
+* ``--write`` — regenerate the committed capability table at
+  ``--table`` (canonical bytes, so reruns are no-ops);
+* ``--check`` — the CI drift gate: fail with a ``capability-drift``
+  finding when the committed table does not match what the current
+  sources analyze to.
+
+Findings:
+
+* ``unknown-interference`` — a stage pair's verdict is ``unknown``
+  (truncated closure or shared opaque callee);
+* ``uncertified-parallel-arm`` — one of the hybrid cross-arm pairs is
+  not ``safe-parallel`` (the precondition for the parallel executor);
+* ``capability-drift`` — ``--check`` mismatch against the committed
+  table.
+
+Exit codes match ``repro.lint``: 0 = clean, 1 = findings,
+2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+from ..lint.baseline import apply_baseline, load_baseline
+from ..lint.core import Finding, load_module
+from ..lint.report import render_github, render_json, render_text
+from .callgraph import ProjectIndex
+from .interference import (
+    HYBRID_ARM_PAIRS, VERDICT_SAFE, CapabilityTable, build_table,
+    diff_tables,
+)
+
+_TABLE_RELPATH = "analysis/parallel_safety.json"
+
+
+def _default_root() -> pathlib.Path:
+    # The shipped package is the analysis target, like repro.lint.
+    return pathlib.Path(__file__).resolve().parent.parent
+
+
+def _default_table() -> pathlib.Path:
+    # The committed table lives at the repository root, two levels
+    # above the package (src/repro -> repo). Falls back to a
+    # cwd-relative path when the package is installed elsewhere.
+    repo = pathlib.Path(__file__).resolve().parents[3]
+    candidate = repo / _TABLE_RELPATH
+    if candidate.parent.exists():
+        return candidate
+    return pathlib.Path(_TABLE_RELPATH)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the analyze CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="Whole-program effect analysis: certify which "
+                    "plan stages are parallel-safe.",
+    )
+    parser.add_argument(
+        "--root", type=pathlib.Path, default=None,
+        help="package root to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--table", type=pathlib.Path, default=None,
+        help="capability table path (default: %s at the repo root)"
+             % _TABLE_RELPATH,
+    )
+    parser.add_argument(
+        "--write", action="store_true",
+        help="regenerate the capability table at --table",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail when the committed table drifts from the sources",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "github"), default="text",
+        help="report format (default: text); 'github' emits workflow "
+             "::error annotations",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", type=pathlib.Path,
+        help="committed findings file: suppress findings recorded "
+             "there, fail only on new ones",
+    )
+    return parser
+
+
+def load_project(root: pathlib.Path) -> ProjectIndex:
+    """Parse every module under *root* into a :class:`ProjectIndex`."""
+    modules = []
+    for path in sorted(root.rglob("*.py")):
+        try:
+            modules.append(load_module(path, root))
+        except SyntaxError:
+            continue  # the linter owns parse errors; skip here
+    return ProjectIndex(modules)
+
+
+def table_findings(table: CapabilityTable) -> List[Finding]:
+    """The verdict-level findings the analyze CLI reports."""
+    findings: List[Finding] = []
+    for key, pv in sorted(table.pairs.items()):
+        if pv.verdict == "unknown":
+            findings.append(Finding(
+                _TABLE_RELPATH, 1, "unknown-interference",
+                "stage pair %s is unknown: %s"
+                % (key, "; ".join(pv.unknown) or "unclassified")))
+    for a, b in HYBRID_ARM_PAIRS:
+        pv = table.verdict(a, b)
+        if pv is None or pv.verdict != VERDICT_SAFE:
+            detail = "absent from table" if pv is None else pv.verdict
+            findings.append(Finding(
+                _TABLE_RELPATH, 1, "uncertified-parallel-arm",
+                "hybrid arm pair %s|%s must be safe-parallel, got %s"
+                % (a, b, detail)))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def _check_drift(table: CapabilityTable,
+                 table_path: pathlib.Path) -> List[Finding]:
+    if not table_path.exists():
+        return [Finding(
+            _TABLE_RELPATH, 1, "capability-drift",
+            "committed table %s is missing; run "
+            "'repro analyze --write'" % table_path)]
+    committed_text = table_path.read_text(encoding="utf-8")
+    computed_text = table.render_json()
+    if committed_text == computed_text:
+        return []
+    try:
+        committed = json.loads(committed_text)
+    except json.JSONDecodeError:
+        committed = {}
+    drift = diff_tables(committed, table.as_dict())
+    detail = ("; ".join(drift) if drift
+              else "effect signatures changed (verdicts unchanged)")
+    return [Finding(
+        _TABLE_RELPATH, 1, "capability-drift",
+        "committed table is stale (%s); run "
+        "'repro analyze --write' and commit the result" % detail)]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the analyzer; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    root = args.root or _default_root()
+    if not root.is_dir():
+        print("error: no such package root: %s" % root,
+              file=sys.stderr)
+        return 2
+    table_path = args.table or _default_table()
+
+    index = load_project(root)
+    table = build_table(index)
+
+    findings = table_findings(table)
+    if args.write:
+        table_path.parent.mkdir(parents=True, exist_ok=True)
+        table_path.write_text(table.render_json(), encoding="utf-8")
+        print("wrote %s" % table_path, file=sys.stderr)
+    elif args.check:
+        findings.extend(_check_drift(table, table_path))
+        findings.sort(key=Finding.sort_key)
+
+    if args.baseline is not None:
+        if not args.baseline.exists():
+            print("error: no such baseline: %s" % args.baseline,
+                  file=sys.stderr)
+            return 2
+        try:
+            findings = apply_baseline(findings,
+                                      load_baseline(args.baseline))
+        except ValueError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+
+    if args.format == "text":
+        counts = {"safe-parallel": 0, "conflicts": 0, "unknown": 0}
+        for pv in table.pairs.values():
+            counts[pv.verdict] = counts.get(pv.verdict, 0) + 1
+        print("stage-interference: %d stages, %d pairs "
+              "(safe-parallel %d, conflicts %d, unknown %d)"
+              % (len(table.stages), len(table.pairs),
+                 counts["safe-parallel"], counts["conflicts"],
+                 counts["unknown"]))
+    if args.format == "json":
+        print(render_json(findings))
+    elif args.format == "github":
+        # Analyze findings anchor at repo-root paths already.
+        print(render_github(findings, prefix=""))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0

@@ -1,0 +1,562 @@
+"""Per-function effect signatures by fixpoint propagation.
+
+:class:`EffectAnalyzer` runs two passes over the
+:class:`~repro.analysis.callgraph.ProjectIndex`:
+
+1. **Local extraction** — one AST walk per function collecting direct
+   effects (assignments to ``self``/argument/global state, in-place
+   mutator calls, RNG draws, raises, I/O) plus the call edges the
+   resolver can see. Nested functions and lambdas are walked as part
+   of their enclosing definition, so closure bodies passed to
+   ``try_call`` count against the caller that builds them.
+2. **Fixpoint closure** — monotone union of callee signatures into
+   callers until nothing changes. Effects only accumulate, so the
+   pass terminates in at most ``O(depth)`` sweeps.
+
+A small set of **intrinsics** keeps the closure honest where blunt
+traversal would lie:
+
+* calls into ``obs/`` are one commuting ``obs`` effect (spans/metrics
+  are the observational plane, re-emitted deterministically), not a
+  false shared-state conflict on ``Span.attrs``;
+* calls into ``metering.py`` are a commuting ``meter`` charge;
+* calls into ``caching.py`` are a commuting ``cache`` effect keyed by
+  the receiver (idempotent keyed tiers: racing writers insert
+  identical bytes);
+* ``ResilienceManager.try_call/shield/invoke/attempt`` with a literal
+  backend key become ``backend-dispatch:<key>`` — breaker state and
+  the per-backend fault stream are order-sensitive *per key*, which is
+  exactly what lets differently-keyed arms overlap.
+
+Everything the resolver cannot see through becomes an ``opaque``
+effect naming the callee, never a silent pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from .callgraph import (
+    TYPE_INSTANCE, TYPE_PROVIDER, FunctionInfo, ProjectIndex,
+    param_annotations, parse_type_annotation,
+)
+from .model import (
+    ARG_WRITE, ATTR_WRITE, BACKEND_DISPATCH, CACHE, GLOBAL_READ,
+    GLOBAL_WRITE, IO_WRITE, METER, OBS, OPAQUE, RAISES, RNG_WRITE,
+    Effect, FunctionEffects,
+)
+
+#: Effect-count cap per closure; beyond it the signature is flagged
+#: ``truncated`` and the owning stage can never certify safe-parallel.
+_EFFECT_CAP = 200
+
+#: In-place container mutators: calling one on a non-local receiver is
+#: a write to that receiver's storage.
+_MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "extend", "insert", "add", "update",
+    "pop", "popitem", "popleft", "push", "put", "remove", "discard",
+    "clear", "setdefault", "sort", "reverse",
+})
+
+#: ``random.Random``-style draw methods: each call advances the
+#: stream, so draws from a *shared* stream are order-sensitive writes.
+_RNG_METHODS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "triangular", "getrandbits", "seed",
+})
+
+#: File-ish method names treated as I/O when unresolved in-package.
+_IO_METHODS = frozenset({
+    "write", "writelines", "write_text", "write_bytes", "read_text",
+    "read_bytes", "mkdir", "unlink", "touch", "flush",
+})
+
+#: Builtin callables with no effect beyond their arguments.
+_PURE_BUILTINS = frozenset({
+    "abs", "all", "any", "bool", "bytes", "callable", "chr", "dict",
+    "divmod", "enumerate", "filter", "float", "format", "frozenset",
+    "getattr", "hasattr", "hash", "id", "int", "isinstance",
+    "issubclass", "iter", "len", "list", "map", "max", "min", "next",
+    "object", "ord", "pow", "range", "repr", "reversed", "round",
+    "set", "slice", "sorted", "str", "sum", "super", "tuple", "type",
+    "vars", "zip",
+    # Exception constructors raised/propagated are tracked via Raise.
+    "Exception", "ValueError", "TypeError", "KeyError", "IndexError",
+    "RuntimeError", "StopIteration", "AttributeError",
+    "NotImplementedError", "OSError",
+})
+
+#: External dotted-call prefixes known to be frame-local/pure.
+_PURE_EXTERNAL = (
+    "abc.", "ast.", "base64.", "bisect.", "collections.", "copy.",
+    "dataclasses.", "difflib.", "enum.", "functools.", "hashlib.",
+    "heapq.", "html.", "itertools.", "json.dumps", "json.loads",
+    "math.", "operator.", "re.", "statistics.", "string.",
+    "textwrap.", "typing.", "unicodedata.",
+    # Constructing a locally-seeded stream is pure; *drawing* from a
+    # shared one is what _RNG_METHODS catches.
+    "random.Random",
+)
+
+#: External dotted-call prefixes that are file/terminal/system I/O.
+_IO_EXTERNAL = (
+    "csv.", "io.", "json.dump", "json.load", "os.", "pathlib.",
+    "pickle.", "shutil.", "socket.", "subprocess.", "sys.",
+    "tempfile.", "urllib.",
+)
+
+#: Method names so common on builtin containers/strings/matches that
+#: an *untyped* receiver is overwhelmingly a frame-local object; the
+#: name-fallback would otherwise smear unrelated classes that happen
+#: to define them into every caller. Typed receivers resolve before
+#: this list is consulted, so e.g. a typed cache tier's ``get`` still
+#: classifies as a cache effect.
+_FRAME_LOCAL_METHODS = frozenset({
+    "capitalize", "copy", "count", "date", "decode", "digest",
+    "encode", "end", "endswith", "find", "findall", "finditer",
+    "format", "from_bytes", "fromisoformat", "fromkeys", "fullmatch",
+    "get",
+    "group", "groups", "hexdigest", "index", "is_integer", "isalnum",
+    "isalpha", "isdigit", "islower", "isnumeric", "isoformat",
+    "isspace", "istitle", "isupper", "items", "join", "keys", "ljust",
+    "lower", "lstrip", "match", "most_common", "partition", "replace",
+    "rjust", "rsplit", "rstrip", "search", "split", "splitlines",
+    "start", "startswith", "strip", "sub", "title", "toordinal",
+    "total_seconds", "upper", "values", "zfill",
+})
+
+#: ResilienceManager entry points that guard one engine dispatch.
+_DISPATCH_METHODS = frozenset({"try_call", "shield", "invoke",
+                               "attempt"})
+
+#: Module-level constructor names that produce mutable containers.
+_MUTABLE_CTORS = frozenset({"dict", "list", "set", "defaultdict",
+                            "OrderedDict", "Counter", "deque"})
+
+
+@dataclass
+class _LocalSummary:
+    """Direct effects and outgoing call edges of one function."""
+
+    effects: Set[Effect] = field(default_factory=set)
+    callees: Set[str] = field(default_factory=set)
+
+
+def _is_mutable_literal(value: Optional[ast.expr]) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                          ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        return value.func.id in _MUTABLE_CTORS
+    return False
+
+
+class EffectAnalyzer:
+    """Compute transitive effect signatures for every function."""
+
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+        #: module name -> module-level names bound to mutable containers
+        self.module_globals: Dict[str, Set[str]] = {}
+        for module in index.modules:
+            names: Set[str] = set()
+            for stmt in module.tree.body:
+                targets = []
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                elif isinstance(stmt, ast.AnnAssign):
+                    targets = [stmt.target]
+                else:
+                    continue
+                if not _is_mutable_literal(stmt.value):
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            self.module_globals[module.module_name] = names
+        self._locals: Dict[str, _LocalSummary] = {}
+        self._nested: Set[str] = set()  # per-function helper names
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def analyze(self) -> Dict[str, FunctionEffects]:
+        """Effect signatures for every indexed function (fixpoint)."""
+        for qual, fn in self.index.functions.items():
+            self._locals[qual] = self._local(fn)
+        closure: Dict[str, Set[Effect]] = {
+            qual: set(summary.effects)
+            for qual, summary in self._locals.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qual, summary in self._locals.items():
+                mine = closure[qual]
+                before = len(mine)
+                for callee in summary.callees:
+                    callee_effects = closure.get(callee)
+                    if callee_effects:
+                        mine |= callee_effects
+                if len(mine) != before:
+                    changed = True
+        return {
+            qual: FunctionEffects(
+                effects=frozenset(effects),
+                truncated=len(effects) > _EFFECT_CAP,
+            )
+            for qual, effects in closure.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Local extraction
+    # ------------------------------------------------------------------
+    def _local(self, fn: FunctionInfo) -> _LocalSummary:
+        out = _LocalSummary()
+        param_types = param_annotations(fn.node)
+        local_types = self._infer_locals(fn, param_types)
+        # Nested helpers are walked inline as part of this function,
+        # so a call to one must not read as an opaque callee.
+        nested = {
+            child.name for child in ast.walk(fn.node)
+            if isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef))
+            and child is not fn.node
+        }
+        self._nested = nested
+        declared_global: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                for name in node.names:
+                    declared_global.add(name)
+                    out.effects.add(Effect(
+                        GLOBAL_WRITE,
+                        "%s.%s" % (fn.module_name, name)))
+            elif isinstance(node, (ast.Assign, ast.AugAssign,
+                                   ast.AnnAssign)):
+                self._assignment_effects(fn, node, out, param_types,
+                                         declared_global)
+            elif isinstance(node, ast.Raise):
+                self._raise_effects(node, out)
+            elif isinstance(node, ast.Call):
+                self._call_effects(fn, node, out, local_types,
+                                   param_types)
+            elif isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Load):
+                if node.id in self.module_globals.get(
+                        fn.module_name, ()):
+                    out.effects.add(Effect(
+                        GLOBAL_READ,
+                        "%s.%s" % (fn.module_name, node.id)))
+        return out
+
+    def _infer_locals(self, fn: FunctionInfo,
+                      param_types: Dict[str, Tuple[str, str]]
+                      ) -> Dict[str, Tuple[str, str]]:
+        """Flow-insensitive local variable types from assignments."""
+        own_class = (self.index.resolve_class_name(fn.class_name)
+                     if fn.class_name else None)
+        out: Dict[str, Tuple[str, str]] = {}
+        # Two sweeps so one level of chaining resolves (x = A(); y = x).
+        for _ in range(2):
+            for node in ast.walk(fn.node):
+                target = None
+                value = None
+                if isinstance(node, ast.Assign) \
+                        and len(node.targets) == 1 \
+                        and isinstance(node.targets[0], ast.Name):
+                    target, value = node.targets[0].id, node.value
+                elif isinstance(node, ast.AnnAssign) \
+                        and isinstance(node.target, ast.Name):
+                    seeded = parse_type_annotation(node.annotation)
+                    if seeded is not None:
+                        out.setdefault(node.target.id, seeded)
+                    continue
+                if target is None or value is None:
+                    continue
+                seeded = self._value_type(fn, value, own_class, out,
+                                          param_types)
+                if seeded is not None:
+                    out.setdefault(target, seeded)
+        return out
+
+    def _value_type(self, fn: FunctionInfo, value: ast.expr, own_class,
+                    local_types: Dict[str, Tuple[str, str]],
+                    param_types: Dict[str, Tuple[str, str]]
+                    ) -> Optional[Tuple[str, str]]:
+        if isinstance(value, ast.Name):
+            return local_types.get(value.id) or param_types.get(value.id)
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        # ClassName(...) constructor call.
+        if isinstance(func, ast.Name) and func.id[:1].isupper() \
+                and self.index.resolve_class_name(func.id) is not None:
+            return (TYPE_INSTANCE, func.id)
+        # name(...) — a module-level function's return annotation.
+        if isinstance(func, ast.Name):
+            entry = self.index.symbols.get(fn.module_name,
+                                           {}).get(func.id)
+            if entry is not None and entry[0] == "func":
+                return self._returns(entry[1])
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id == "self" and own_class is not None:
+            # self._provider() — a typed provider attribute yields T.
+            seeded = own_class.attr_types.get(func.attr)
+            if seeded is not None and seeded[0] == TYPE_PROVIDER:
+                return (TYPE_INSTANCE, seeded[1])
+            # self._method() — the method's return annotation.
+            target = self.index.method_on(own_class, func.attr)
+            if target is not None:
+                return self._returns(target)
+        return None
+
+    def _returns(self, target: FunctionInfo
+                 ) -> Optional[Tuple[str, str]]:
+        """A resolved callee's return type, when annotated concretely."""
+        seeded = parse_type_annotation(
+            getattr(target.node, "returns", None))
+        if seeded is not None and seeded[0] == TYPE_INSTANCE \
+                and self.index.resolve_class_name(seeded[1]) is not None:
+            return seeded
+        return None
+
+    # -- assignments ----------------------------------------------------
+    def _assignment_effects(self, fn: FunctionInfo, node, out,
+                            param_types, declared_global) -> None:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        else:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Tuple):
+                inner = list(target.elts)
+            else:
+                inner = [target]
+            for item in inner:
+                self._target_effect(fn, item, out, param_types,
+                                    declared_global)
+
+    def _target_effect(self, fn: FunctionInfo, target, out,
+                       param_types, declared_global) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in declared_global:
+                out.effects.add(Effect(
+                    GLOBAL_WRITE,
+                    "%s.%s" % (fn.module_name, target.id)))
+            return
+        base = target.value if isinstance(
+            target, (ast.Attribute, ast.Subscript)) else None
+        if base is None:
+            return
+        if isinstance(target, ast.Attribute):
+            path = self._receiver_path(fn, base, param_types)
+            if path is None:
+                return
+            flavor, root = path
+            if flavor == "self":
+                out.effects.add(Effect(
+                    ATTR_WRITE, "%s.%s" % (root, target.attr)))
+            elif flavor == "attr":
+                out.effects.add(Effect(ATTR_WRITE, root))
+            elif flavor == "param":
+                out.effects.add(Effect(
+                    ARG_WRITE, "%s.%s" % (root, target.attr)))
+            elif flavor == "global":
+                out.effects.add(Effect(GLOBAL_WRITE, root))
+            return
+        # Subscript store: classify by the container's receiver.
+        path = self._receiver_path(fn, base, param_types)
+        if path is None:
+            return
+        flavor, root = path
+        if flavor in ("self", "attr"):
+            out.effects.add(Effect(ATTR_WRITE, root))
+        elif flavor == "param":
+            out.effects.add(Effect(ARG_WRITE, root))
+        elif flavor == "global":
+            out.effects.add(Effect(GLOBAL_WRITE, root))
+
+    def _receiver_path(self, fn: FunctionInfo, base,
+                       param_types) -> Optional[Tuple[str, str]]:
+        """Classify a receiver expression by where its storage lives.
+
+        Returns ``(flavor, path)`` with flavor one of ``self`` (the
+        instance itself), ``attr`` (``self.x`` → ``Class.x``),
+        ``param``, ``global``, ``local`` — or ``None`` when the
+        receiver is an arbitrary chain the analysis will not name.
+        """
+        cls = fn.class_name or "?"
+        if isinstance(base, ast.Name):
+            if base.id == "self":
+                return ("self", cls)
+            if base.id in param_types or base.id in _arg_names(fn.node):
+                return ("param", base.id)
+            if base.id in self.module_globals.get(fn.module_name, ()):
+                return ("global", "%s.%s" % (fn.module_name, base.id))
+            return ("local", base.id)
+        if isinstance(base, ast.Subscript):
+            # x[k].append(...) mutates the container x holds.
+            return self._receiver_path(fn, base.value, param_types)
+        if isinstance(base, ast.Attribute) \
+                and isinstance(base.value, ast.Name):
+            owner = base.value.id
+            if owner == "self":
+                return ("attr", "%s.%s" % (cls, base.attr))
+            if owner in param_types or owner in _arg_names(fn.node):
+                return ("param", "%s.%s" % (owner, base.attr))
+            if owner in self.module_globals.get(fn.module_name, ()):
+                return ("global", "%s.%s.%s" % (fn.module_name, owner,
+                                                base.attr))
+            return ("local", "%s.%s" % (owner, base.attr))
+        return None
+
+    # -- raises ---------------------------------------------------------
+    @staticmethod
+    def _raise_effects(node: ast.Raise, out: _LocalSummary) -> None:
+        exc = node.exc
+        if exc is None:
+            return  # bare re-raise: the original Raise is charged
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        name = None
+        if isinstance(exc, ast.Name):
+            name = exc.id
+        elif isinstance(exc, ast.Attribute):
+            name = exc.attr
+        if name:
+            out.effects.add(Effect(RAISES, name))
+
+    # -- calls ----------------------------------------------------------
+    def _call_effects(self, fn: FunctionInfo, call: ast.Call,
+                      out: _LocalSummary, local_types,
+                      param_types) -> None:
+        res = self.index.resolve_call(fn, call, local_types,
+                                      param_types)
+        method = res.method_name or "<dynamic>"
+
+        # Syntactic classification first for calls the resolver could
+        # not type exactly (no targets, or name-fallback candidates):
+        # a mutator/RNG/file-ish method name on a classifiable
+        # receiver beats guessing among unrelated same-named methods.
+        if not res.targets or res.ambiguous:
+            if isinstance(call.func, ast.Attribute):
+                path = self._receiver_path(fn, call.func.value,
+                                           param_types)
+                if method in _RNG_METHODS:
+                    if path is not None and path[0] != "local":
+                        out.effects.add(Effect(RNG_WRITE, path[1]))
+                    return  # locally-built streams are frame-local
+                if method in _MUTATOR_METHODS:
+                    if path is not None:
+                        flavor, root = path
+                        if flavor in ("self", "attr"):
+                            out.effects.add(Effect(ATTR_WRITE, root))
+                        elif flavor == "param":
+                            out.effects.add(Effect(ARG_WRITE, root))
+                        elif flavor == "global":
+                            out.effects.add(Effect(GLOBAL_WRITE, root))
+                    return  # local containers: the caller's frame
+                if method in _IO_METHODS:
+                    out.effects.add(Effect(IO_WRITE, method))
+                    return
+            if method in _FRAME_LOCAL_METHODS:
+                return
+
+        # Intrinsics: partition resolved targets into effect buckets.
+        plain = []
+        for target in res.targets:
+            if target.class_name == "ResilienceManager" \
+                    and method in _DISPATCH_METHODS:
+                out.effects.add(Effect(
+                    BACKEND_DISPATCH, res.const_arg0 or "<any>"))
+            elif target.relpath.startswith("obs/"):
+                out.effects.add(Effect(OBS, "trace"))
+            elif target.relpath == "metering.py":
+                out.effects.add(Effect(METER, "work"))
+            elif target.relpath == "caching.py":
+                out.effects.add(Effect(
+                    CACHE, self._cache_key(fn, call, param_types)))
+            else:
+                plain.append(target)
+        if res.targets and not plain:
+            return
+        if plain and not res.ambiguous:
+            out.callees.update(t.qualname for t in plain)
+            return
+
+        if plain:
+            # Name-fallback candidates on an untyped receiver: the
+            # intrinsic buckets above already classified any obs /
+            # meter / cache / dispatch hits, but traversing the plain
+            # candidates would smear unrelated classes' state into
+            # this closure. Record the blind spot honestly instead.
+            out.effects.add(Effect(OPAQUE, method))
+            return
+
+        if res.dotted is not None:
+            dotted = res.dotted
+            if dotted.startswith(_PURE_EXTERNAL):
+                return
+            if dotted.startswith(_IO_EXTERNAL):
+                out.effects.add(Effect(IO_WRITE, dotted))
+                return
+            out.effects.add(Effect(OPAQUE, dotted))
+            return
+
+        name = res.opaque_name
+        if name is None:
+            return
+        if name in _PURE_BUILTINS:
+            return
+        if name in self._nested:
+            return  # nested helper, walked inline above
+        if name == "cls" and fn.class_name:
+            # classmethod constructor: charge the own-class __init__.
+            cls = self.index.resolve_class_name(fn.class_name)
+            ctor = (self.index.method_on(cls, "__init__")
+                    if cls is not None else None)
+            if ctor is not None:
+                out.callees.add(ctor.qualname)
+            return
+        if name in ("open", "input"):
+            out.effects.add(Effect(IO_WRITE, name))
+            return
+        if name == "print":
+            out.effects.add(Effect(IO_WRITE, "stdout"))
+            return
+        # self._provider() on a typed provider attribute: the closure
+        # just hands back the current engine instance.
+        if res.receiver[:1] == ("self",) and fn.class_name:
+            cls = self.index.resolve_class_name(fn.class_name)
+            if cls is not None:
+                seeded = cls.attr_types.get(name)
+                if seeded is not None and seeded[0] == TYPE_PROVIDER:
+                    return
+        out.effects.add(Effect(OPAQUE, name))
+
+    def _cache_key(self, fn: FunctionInfo, call: ast.Call,
+                   param_types) -> str:
+        """Name the cache tier a resolved caching call operates on."""
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            path = self._receiver_path(fn, func.value, param_types)
+            if path is not None:
+                return path[1]
+        return "tier"
+
+
+def _arg_names(node) -> Set[str]:
+    args = node.args
+    names = {a.arg for a in args.args}
+    names.update(a.arg for a in args.kwonlyargs)
+    names.update(a.arg for a in getattr(args, "posonlyargs", []))
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names

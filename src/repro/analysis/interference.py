@@ -1,0 +1,252 @@
+"""Project function effects onto plan stages; emit the capability table.
+
+The eight :class:`~repro.qa.plan.PlanStage` kinds map to executor
+methods through :data:`repro.qa.executor.STAGE_HANDLERS` — the one
+introspectable dispatch table. For each kind this module takes the
+handler's fixpoint effect closure and, for every unordered stage pair
+(36 including self-pairs), renders a verdict:
+
+* ``safe-parallel`` — no shared resource with a write, no shared
+  opaque callee, neither closure truncated. The machine-checked
+  precondition a parallel plan executor may rely on.
+* ``conflicts`` — at least one shared resource where ≥1 side writes
+  (includes same-key ``backend-dispatch``: breaker state and the
+  per-backend fault stream are order-sensitive per key). Each conflict
+  carries the reason and the shared state path.
+* ``unknown`` — a closure was truncated, or both sides share an
+  ``opaque`` callee the resolver could not see through: the analysis
+  cannot prove disjointness and refuses to guess.
+
+The table serializes to canonical JSON (sorted keys, two-space indent,
+trailing newline) so regeneration is byte-stable — the committed
+``analysis/parallel_safety.json`` doubles as a drift gate in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .callgraph import ProjectIndex
+from .effects import EffectAnalyzer
+from .model import (
+    BACKEND_DISPATCH, MODE_READ, MODE_WRITE, OPAQUE, Effect,
+    FunctionEffects,
+)
+
+VERDICT_SAFE = "safe-parallel"
+VERDICT_CONFLICTS = "conflicts"
+VERDICT_UNKNOWN = "unknown"
+
+#: Table schema version; bump on any format change.
+TABLE_VERSION = 1
+
+#: The hybrid route's two arms, crossed: the four stage pairs a
+#: parallel executor overlaps when it runs SynthesizeSpec→ExecuteTable
+#: concurrently with RetrieveTopology→ExecuteText. The lock test and
+#: the ``uncertified-parallel-arm`` CLI rule require every one of
+#: these to be ``safe-parallel``.
+HYBRID_ARM_PAIRS = (
+    ("SynthesizeSpec", "RetrieveTopology"),
+    ("SynthesizeSpec", "ExecuteText"),
+    ("ExecuteTable", "RetrieveTopology"),
+    ("ExecuteTable", "ExecuteText"),
+)
+
+
+@dataclass
+class Conflict:
+    """One shared-state collision between two stage closures."""
+
+    reason: str
+    resource: str
+    left: str
+    right: str
+
+    def as_dict(self) -> Dict[str, str]:
+        """JSON-ready form of this conflict."""
+        return {"reason": self.reason, "resource": self.resource,
+                "left": self.left, "right": self.right}
+
+
+@dataclass
+class PairVerdict:
+    """The verdict for one unordered stage pair."""
+
+    left: str
+    right: str
+    verdict: str
+    conflicts: List[Conflict] = field(default_factory=list)
+    unknown: List[str] = field(default_factory=list)
+
+    @property
+    def key(self) -> str:
+        """The pair's canonical table key."""
+        return "%s|%s" % (self.left, self.right)
+
+
+def pair_key(a: str, b: str) -> str:
+    """Canonical unordered pair key (sorted kind names)."""
+    left, right = sorted((a, b))
+    return "%s|%s" % (left, right)
+
+
+def _dispatch_conflict(ea: Effect, eb: Effect) -> bool:
+    """Same-key (or wildcard) guarded dispatch on both sides."""
+    if ea.kind != BACKEND_DISPATCH or eb.kind != BACKEND_DISPATCH:
+        return False
+    return (ea.resource == eb.resource
+            or "<any>" in (ea.resource, eb.resource))
+
+
+def judge_pair(left: str, right: str, a: FunctionEffects,
+               b: FunctionEffects) -> PairVerdict:
+    """Interference verdict for the stage pair *(left, right)*."""
+    left, right = sorted((left, right))
+    if a.truncated or b.truncated:
+        return PairVerdict(left, right, VERDICT_UNKNOWN,
+                           unknown=["closure truncated"])
+    shared_opaque = sorted(
+        ea.resource for ea in a.effects if ea.kind == OPAQUE
+        and any(eb.kind == OPAQUE and eb.resource == ea.resource
+                for eb in b.effects)
+    )
+    conflicts: List[Conflict] = []
+    for ea in sorted(a.effects):
+        for eb in sorted(b.effects):
+            if _dispatch_conflict(ea, eb):
+                conflicts.append(Conflict(
+                    reason="guarded dispatch on the same backend key "
+                           "(breaker state + fault stream are "
+                           "order-sensitive)",
+                    resource=ea.resource, left=ea.render(),
+                    right=eb.render()))
+                continue
+            if ea.resource != eb.resource:
+                continue
+            modes = (ea.mode, eb.mode)
+            if MODE_WRITE in modes and set(modes) <= {MODE_READ,
+                                                      MODE_WRITE}:
+                conflicts.append(Conflict(
+                    reason="shared state with at least one writer",
+                    resource=ea.resource, left=ea.render(),
+                    right=eb.render()))
+    # Deduplicate (sorted loops make the order canonical already).
+    seen = set()
+    unique: List[Conflict] = []
+    for c in conflicts:
+        key = (c.left, c.right)
+        if key not in seen:
+            seen.add(key)
+            unique.append(c)
+    if unique:
+        return PairVerdict(left, right, VERDICT_CONFLICTS,
+                           conflicts=unique)
+    if shared_opaque:
+        return PairVerdict(left, right, VERDICT_UNKNOWN,
+                           unknown=["shared opaque callee: %s" % name
+                                    for name in shared_opaque])
+    return PairVerdict(left, right, VERDICT_SAFE)
+
+
+@dataclass
+class CapabilityTable:
+    """The full stage-interference table (stages + pair verdicts)."""
+
+    stages: Dict[str, Dict] = field(default_factory=dict)
+    pairs: Dict[str, PairVerdict] = field(default_factory=dict)
+
+    def verdict(self, a: str, b: str) -> Optional[PairVerdict]:
+        """The stored verdict for the unordered pair *(a, b)*."""
+        return self.pairs.get(pair_key(a, b))
+
+    def as_dict(self) -> Dict:
+        """JSON-ready form of the whole table."""
+        return {
+            "version": TABLE_VERSION,
+            "generated_by": "repro analyze --write",
+            "stages": self.stages,
+            "pairs": {
+                key: _pair_dict(pv)
+                for key, pv in sorted(self.pairs.items())
+            },
+        }
+
+    def render_json(self) -> str:
+        """Canonical byte-stable serialization."""
+        return json.dumps(self.as_dict(), indent=2,
+                          sort_keys=True) + "\n"
+
+
+def _pair_dict(pv: PairVerdict) -> Dict:
+    out: Dict = {"verdict": pv.verdict}
+    if pv.conflicts:
+        out["conflicts"] = [c.as_dict() for c in pv.conflicts]
+    if pv.unknown:
+        out["unknown"] = pv.unknown
+    return out
+
+
+def handler_reference(index: ProjectIndex, method: str) -> str:
+    """Stable source reference for one executor handler method.
+
+    Line numbers are deliberately omitted: the reference identifies the
+    handler for readers without making the committed table drift on
+    every unrelated edit to the file.
+    """
+    fn = index.functions.get("qa.executor.PlanExecutor.%s" % method)
+    if fn is None:
+        return "qa/executor.py:PlanExecutor.%s" % method
+    return "%s:PlanExecutor.%s" % (fn.relpath, method)
+
+
+def build_table(index: ProjectIndex,
+                signatures: Optional[Dict[str, FunctionEffects]] = None
+                ) -> CapabilityTable:
+    """Analyze the package and produce the full capability table."""
+    from ..qa.executor import STAGE_HANDLERS
+
+    if signatures is None:
+        signatures = EffectAnalyzer(index).analyze()
+    table = CapabilityTable()
+    stage_effects: Dict[str, FunctionEffects] = {}
+    for kind, method in sorted(STAGE_HANDLERS.items()):
+        qual = "qa.executor.PlanExecutor.%s" % method
+        sig = signatures.get(qual)
+        if sig is None:
+            # The handler is absent from the analyzed package: nothing
+            # is known about its closure, so no pair involving it may
+            # ever read safe-parallel. Truncated forces `unknown`.
+            sig = FunctionEffects(effects=frozenset(
+                [Effect(OPAQUE, method)]), truncated=True)
+        stage_effects[kind] = sig
+        table.stages[kind] = {
+            "handler": handler_reference(index, method),
+            "effects": list(sig.rendered()),
+            "truncated": sig.truncated,
+        }
+    kinds = sorted(stage_effects)
+    for i, a in enumerate(kinds):
+        for b in kinds[i:]:
+            pv = judge_pair(a, b, stage_effects[a], stage_effects[b])
+            table.pairs[pv.key] = pv
+    return table
+
+
+def diff_tables(committed: Dict, computed: Dict) -> List[str]:
+    """Human-readable verdict drift between two serialized tables.
+
+    Only verdict-level drift is reported (the CI gate's unit of
+    meaning); effect-list churn with unchanged verdicts still fails
+    byte-comparison in ``--check`` but is summarized separately.
+    """
+    out: List[str] = []
+    old_pairs = committed.get("pairs", {})
+    new_pairs = computed.get("pairs", {})
+    for key in sorted(set(old_pairs) | set(new_pairs)):
+        old = old_pairs.get(key, {}).get("verdict", "<absent>")
+        new = new_pairs.get(key, {}).get("verdict", "<absent>")
+        if old != new:
+            out.append("%s: %s -> %s" % (key, old, new))
+    return out

@@ -1,0 +1,139 @@
+"""The effect lattice: what the whole-program analysis computes over.
+
+An :class:`Effect` is one observable interaction of a function with
+state outside its own frame: ``(kind, resource)``. Kinds map to one of
+five **interference modes** which drive the stage-pair verdicts in
+:mod:`repro.analysis.interference`:
+
+* ``read`` / ``write`` — classic data-race modes. Two effects on the
+  same resource conflict when at least one is a write.
+* ``commute`` — order-independent for answer bytes: CostMeter charges
+  (totals are sums), obs spans/metrics (the observational plane; a
+  deterministic join re-emits them in plan order), and idempotent
+  keyed caches (values are pure functions of their key, so racing
+  writers insert identical bytes; only eviction order can differ,
+  which affects cost, never answers).
+* ``local`` — confined to the caller's own frame or arguments
+  (argument mutation, raised exception types): reported in signatures
+  but never a cross-stage conflict by itself.
+* ``opaque`` — a call the resolver could not see through. Opaque
+  effects shared by both stages of a pair poison the verdict to
+  ``unknown`` (the analysis cannot prove disjointness).
+
+The lattice is deliberately small and the ordering is by *pessimism*:
+``local < commute < read < write < opaque-shared``. Fixpoint
+propagation only ever adds effects, so the analysis is monotone and
+terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+# ----------------------------------------------------------------------
+# Interference modes
+# ----------------------------------------------------------------------
+
+MODE_READ = "read"
+MODE_WRITE = "write"
+MODE_COMMUTE = "commute"
+MODE_LOCAL = "local"
+MODE_OPAQUE = "opaque"
+
+# ----------------------------------------------------------------------
+# Effect kinds
+# ----------------------------------------------------------------------
+
+#: Read of a module-level mutable container.
+GLOBAL_READ = "global-read"
+#: Write/rebind/mutation of a module-level name.
+GLOBAL_WRITE = "global-write"
+#: Mutation of instance state (``self.attr = ...`` / in-place mutator),
+#: keyed by ``Class.attr`` — the conservative proxy for "same object".
+ATTR_WRITE = "attr-write"
+#: Mutation of a caller-supplied argument (stays in the caller's frame).
+ARG_WRITE = "arg-write"
+#: A draw from a *shared* RNG stream (advancing it is order-sensitive).
+RNG_WRITE = "rng-write"
+#: A guarded engine dispatch through the resilience layer, keyed by
+#: backend name: circuit-breaker state plus the per-backend
+#: fault-injection RNG stream, both order-sensitive per key.
+BACKEND_DISPATCH = "backend-dispatch"
+#: CostMeter work charge (totals commute).
+METER = "meter"
+#: Span/metric emission (observational plane).
+OBS = "obs"
+#: Idempotent keyed cache read/write (repro.caching tiers, plan cache).
+CACHE = "cache"
+#: Read of a storage backend (relational/document/text/index).
+STORE_READ = "store-read"
+#: Mutation of a storage backend.
+STORE_WRITE = "store-write"
+#: File/terminal I/O.
+IO_WRITE = "io-write"
+#: Exception type this function (transitively) may raise.
+RAISES = "raises"
+#: Unresolvable call — the analysis blind spot marker.
+OPAQUE = "opaque"
+
+#: kind -> interference mode (the lattice projection).
+KIND_MODES = {
+    GLOBAL_READ: MODE_READ,
+    GLOBAL_WRITE: MODE_WRITE,
+    ATTR_WRITE: MODE_WRITE,
+    ARG_WRITE: MODE_LOCAL,
+    RNG_WRITE: MODE_WRITE,
+    BACKEND_DISPATCH: MODE_WRITE,
+    METER: MODE_COMMUTE,
+    OBS: MODE_COMMUTE,
+    CACHE: MODE_COMMUTE,
+    STORE_READ: MODE_READ,
+    STORE_WRITE: MODE_WRITE,
+    IO_WRITE: MODE_WRITE,
+    RAISES: MODE_LOCAL,
+    OPAQUE: MODE_OPAQUE,
+}
+
+#: Every effect kind, stable order for reports.
+EFFECT_KINDS = tuple(sorted(KIND_MODES))
+
+
+@dataclass(frozen=True, order=True)
+class Effect:
+    """One observable interaction: ``(kind, resource)``.
+
+    *resource* is a namespaced identity string — ``Class.attr`` for
+    instance state, ``module.NAME`` for globals, a backend name for
+    guarded dispatch, an exception name for ``raises``, a method name
+    for ``opaque``.
+    """
+
+    kind: str
+    resource: str
+
+    @property
+    def mode(self) -> str:
+        """This effect's interference mode (see module docstring)."""
+        return KIND_MODES[self.kind]
+
+    def render(self) -> str:
+        """Canonical ``kind:resource`` string (table/report form)."""
+        return "%s:%s" % (self.kind, self.resource)
+
+
+@dataclass
+class FunctionEffects:
+    """The inferred effect signature of one function.
+
+    ``truncated`` marks signatures that hit the analyzer's size cap —
+    any stage whose closure is truncated can only ever be ``unknown``
+    in the capability table, never ``safe-parallel``.
+    """
+
+    effects: FrozenSet[Effect]
+    truncated: bool = False
+
+    def rendered(self) -> Tuple[str, ...]:
+        """Sorted canonical strings of every effect (deterministic)."""
+        return tuple(sorted(e.render() for e in self.effects))

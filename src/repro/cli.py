@@ -237,6 +237,22 @@ def cmd_load(args) -> int:
     return loadgen_cli.main(forwarded)
 
 
+def cmd_analyze(args) -> int:
+    """Certify parallel-safe plan stages via whole-program effects."""
+    from .analysis import cli as analysis_cli
+
+    forwarded = ["--format", args.format]
+    if args.write:
+        forwarded.append("--write")
+    if args.check:
+        forwarded.append("--check")
+    if args.table:
+        forwarded += ["--table", args.table]
+    if args.baseline:
+        forwarded += ["--baseline", args.baseline]
+    return analysis_cli.main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -316,6 +332,23 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also save the generated request stream as "
                            "a serving JSONL workload")
     load.set_defaults(func=cmd_load)
+
+    analyze = sub.add_parser("analyze", help=cmd_analyze.__doc__)
+    analyze.add_argument("--write", action="store_true",
+                         help="regenerate the committed capability "
+                              "table (analysis/parallel_safety.json)")
+    analyze.add_argument("--check", action="store_true",
+                         help="fail when the committed table drifts "
+                              "from the sources (the CI gate)")
+    analyze.add_argument("--table", default=None, metavar="FILE.json",
+                         help="capability table path override")
+    analyze.add_argument("--format", default="text",
+                         choices=["text", "json", "github"])
+    analyze.add_argument("--baseline", default=None,
+                         metavar="FILE.json",
+                         help="suppress findings recorded in this "
+                              "committed baseline")
+    analyze.set_defaults(func=cmd_analyze)
     return parser
 
 

@@ -1,0 +1,62 @@
+"""Baseline files: adopt strict rules without paying off old debt.
+
+A baseline is the JSON document :func:`repro.lint.report.render_json`
+emits (``{"findings": [...]}``), committed to the repository. Runs
+invoked with ``--baseline <file>`` suppress every finding already
+recorded there and fail only on *new* ones — so a rule can be turned
+on today and its backlog burned down incrementally.
+
+Findings are keyed by ``(path, rule, message)``, deliberately not by
+line number: unrelated edits move lines constantly, and a baseline
+that invalidates on every reflow trains people to regenerate it
+blindly, which defeats the point. The trade-off is that a second,
+genuinely new finding with an identical message in the same file is
+masked until the first is fixed — acceptable for a suppression file.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, List, Set, Tuple
+
+from .core import Finding
+
+BaselineKey = Tuple[str, str, str]
+
+
+def finding_key(finding: Finding) -> BaselineKey:
+    """The line-independent identity of one finding."""
+    return (finding.path, finding.rule, finding.message)
+
+
+def load_baseline(path: pathlib.Path) -> Set[BaselineKey]:
+    """Parse a committed baseline file into a suppression key set.
+
+    Raises ``ValueError`` on malformed documents so the CLI can exit
+    with a usage error (2) instead of silently suppressing nothing.
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError("baseline %s is not valid JSON: %s"
+                         % (path, exc))
+    findings = payload.get("findings") if isinstance(payload, dict) \
+        else None
+    if not isinstance(findings, list):
+        raise ValueError("baseline %s has no 'findings' list" % path)
+    keys: Set[BaselineKey] = set()
+    for entry in findings:
+        if not isinstance(entry, dict):
+            raise ValueError("baseline %s has a non-object finding"
+                             % path)
+        keys.add((str(entry.get("path", "")),
+                  str(entry.get("rule", "")),
+                  str(entry.get("message", ""))))
+    return keys
+
+
+def apply_baseline(findings: Iterable[Finding],
+                   baseline: Set[BaselineKey]) -> List[Finding]:
+    """Findings not present in *baseline* (the ones that still fail)."""
+    return [f for f in findings if finding_key(f) not in baseline]

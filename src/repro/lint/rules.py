@@ -147,7 +147,29 @@ class DeterminismRule(Rule):
         if _is_entry_point(module):
             return
         aliases = _import_aliases(module.tree)
+        call_funcs = {
+            id(node.func) for node in ast.walk(module.tree)
+            if isinstance(node, ast.Call)
+        }
         for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Name, ast.Attribute)):
+                # A forbidden callable passed around uncalled (e.g.
+                # ``stamp = time.time``) defers the entropy read to
+                # whoever invokes the reference -- just as
+                # non-deterministic, and invisible to the Call check.
+                if id(node) in call_funcs or not isinstance(
+                        node.ctx, ast.Load):
+                    continue
+                path = _dotted_path(node, aliases)
+                reason = _FORBIDDEN_CALLS.get(path) if path else None
+                if reason is not None:
+                    yield module.finding(
+                        node, self.id,
+                        "%s is a %s; referencing it uncalled still "
+                        "defers non-determinism to the caller"
+                        % (path, reason),
+                    )
+                continue
             if not isinstance(node, ast.Call):
                 continue
             path = _dotted_path(node.func, aliases)
@@ -366,6 +388,10 @@ _ALLOWED_DEPS: Dict[str, Set[str]] = {
     # lint is the tooling plane: it may reach the plancheck facades
     # (relational in storage, federated in qa) but nothing imports it.
     "lint": {"errors", "storage", "qa"},
+    # analysis sits beside lint in the tooling plane: it reuses lint's
+    # module loading/reporting and introspects qa's dispatch table to
+    # certify stage interference; nothing below it may import it.
+    "analysis": {"errors", "lint", "qa", "storage"},
 }
 
 
@@ -499,7 +525,7 @@ class MutableDefaultRule(Rule):
 # print() is part of the interface in these modules.
 _PRINT_ALLOWED = {"cli.py", "bench/reporting.py", "obs/smoke.py",
                   "resilience/smoke.py", "serving/smoke.py", "lint/cli.py",
-                  "loadgen/cli.py"}
+                  "loadgen/cli.py", "analysis/cli.py"}
 
 
 @register

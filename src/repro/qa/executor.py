@@ -18,12 +18,20 @@ Producer stages (``SynthesizeSpec``, ``RetrieveTopology``) execute
 inside one guarded call: splitting them would change the guarded-call
 sequence the fault injector and degradation events key off, breaking
 the byte-identical contract with the pre-plan pipeline.
+
+Dispatch is table-driven through :data:`STAGE_HANDLERS`, the
+introspectable stage-kind → handler-method registry. The whole-program
+effect analysis (:mod:`repro.analysis`) walks this table to project
+Python-level effect signatures onto plan stages and emit the
+stage-interference capability table (``analysis/parallel_safety.json``)
+that certifies which stage pairs a parallel executor may overlap.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Callable, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..obs import span
 from .answer import ANSWER_SYSTEM_HYBRID, ANSWER_SYSTEM_RAG, Answer
@@ -36,6 +44,31 @@ from .plan import (
     WHEN_RESCUE_ABSTAIN, WHEN_RESCUE_FAILED, WHEN_ROUTE, FederatedPlan,
     PlanStage, compile_plan,
 )
+
+#: Stage kind → the :class:`PlanExecutor` method that realizes it at
+#: runtime. This is the machine-readable dispatch table the effect
+#: analysis projects through: producer stages map to the consumer
+#: handler they execute jointly with (one guarded call preserves the
+#: deterministic fault-injection sequence), ``Route`` maps to
+#: :meth:`PlanExecutor.compile` (bound at compile time), and
+#: ``EstimateEntropy`` maps to :meth:`PlanExecutor.retrieve_contexts`
+#: (the ``answer_with_uncertainty`` surface drives sampling itself).
+STAGE_HANDLERS: Dict[str, str] = {
+    STAGE_ROUTE: "compile",
+    STAGE_SYNTHESIZE_SPEC: "_stage_execute_table",
+    STAGE_EXECUTE_TABLE: "_stage_execute_table",
+    STAGE_RETRIEVE_TOPOLOGY: "_stage_execute_text",
+    STAGE_EXECUTE_TEXT: "_stage_execute_text",
+    STAGE_SELECT_BEST: "_stage_select_best",
+    STAGE_GROUND: "_stage_ground",
+    STAGE_ESTIMATE_ENTROPY: "retrieve_contexts",
+}
+
+#: Stage kinds :meth:`PlanExecutor.execute` skips in the interpreter
+#: loop: ``Route`` is bound at compile time, producers run jointly with
+#: their consumer stage, and entropy estimation is surface-driven.
+INLINE_KINDS = (STAGE_ROUTE, STAGE_SYNTHESIZE_SPEC,
+                STAGE_RETRIEVE_TOPOLOGY, STAGE_ESTIMATE_ENTROPY)
 
 
 def cross_check(answer: Answer, candidates: List[Answer]) -> None:
@@ -69,6 +102,25 @@ def cross_check(answer: Answer, candidates: List[Answer]) -> None:
         answer.metadata["cross_check"] = "disagree"
 
 
+@dataclass
+class _RunState:
+    """Mutable per-plan interpreter state threaded through handlers.
+
+    One instance per :meth:`PlanExecutor.execute` call — stage handlers
+    share run progress only through this object (never through the
+    executor instance), which is what keeps handler effect signatures
+    free of cross-plan state and the stages candidates for parallel
+    execution.
+    """
+
+    question: str
+    plan_key: Tuple
+    candidates: List[Answer] = field(default_factory=list)
+    failed_engines: List[str] = field(default_factory=list)
+    answer: Optional[Answer] = None
+    final: Optional[Answer] = None
+
+
 class PlanExecutor:
     """Compile questions to federated plans and run them.
 
@@ -76,11 +128,17 @@ class PlanExecutor:
     the pipeline's ``_build_engines``) so plain references suffice;
     *text_qa*, *resilience* and *slm* are providers returning the
     pipeline's **current** instance (see the module docstring).
+
+    The string annotations below are load-bearing for tooling:
+    :mod:`repro.analysis` reads them statically to type the executor's
+    engine attributes, so the effect closure of each stage handler
+    resolves to the actual engine class instead of a name-match union.
     """
 
-    def __init__(self, router, table_qa,
-                 text_qa: Callable[[], Optional[object]],
-                 resilience: Callable[[], object],
+    def __init__(self, router: "FederatedRouter",
+                 table_qa: "TableQAEngine",
+                 text_qa: "Callable[[], Optional[TextQAEngine]]",
+                 resilience: "Callable[[], ResilienceManager]",
                  slm: Callable[[], object]):
         self._router = router
         self._table_qa = table_qa
@@ -127,74 +185,91 @@ class PlanExecutor:
     def execute(self, plan: FederatedPlan) -> Answer:
         """Interpret *plan* stage by stage under the resilience guard.
 
+        Each due stage dispatches through :data:`STAGE_HANDLERS`;
+        handlers communicate only via the per-run :class:`_RunState`.
         ``EstimateEntropy`` stages are declarative only here — the
         ``answer_with_uncertainty`` surface drives entropy sampling
         with its own parameters (sample count, temperature, seed) that
         a compiled plan does not carry.
         """
         manager = self._resilience()
-        question = plan.question
-        plan_key = plan.signature()
-        candidates: List[Answer] = []
-        failed_engines: List[str] = []
-        answer: Optional[Answer] = None
+        state = _RunState(question=plan.question,
+                          plan_key=plan.signature())
 
         for stage in plan.stages:
-            if stage.kind in (STAGE_ROUTE, STAGE_SYNTHESIZE_SPEC,
-                              STAGE_RETRIEVE_TOPOLOGY,
-                              STAGE_ESTIMATE_ENTROPY):
-                # Route is bound at compile time; producers run jointly
-                # with their consumer stage; entropy is surface-driven.
+            if stage.kind in INLINE_KINDS:
                 continue
-            if not self._due(stage, candidates, failed_engines):
+            if not self._due(stage, state.candidates,
+                             state.failed_engines):
                 continue
-            if stage.kind == STAGE_EXECUTE_TABLE:
-                result, event = manager.try_call(
-                    "structured", "answer",
-                    lambda: self._table_qa.answer(question,
-                                                  plan_key=plan_key),
-                )
-                if event is not None:
-                    failed_engines.append("structured")
-                elif result is not None:
-                    candidates.append(result)
-            elif stage.kind == STAGE_EXECUTE_TEXT:
-                text_qa = self._text_qa()
-                if text_qa is None:
-                    continue
-                result, event = manager.try_call(
-                    "text", "answer",
-                    lambda: text_qa.answer(question),
-                )
-                if event is not None:
-                    failed_engines.append("text")
-                elif result is not None:
-                    candidates.append(result)
-            elif stage.kind == STAGE_SELECT_BEST:
-                if not candidates and not failed_engines:
-                    return Answer.abstain(
-                        ANSWER_SYSTEM_HYBRID, "no engine available"
-                    )
-                answer = best_answer(candidates)
-            elif stage.kind == STAGE_GROUND and answer is not None:
-                with span("qa.cross_check") as sp:
-                    cross_check(answer, candidates)
-                    sp.set("verdict",
-                           answer.metadata.get("cross_check", "n/a"))
+            handler_name = STAGE_HANDLERS.get(stage.kind)
+            if handler_name is None:
+                continue  # unknown kind: check_plan flags it, skip here
+            getattr(self, handler_name)(manager, state)
+            if state.final is not None:
+                return state.final
+        answer = state.answer
         if answer is None:
-            if not candidates and not failed_engines:
+            if not state.candidates and not state.failed_engines:
                 return Answer.abstain(
                     ANSWER_SYSTEM_HYBRID, "no engine available"
                 )
-            answer = best_answer(candidates)
+            answer = best_answer(state.candidates)
         answer.metadata.setdefault("route", plan.route)
-        if failed_engines:
+        if state.failed_engines:
             answer.metadata["degraded"] = True
             winner = ("text" if answer.system == ANSWER_SYSTEM_RAG
                       else "structured")
-            if not answer.abstained and winner not in failed_engines:
+            if not answer.abstained and winner not in state.failed_engines:
                 answer.metadata["fallback_engine"] = winner
         return answer
+
+    # ------------------------------------------------------------------
+    # Stage handlers (the STAGE_HANDLERS targets)
+    # ------------------------------------------------------------------
+    def _stage_execute_table(self, manager, state: _RunState) -> None:
+        """SynthesizeSpec + ExecuteTable, jointly, under one guard."""
+        result, event = manager.try_call(
+            "structured", "answer",
+            lambda: self._table_qa.answer(state.question,
+                                          plan_key=state.plan_key),
+        )
+        if event is not None:
+            state.failed_engines.append("structured")
+        elif result is not None:
+            state.candidates.append(result)
+
+    def _stage_execute_text(self, manager, state: _RunState) -> None:
+        """RetrieveTopology + ExecuteText, jointly, under one guard."""
+        text_qa = self._text_qa()
+        if text_qa is None:
+            return
+        result, event = manager.try_call(
+            "text", "answer",
+            lambda: text_qa.answer(state.question),
+        )
+        if event is not None:
+            state.failed_engines.append("text")
+        elif result is not None:
+            state.candidates.append(result)
+
+    def _stage_select_best(self, manager, state: _RunState) -> None:
+        """Reconcile candidates into one answer (the arms' join)."""
+        if not state.candidates and not state.failed_engines:
+            state.final = Answer.abstain(
+                ANSWER_SYSTEM_HYBRID, "no engine available"
+            )
+            return
+        state.answer = best_answer(state.candidates)
+
+    def _stage_ground(self, manager, state: _RunState) -> None:
+        """Cross-modal consistency check on the selected answer."""
+        if state.answer is None:
+            return
+        with span("qa.cross_check") as sp:
+            cross_check(state.answer, state.candidates)
+            sp.set("verdict",
+                   state.answer.metadata.get("cross_check", "n/a"))
 
     @staticmethod
     def _due(stage: PlanStage, candidates: List[Answer],

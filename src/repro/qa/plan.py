@@ -292,7 +292,21 @@ def check_plan(plan: FederatedPlan) -> List[PlanDiagnostic]:
     route, a hybrid plan with no grounding stage, and execute stages
     missing their producer (``ExecuteTable`` without ``SynthesizeSpec``,
     ``ExecuteText`` without ``RetrieveTopology``). Warnings: execute
-    stages present with no ``SelectBest`` consumer.
+    stages present with no ``SelectBest`` consumer, plus the
+    cross-stage dataflow checks (shared machinery with the
+    :mod:`repro.analysis` interference pass):
+
+    * ``unreachable-condition`` — a ``rescue_failed`` stage whose
+      condition can never hold (no *other* engine in the plan whose
+      failure could trigger the rescue);
+    * ``unread-output`` — a stage output no consumer reads: a producer
+      (``SynthesizeSpec``/``RetrieveTopology``) no execute stage
+      depends on, or an execute stage no ``SelectBest`` transitively
+      consumes;
+    * ``unordered-engine-reuse`` — two primary-arm stages dispatching
+      the same engine (same circuit breaker, same fault-injection RNG
+      stream) with no dependency path between them: a parallel
+      executor would race order-sensitive backend state.
     """
     out: List[PlanDiagnostic] = []
 
@@ -349,7 +363,92 @@ def check_plan(plan: FederatedPlan) -> List[PlanDiagnostic]:
         emit("missing-selection", WARNING,
              "plan executes engines but has no SelectBest stage; "
              "candidate answers are never reconciled")
+    _check_dataflow(plan, ids, emit)
     return out
+
+
+def _dependents(plan: FederatedPlan) -> Dict[str, Set[str]]:
+    """Forward adjacency: stage id -> ids that depend on it."""
+    out: Dict[str, Set[str]] = {stage.id: set() for stage in plan.stages}
+    for stage in plan.stages:
+        for dep in stage.depends_on:
+            if dep in out:
+                out[dep].add(stage.id)
+    return out
+
+
+def _downstream(start: str, forward: Dict[str, Set[str]]) -> Set[str]:
+    """Every stage id transitively reachable from *start*."""
+    seen: Set[str] = set()
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for succ in forward.get(node, ()):
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return seen
+
+
+def _check_dataflow(plan: FederatedPlan, ids: Dict[str, PlanStage],
+                    emit) -> None:
+    """Cross-stage dataflow checks (see :func:`check_plan`)."""
+    forward = _dependents(plan)
+
+    # Unreachable rescue conditions: rescue_failed fires only when a
+    # *different* engine's guarded call has failed; with no such stage
+    # in the plan the condition is statically false.
+    engines_run = {s.engine for s in plan.stages
+                   if s.kind in (STAGE_EXECUTE_TABLE, STAGE_EXECUTE_TEXT)}
+    for stage in plan.stages:
+        if stage.when != WHEN_RESCUE_FAILED:
+            continue
+        if not (engines_run - {stage.engine}):
+            emit("unreachable-condition", WARNING,
+                 "stage %r (when=%s) can never run: no other engine in "
+                 "this plan whose failure could trigger the rescue"
+                 % (stage.id, stage.when))
+
+    # Outputs no consumer reads. Producers feed their execute stage;
+    # execute stages feed SelectBest (possibly transitively).
+    consumers = {
+        STAGE_SYNTHESIZE_SPEC: (STAGE_EXECUTE_TABLE,),
+        STAGE_RETRIEVE_TOPOLOGY: (STAGE_EXECUTE_TEXT,),
+        STAGE_EXECUTE_TABLE: (STAGE_SELECT_BEST,),
+        STAGE_EXECUTE_TEXT: (STAGE_SELECT_BEST,),
+    }
+    for stage in plan.stages:
+        wanted = consumers.get(stage.kind)
+        if wanted is None:
+            continue
+        reached = _downstream(stage.id, forward)
+        if not any(ids[sid].kind in wanted for sid in reached
+                   if sid in ids):
+            emit("unread-output", WARNING,
+                 "stage %r (%s) produces output no %s stage consumes"
+                 % (stage.id, stage.kind, "/".join(wanted)))
+
+    # Same engine dispatched from two primary arms with no ordering
+    # edge: breaker state and the per-backend fault-injection RNG
+    # stream are order-sensitive, so the pair cannot be parallelized
+    # and must carry an explicit dependency. Rescue arms are exempt:
+    # their conditions impose an execution order of their own.
+    primary = [s for s in plan.stages
+               if s.when in (WHEN_ALWAYS, WHEN_ROUTE)
+               and s.kind != STAGE_ROUTE]
+    for i, first in enumerate(primary):
+        below_first = _downstream(first.id, forward)
+        for second in primary[i + 1:]:
+            if first.engine != second.engine:
+                continue
+            if (second.id in below_first
+                    or first.id in _downstream(second.id, forward)):
+                continue
+            emit("unordered-engine-reuse", WARNING,
+                 "stages %r and %r both dispatch engine %r with no "
+                 "dependency path between them; backend state (breaker, "
+                 "fault RNG stream) would race under parallel execution"
+                 % (first.id, second.id, first.engine))
 
 
 def _check_cycles(plan: FederatedPlan, ids: Dict[str, PlanStage],

@@ -1,0 +1,407 @@
+"""Whole-program effect analysis: lock tests + unit coverage.
+
+Three layers:
+
+* **lock tests** — the committed capability table
+  ``analysis/parallel_safety.json`` is byte-identical to what the
+  current sources analyze to, regeneration is deterministic, and the
+  hybrid route's two arms are certified ``safe-parallel`` (the
+  precondition the parallel plan executor depends on);
+* **unit tests** — the effect analyzer on small synthetic packages
+  (attribute writes, fixpoint propagation, mutators, raises, opaque
+  fallback) and ``judge_pair`` on crafted signatures;
+* **CLI** — ``repro analyze`` exit codes, ``--write``/``--check``
+  drift gating, and ``--baseline``.
+"""
+
+import functools
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    HYBRID_ARM_PAIRS, VERDICT_CONFLICTS, VERDICT_SAFE, VERDICT_UNKNOWN,
+    Effect, EffectAnalyzer, FunctionEffects, build_table, diff_tables,
+    pair_key,
+)
+from repro.analysis.cli import load_project, main as analyze_main
+from repro.analysis.interference import judge_pair
+from repro.analysis.model import (
+    ATTR_WRITE, BACKEND_DISPATCH, GLOBAL_WRITE, OPAQUE, RAISES,
+    RNG_WRITE, STORE_READ,
+)
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+PACKAGE = REPO / "src" / "repro"
+TABLE = REPO / "analysis" / "parallel_safety.json"
+
+
+@functools.lru_cache(maxsize=None)
+def _fresh_table_json():
+    """Analyze the shipped package from scratch; canonical JSON."""
+    return build_table(load_project(PACKAGE)).render_json()
+
+
+@functools.lru_cache(maxsize=None)
+def _fresh_table():
+    return build_table(load_project(PACKAGE))
+
+
+# ----------------------------------------------------------------------
+# Lock tests: the committed capability table
+# ----------------------------------------------------------------------
+
+class TestCapabilityTableLock:
+    def test_regeneration_is_byte_deterministic(self):
+        first = build_table(load_project(PACKAGE)).render_json()
+        second = build_table(load_project(PACKAGE)).render_json()
+        assert first == second
+
+    def test_committed_table_matches_sources(self):
+        # The CI drift gate in test form: if this fails, run
+        # `PYTHONPATH=src python -m repro.analysis --write` and commit
+        # the regenerated analysis/parallel_safety.json.
+        assert TABLE.exists(), "committed capability table is missing"
+        committed = TABLE.read_text(encoding="utf-8")
+        computed = _fresh_table_json()
+        if committed != computed:
+            drift = diff_tables(json.loads(committed),
+                                json.loads(computed))
+            pytest.fail("capability table drifted: %s"
+                        % ("; ".join(drift) or "effect signatures "
+                           "changed (verdicts unchanged)"))
+
+    def test_all_stage_pairs_present(self):
+        table = _fresh_table()
+        kinds = sorted(table.stages)
+        assert len(kinds) == 8
+        expected = {pair_key(a, b) for a in kinds for b in kinds}
+        assert set(table.pairs) == expected
+        assert len(table.pairs) == 36
+
+    def test_hybrid_arms_certified_safe_parallel(self):
+        # THE certification PR 8's parallel executor consumes: the
+        # table arm (SynthesizeSpec -> ExecuteTable) and the text arm
+        # (RetrieveTopology -> ExecuteText) may overlap.
+        table = _fresh_table()
+        for a, b in HYBRID_ARM_PAIRS:
+            verdict = table.verdict(a, b)
+            assert verdict is not None, "missing pair %s|%s" % (a, b)
+            assert verdict.verdict == VERDICT_SAFE, (
+                "hybrid arm pair %s|%s is %s: %s"
+                % (a, b, verdict.verdict,
+                   [c.as_dict() for c in verdict.conflicts]))
+
+    def test_same_arm_pairs_conflict(self):
+        # Sanity that the analysis is not vacuously permissive: both
+        # stages of ONE arm share backend state and must conflict.
+        table = _fresh_table()
+        for a, b in (("SynthesizeSpec", "ExecuteTable"),
+                     ("RetrieveTopology", "ExecuteText"),
+                     ("ExecuteTable", "ExecuteTable"),
+                     ("ExecuteText", "ExecuteText")):
+            verdict = table.verdict(a, b)
+            assert verdict.verdict == VERDICT_CONFLICTS, (
+                "%s|%s should conflict, got %s"
+                % (a, b, verdict.verdict))
+
+    def test_no_unknown_verdicts_in_shipped_tree(self):
+        table = _fresh_table()
+        unknown = [key for key, pv in table.pairs.items()
+                   if pv.verdict == VERDICT_UNKNOWN]
+        assert unknown == []
+
+    def test_arm_closures_name_their_backends(self):
+        table = _fresh_table()
+        assert ("backend-dispatch:structured"
+                in table.stages["ExecuteTable"]["effects"])
+        assert ("backend-dispatch:text"
+                in table.stages["ExecuteText"]["effects"])
+
+    def test_no_stage_closure_is_truncated(self):
+        table = _fresh_table()
+        for kind, stage in table.stages.items():
+            assert not stage["truncated"], kind
+
+
+# ----------------------------------------------------------------------
+# judge_pair on crafted signatures
+# ----------------------------------------------------------------------
+
+def _sig(*effects, truncated=False):
+    return FunctionEffects(effects=frozenset(effects),
+                           truncated=truncated)
+
+
+class TestJudgePair:
+    def test_disjoint_writes_are_safe(self):
+        verdict = judge_pair(
+            "A", "B",
+            _sig(Effect(ATTR_WRITE, "Left.state")),
+            _sig(Effect(ATTR_WRITE, "Right.state")))
+        assert verdict.verdict == VERDICT_SAFE
+
+    def test_shared_resource_with_writer_conflicts(self):
+        verdict = judge_pair(
+            "A", "B",
+            _sig(Effect(STORE_READ, "Store.rows")),
+            _sig(Effect(GLOBAL_WRITE, "Store.rows")))
+        assert verdict.verdict == VERDICT_CONFLICTS
+        assert verdict.conflicts[0].resource == "Store.rows"
+
+    def test_shared_reads_are_safe(self):
+        verdict = judge_pair(
+            "A", "B",
+            _sig(Effect(STORE_READ, "Store.rows")),
+            _sig(Effect(STORE_READ, "Store.rows")))
+        assert verdict.verdict == VERDICT_SAFE
+
+    def test_same_backend_key_dispatch_conflicts(self):
+        verdict = judge_pair(
+            "A", "B",
+            _sig(Effect(BACKEND_DISPATCH, "structured")),
+            _sig(Effect(BACKEND_DISPATCH, "structured")))
+        assert verdict.verdict == VERDICT_CONFLICTS
+
+    def test_distinct_backend_keys_are_safe(self):
+        verdict = judge_pair(
+            "A", "B",
+            _sig(Effect(BACKEND_DISPATCH, "structured")),
+            _sig(Effect(BACKEND_DISPATCH, "text")))
+        assert verdict.verdict == VERDICT_SAFE
+
+    def test_wildcard_dispatch_conflicts_with_any_key(self):
+        verdict = judge_pair(
+            "A", "B",
+            _sig(Effect(BACKEND_DISPATCH, "<any>")),
+            _sig(Effect(BACKEND_DISPATCH, "text")))
+        assert verdict.verdict == VERDICT_CONFLICTS
+
+    def test_truncated_closure_is_unknown(self):
+        verdict = judge_pair(
+            "A", "B", _sig(truncated=True), _sig())
+        assert verdict.verdict == VERDICT_UNKNOWN
+        assert verdict.unknown == ["closure truncated"]
+
+    def test_shared_opaque_callee_is_unknown(self):
+        verdict = judge_pair(
+            "A", "B",
+            _sig(Effect(OPAQUE, "mystery")),
+            _sig(Effect(OPAQUE, "mystery")))
+        assert verdict.verdict == VERDICT_UNKNOWN
+        assert "mystery" in verdict.unknown[0]
+
+    def test_unshared_opaque_stays_safe(self):
+        # A blind spot only poisons pairs where BOTH sides hit it.
+        verdict = judge_pair(
+            "A", "B",
+            _sig(Effect(OPAQUE, "left_only")),
+            _sig(Effect(ATTR_WRITE, "Right.state")))
+        assert verdict.verdict == VERDICT_SAFE
+
+    def test_conflicts_win_over_shared_opaque(self):
+        verdict = judge_pair(
+            "A", "B",
+            _sig(Effect(OPAQUE, "mystery"),
+                 Effect(RNG_WRITE, "Gen.rng")),
+            _sig(Effect(OPAQUE, "mystery"),
+                 Effect(RNG_WRITE, "Gen.rng")))
+        assert verdict.verdict == VERDICT_CONFLICTS
+
+    def test_local_modes_never_conflict(self):
+        verdict = judge_pair(
+            "A", "B",
+            _sig(Effect(RAISES, "ValueError")),
+            _sig(Effect(RAISES, "ValueError")))
+        assert verdict.verdict == VERDICT_SAFE
+
+
+# ----------------------------------------------------------------------
+# Effect analyzer on synthetic packages
+# ----------------------------------------------------------------------
+
+def _analyze_pkg(tmp_path, files):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    for name, body in files.items():
+        path = pkg / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body), encoding="utf-8")
+    index = load_project(pkg)
+    return EffectAnalyzer(index).analyze()
+
+
+def _rendered(signatures, qual):
+    assert qual in signatures, sorted(signatures)
+    return signatures[qual].rendered()
+
+
+class TestEffectAnalyzer:
+    def test_attribute_write_detected(self, tmp_path):
+        sigs = _analyze_pkg(tmp_path, {"mod.py": """\
+            class Counter:
+                def __init__(self):
+                    self.n = 0
+                def bump(self):
+                    self.n += 1
+                def read(self):
+                    return self.n
+        """})
+        assert "attr-write:Counter.n" in _rendered(
+            sigs, "mod.Counter.bump")
+        assert "attr-write:Counter.n" not in _rendered(
+            sigs, "mod.Counter.read")
+
+    def test_fixpoint_propagates_through_typed_calls(self, tmp_path):
+        sigs = _analyze_pkg(tmp_path, {"mod.py": """\
+            class Counter:
+                def __init__(self):
+                    self.n = 0
+                def bump(self):
+                    self.n += 1
+
+            def outer(c: "Counter"):
+                c.bump()
+
+            def outermost(c: "Counter"):
+                outer(c)
+        """})
+        assert "attr-write:Counter.n" in _rendered(sigs, "mod.outer")
+        assert "attr-write:Counter.n" in _rendered(
+            sigs, "mod.outermost")
+
+    def test_mutator_on_argument_and_global(self, tmp_path):
+        sigs = _analyze_pkg(tmp_path, {"mod.py": """\
+            _SEEN = []
+
+            def record(item):
+                _SEEN.append(item)
+
+            def fill(bucket):
+                bucket.append(1)
+        """})
+        assert "global-write:mod._SEEN" in _rendered(
+            sigs, "mod.record")
+        assert "arg-write:bucket" in _rendered(sigs, "mod.fill")
+
+    def test_rng_draw_on_instance_stream(self, tmp_path):
+        sigs = _analyze_pkg(tmp_path, {"mod.py": """\
+            class Gen:
+                def __init__(self, seed):
+                    self._rng = object()
+                def draw(self):
+                    return self._rng.random()
+        """})
+        assert any(e.startswith("rng-write:")
+                   for e in _rendered(sigs, "mod.Gen.draw"))
+
+    def test_raise_records_exception_type(self, tmp_path):
+        sigs = _analyze_pkg(tmp_path, {"mod.py": """\
+            def guard(n):
+                if n < 0:
+                    raise ValueError("n must be >= 0")
+        """})
+        assert "raises:ValueError" in _rendered(sigs, "mod.guard")
+
+    def test_unresolvable_call_is_opaque_not_guessed(self, tmp_path):
+        sigs = _analyze_pkg(tmp_path, {"mod.py": """\
+            class A:
+                def process(self):
+                    self.x = 1
+            class B:
+                def process(self):
+                    self.y = 2
+
+            def run(thing):
+                thing.process()
+        """})
+        rendered = _rendered(sigs, "mod.run")
+        assert "opaque:process" in rendered
+        # Critically: the ambiguity is NOT resolved by guessing, so
+        # neither class's attribute write leaks into run's signature.
+        assert not any("attr-write" in e for e in rendered)
+
+    def test_frame_local_string_methods_are_pure(self, tmp_path):
+        sigs = _analyze_pkg(tmp_path, {"mod.py": """\
+            def shout(text):
+                return text.upper().strip()
+        """})
+        assert _rendered(sigs, "mod.shout") == ()
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+class TestAnalyzeCli:
+    def test_shipped_tree_is_certified(self, capsys):
+        # The acceptance bar: the default target analyzes clean and
+        # matches the committed table.
+        assert analyze_main(["--check"]) == 0
+        out = capsys.readouterr().out
+        assert "stage-interference: 8 stages, 36 pairs" in out
+        assert "no findings" in out
+
+    def test_write_then_check_roundtrip(self, tmp_path, capsys):
+        table = tmp_path / "safety.json"
+        assert analyze_main(["--write", "--table", str(table)]) == 0
+        assert table.exists()
+        assert analyze_main(["--check", "--table", str(table)]) == 0
+        capsys.readouterr()
+
+    def test_missing_table_is_drift(self, tmp_path, capsys):
+        gone = tmp_path / "gone.json"
+        assert analyze_main(["--check", "--table", str(gone)]) == 1
+        assert "capability-drift" in capsys.readouterr().out
+
+    def test_stale_table_is_drift(self, tmp_path, capsys):
+        stale = tmp_path / "stale.json"
+        doc = json.loads(TABLE.read_text(encoding="utf-8"))
+        key = "ExecuteTable|ExecuteText"
+        doc["pairs"][key]["verdict"] = "conflicts"
+        stale.write_text(json.dumps(doc, indent=2, sort_keys=True)
+                         + "\n", encoding="utf-8")
+        assert analyze_main(["--check", "--table", str(stale)]) == 1
+        out = capsys.readouterr().out
+        assert "capability-drift" in out
+        assert key in out
+
+    def test_uncertified_package_fails_with_findings(self, tmp_path,
+                                                     capsys):
+        # A root without the executor leaves every handler opaque:
+        # the hybrid arms cannot be certified and the CLI must say so.
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text('"""Empty."""\n', encoding="utf-8")
+        assert analyze_main(["--root", str(pkg)]) == 1
+        out = capsys.readouterr().out
+        assert "uncertified-parallel-arm" in out
+
+    def test_missing_root_exits_two(self, tmp_path, capsys):
+        assert analyze_main(["--root", str(tmp_path / "gone")]) == 2
+        assert "no such package root" in capsys.readouterr().err
+
+    def test_baseline_suppresses_recorded_findings(self, tmp_path,
+                                                   capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text('"""Empty."""\n', encoding="utf-8")
+        assert analyze_main(["--root", str(pkg), "--format",
+                             "json"]) == 1
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(capsys.readouterr().out, encoding="utf-8")
+        assert analyze_main(["--root", str(pkg), "--baseline",
+                             str(baseline)]) == 0
+        assert analyze_main(["--baseline",
+                             str(tmp_path / "gone.json")]) == 2
+
+    def test_github_format(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text('"""Empty."""\n', encoding="utf-8")
+        assert analyze_main(["--root", str(pkg), "--format",
+                             "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=analysis/parallel_safety.json" in out

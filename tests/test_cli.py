@@ -49,6 +49,17 @@ class TestCLI:
         out = capsys.readouterr().out
         assert out.strip()
 
+    def test_analyze_check_passes_on_shipped_tree(self, capsys):
+        assert main(["analyze", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "stage-interference:" in out
+
+    def test_analyze_forwards_table_override(self, tmp_path, capsys):
+        table = tmp_path / "safety.json"
+        assert main(["analyze", "--write", "--table", str(table)]) == 0
+        assert table.exists()
+        capsys.readouterr()
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bogus"])

@@ -247,6 +247,79 @@ class CheckPlanTest(unittest.TestCase):
         plan = compile_plan("q", _decision(ROUTE_HYBRID), True)
         self.assertEqual(check_federated_plan(plan), check_plan(plan))
 
+    def _table_arm(self, suffix="", when=WHEN_ROUTE, deps=("route",)):
+        sid = "synthesize" + suffix
+        return (
+            PlanStage(id=sid, kind=STAGE_SYNTHESIZE_SPEC,
+                      engine="structured", depends_on=deps, when=when),
+            PlanStage(id="execute_table" + suffix,
+                      kind=STAGE_EXECUTE_TABLE, engine="structured",
+                      depends_on=(sid,), when=when),
+        )
+
+    def test_rescue_with_no_other_engine_is_unreachable(self):
+        # rescue_failed fires when a *different* engine's guarded call
+        # failed; a structured-only plan can never trigger it.
+        plan = FederatedPlan("q", ROUTE_STRUCTURED, (
+            self._route_stage(),
+            *self._table_arm(),
+            *self._table_arm("_rescue", when=WHEN_RESCUE_FAILED),
+            PlanStage(id="select_best", kind=STAGE_SELECT_BEST,
+                      engine="selector",
+                      depends_on=("execute_table",
+                                  "execute_table_rescue")),
+        ))
+        self.assertIn("unreachable-condition", _codes(check_plan(plan)))
+
+    def test_rescue_on_other_engine_is_reachable(self):
+        plan = compile_plan("q", _decision(ROUTE_STRUCTURED), True)
+        self.assertNotIn("unreachable-condition",
+                         _codes(check_plan(plan)))
+
+    def test_unconsumed_producer_output_is_flagged(self):
+        plan = FederatedPlan("q", ROUTE_STRUCTURED, (
+            self._route_stage(),
+            PlanStage(id="synthesize", kind=STAGE_SYNTHESIZE_SPEC,
+                      engine="structured", depends_on=("route",),
+                      when=WHEN_ROUTE),
+        ))
+        self.assertIn("unread-output", _codes(check_plan(plan)))
+
+    def test_unselected_execute_output_is_flagged(self):
+        plan = FederatedPlan("q", ROUTE_STRUCTURED, (
+            self._route_stage(),
+            *self._table_arm(),
+        ))
+        codes = _codes(check_plan(plan))
+        self.assertIn("unread-output", codes)
+        self.assertIn("missing-selection", codes)
+
+    def test_unordered_reuse_of_one_engine_is_flagged(self):
+        plan = FederatedPlan("q", ROUTE_STRUCTURED, (
+            self._route_stage(),
+            *self._table_arm("_a"),
+            *self._table_arm("_b"),
+            PlanStage(id="select_best", kind=STAGE_SELECT_BEST,
+                      engine="selector",
+                      depends_on=("execute_table_a",
+                                  "execute_table_b")),
+        ))
+        self.assertIn("unordered-engine-reuse",
+                      _codes(check_plan(plan)))
+
+    def test_dependency_path_orders_engine_reuse(self):
+        # The same double dispatch is fine once an edge sequences it.
+        plan = FederatedPlan("q", ROUTE_STRUCTURED, (
+            self._route_stage(),
+            *self._table_arm("_a"),
+            *self._table_arm("_b", deps=("execute_table_a",)),
+            PlanStage(id="select_best", kind=STAGE_SELECT_BEST,
+                      engine="selector",
+                      depends_on=("execute_table_b",)),
+        ))
+        self.assertNotIn("unordered-engine-reuse",
+                         _codes(check_plan(plan)))
+
 
 @functools.lru_cache(maxsize=None)
 def _pipeline(domain):

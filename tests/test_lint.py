@@ -10,9 +10,10 @@ import textwrap
 import pytest
 
 from repro.lint import LintEngine, all_rules, rule_ids
+from repro.lint.baseline import apply_baseline, finding_key, load_baseline
 from repro.lint.cli import main as lint_main
 from repro.lint.core import Finding, parse_suppressions
-from repro.lint.report import render_json, render_text
+from repro.lint.report import render_github, render_json, render_text
 
 
 def run_rule(rule_id, source, relpath="qa/snippet.py"):
@@ -79,6 +80,67 @@ class TestDeterminismRule:
             import time
             t = time.time()
         """, relpath="cli.py")
+        assert findings == []
+
+    def test_from_import_of_datetime_class(self):
+        findings = run_rule("determinism", """\
+            from datetime import datetime
+            def stamp():
+                return datetime.now()
+        """)
+        assert len(findings) == 1
+        assert "datetime.datetime.now" in findings[0].message
+
+    def test_module_alias(self):
+        findings = run_rule("determinism", """\
+            import time as t
+            def stamp():
+                return t.time()
+        """)
+        assert len(findings) == 1
+        assert "time.time()" in findings[0].message
+
+    def test_from_import_of_function(self):
+        findings = run_rule("determinism", """\
+            from time import time
+            def stamp():
+                return time()
+        """)
+        assert len(findings) == 1
+        assert "time.time()" in findings[0].message
+
+    def test_uncalled_reference_flagged(self):
+        # Passing the callable around defers the entropy read to the
+        # eventual caller; it must be caught at the reference site.
+        findings = run_rule("determinism", """\
+            import time
+            stamp = time.time
+        """)
+        assert len(findings) == 1
+        assert "uncalled" in findings[0].message
+
+    def test_uncalled_from_import_reference_flagged(self):
+        findings = run_rule("determinism", """\
+            from datetime import datetime
+            def clock(fn=datetime.now):
+                return fn()
+        """)
+        assert len(findings) == 1
+        assert "datetime.datetime.now" in findings[0].message
+
+    def test_call_not_double_flagged_as_reference(self):
+        findings = run_rule("determinism", """\
+            import time
+            def stamp():
+                return time.time()
+        """)
+        assert len(findings) == 1
+
+    def test_uncalled_monotonic_reference_ok(self):
+        findings = run_rule("determinism", """\
+            import time
+            clock = time.perf_counter
+        """)
         assert findings == []
 
 
@@ -430,6 +492,27 @@ class TestImportCycleRule:
         })
         assert findings == []
 
+    def test_pragma_suppresses_project_scope_finding(self, tmp_path):
+        # The cycle anchors on its lexicographically smallest member at
+        # the import line; a targeted pragma there must suppress it
+        # exactly like a module-scope finding.
+        findings = self._lint_pkg(tmp_path, {
+            "a.py": ("from .b import beta"
+                     "  # lint: ignore[import-cycle]\n"
+                     "alpha = beta\n"),
+            "b.py": "from .a import alpha\nbeta = 1\n",
+        })
+        assert findings == []
+
+    def test_pragma_for_other_rule_keeps_cycle_finding(self, tmp_path):
+        findings = self._lint_pkg(tmp_path, {
+            "a.py": ("from .b import beta  # lint: ignore[no-print]\n"
+                     "alpha = beta\n"),
+            "b.py": "from .a import alpha\nbeta = 1\n",
+        })
+        assert len(findings) == 1
+        assert findings[0].rule == "import-cycle"
+
 
 # ----------------------------------------------------------------------
 # suppressions
@@ -490,6 +573,48 @@ class TestReporters:
             "message": "print() in library code",
         }
 
+    def test_github_report(self):
+        text = render_github(self.FINDINGS)
+        assert text == ("::error file=src/repro/a.py,line=3::"
+                        "[no-print] print() in library code")
+        assert render_github([]) == "::notice::no findings"
+
+    def test_github_report_custom_prefix_and_newlines(self):
+        findings = [Finding("t.py", 1, "r", "line one\nline two")]
+        text = render_github(findings, prefix="")
+        assert text == "::error file=t.py,line=1::[r] line one line two"
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+
+class TestBaseline:
+    OLD = Finding("qa/old.py", 3, "no-print", "print() in library code")
+    NEW = Finding("qa/new.py", 9, "no-print", "print() in library code")
+
+    def test_key_ignores_line(self):
+        moved = Finding("qa/old.py", 99, "no-print",
+                        "print() in library code")
+        assert finding_key(self.OLD) == finding_key(moved)
+        assert finding_key(self.OLD) != finding_key(self.NEW)
+
+    def test_roundtrip_through_json_report(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(render_json([self.OLD]), encoding="utf-8")
+        baseline = load_baseline(path)
+        kept = apply_baseline([self.OLD, self.NEW], baseline)
+        assert kept == [self.NEW]
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[]", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+        path.write_text("not json", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
 
 # ----------------------------------------------------------------------
 # CLI exit codes
@@ -539,6 +664,36 @@ class TestCli:
         out = capsys.readouterr().out
         for rule_id in rule_ids():
             assert rule_id in out
+
+    def test_github_format(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text('"""Docs."""\nprint("hi")\n', encoding="utf-8")
+        assert lint_main(["--format", "github", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "[no-print]" in out
+
+    def test_baseline_suppresses_recorded_findings(self, tmp_path,
+                                                   capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text('"""Docs."""\nprint("hi")\n', encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(["--format", "json", str(path)]) == 1
+        baseline.write_text(capsys.readouterr().out, encoding="utf-8")
+        assert lint_main(["--baseline", str(baseline), str(path)]) == 0
+        # A new finding in a different file still fails.
+        other = tmp_path / "other.py"
+        other.write_text('"""Docs."""\nprint("yo")\n', encoding="utf-8")
+        assert lint_main(["--baseline", str(baseline), str(path),
+                          str(other)]) == 1
+
+    def test_missing_or_malformed_baseline_exits_two(self, tmp_path,
+                                                     capsys):
+        assert lint_main(["--baseline", str(tmp_path / "gone.json")]) == 2
+        assert "baseline" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]", encoding="utf-8")
+        assert lint_main(["--baseline", str(bad)]) == 2
 
     def test_shipped_tree_is_clean(self, capsys):
         # The acceptance bar: the default target lints clean.
