@@ -146,7 +146,7 @@ def _check_drift(table: CapabilityTable,
         committed = {}
     drift = diff_tables(committed, table.as_dict())
     detail = ("; ".join(drift) if drift
-              else "effect signatures changed (verdicts unchanged)")
+              else "table header changed (stages and verdicts unchanged)")
     return [Finding(
         _TABLE_RELPATH, 1, "capability-drift",
         "committed table is stale (%s); run "

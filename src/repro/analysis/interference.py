@@ -235,18 +235,33 @@ def build_table(index: ProjectIndex,
 
 
 def diff_tables(committed: Dict, computed: Dict) -> List[str]:
-    """Human-readable verdict drift between two serialized tables.
+    """Human-readable drift between two serialized tables.
 
-    Only verdict-level drift is reported (the CI gate's unit of
-    meaning); effect-list churn with unchanged verdicts still fails
-    byte-comparison in ``--check`` but is summarized separately.
+    Verdict changes lead (the CI gate's unit of meaning); pairs whose
+    verdict held but whose conflict/unknown detail changed, and stages
+    whose effect signatures changed, are named individually so a
+    ``--check`` failure points at the drifted stage pair(s) instead of
+    a generic digest mismatch.
     """
     out: List[str] = []
     old_pairs = committed.get("pairs", {})
     new_pairs = computed.get("pairs", {})
+    detail_drift: List[str] = []
     for key in sorted(set(old_pairs) | set(new_pairs)):
-        old = old_pairs.get(key, {}).get("verdict", "<absent>")
-        new = new_pairs.get(key, {}).get("verdict", "<absent>")
+        old_entry = old_pairs.get(key, {})
+        new_entry = new_pairs.get(key, {})
+        old = old_entry.get("verdict", "<absent>")
+        new = new_entry.get("verdict", "<absent>")
         if old != new:
             out.append("%s: %s -> %s" % (key, old, new))
+        elif old_entry != new_entry:
+            detail_drift.append(
+                "%s: conflict/unknown detail changed "
+                "(verdict %s unchanged)" % (key, old))
+    out.extend(detail_drift)
+    old_stages = committed.get("stages", {})
+    new_stages = computed.get("stages", {})
+    for name in sorted(set(old_stages) | set(new_stages)):
+        if old_stages.get(name) != new_stages.get(name):
+            out.append("stage %s: effect signature changed" % name)
     return out

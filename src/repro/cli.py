@@ -59,7 +59,8 @@ def _tracing(args, pipeline):
     print(render_trace(tracer))
 
 
-def _build(domain: str, seed: int, faults: Optional[str] = None):
+def _build(domain: str, seed: int, faults: Optional[str] = None,
+           speculation: bool = True):
     if domain == "ecommerce":
         lake = generate_ecommerce_lake(LakeSpec(seed=seed))
     elif domain == "healthcare":
@@ -67,6 +68,8 @@ def _build(domain: str, seed: int, faults: Optional[str] = None):
     else:
         raise SystemExit("unknown domain %r" % domain)
     system, pipeline = build_hybrid_system(lake, seed=seed)
+    if not speculation:
+        pipeline.set_speculative(False)
     if faults:
         with open(faults, "r", encoding="utf-8") as handle:
             config = ResilienceConfig.from_dict(json.load(handle))
@@ -76,7 +79,8 @@ def _build(domain: str, seed: int, faults: Optional[str] = None):
 
 def cmd_demo(args) -> int:
     """Answer a benchmark sample with routing details."""
-    lake, pipeline = _build(args.domain, args.seed, args.faults)
+    lake, pipeline = _build(args.domain, args.seed, args.faults,
+                            speculation=not args.no_speculation)
     pairs = lake.qa_pairs(per_kind=2)
     correct = 0
     with _tracing(args, pipeline):
@@ -93,7 +97,8 @@ def cmd_demo(args) -> int:
 
 def cmd_ask(args) -> int:
     """Answer one user question."""
-    _, pipeline = _build(args.domain, args.seed, args.faults)
+    _, pipeline = _build(args.domain, args.seed, args.faults,
+                            speculation=not args.no_speculation)
     if args.explain_plan:
         print(pipeline.explain_plan(args.question))
         return 0
@@ -113,7 +118,8 @@ def cmd_ask(args) -> int:
 
 def cmd_stats(args) -> int:
     """Print lake and index statistics."""
-    lake, pipeline = _build(args.domain, args.seed, args.faults)
+    lake, pipeline = _build(args.domain, args.seed, args.faults,
+                            speculation=not args.no_speculation)
     print("tables: %s" % ", ".join(pipeline.db.table_names()))
     for name in pipeline.db.table_names():
         count = pipeline.db.execute(
@@ -138,7 +144,8 @@ def cmd_session(args) -> int:
     """
     from .qa import QASession
 
-    _, pipeline = _build(args.domain, args.seed, args.faults)
+    _, pipeline = _build(args.domain, args.seed, args.faults,
+                            speculation=not args.no_speculation)
     session = QASession(pipeline)
     stream = args._stdin if args._stdin is not None else sys.stdin
     with _tracing(args, pipeline):
@@ -156,7 +163,8 @@ def cmd_session(args) -> int:
 
 def cmd_sql(args) -> int:
     """Run raw SQL against the lake database."""
-    _, pipeline = _build(args.domain, args.seed, args.faults)
+    _, pipeline = _build(args.domain, args.seed, args.faults,
+                            speculation=not args.no_speculation)
     if args.explain_lint:
         print(pipeline.db.explain(args.query))
         diagnostics = pipeline.db.analyze(args.query)
@@ -184,7 +192,8 @@ def cmd_serve(args) -> int:
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
     requests = load_workload(args.workload)
-    _, pipeline = _build(args.domain, args.seed, args.faults)
+    _, pipeline = _build(args.domain, args.seed, args.faults,
+                            speculation=not args.no_speculation)
     admission = None
     if args.session_budget or args.max_queue_depth:
         admission = AdmissionPolicy(
@@ -270,6 +279,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--faults", default=None, metavar="PLAN.json",
                        help="run under a deterministic fault plan "
                             "(JSON; see docs/resilience.md)")
+        p.add_argument("--no-speculation", action="store_true",
+                       help="force the sequential plan executor "
+                            "(speculative arm scheduling is on by "
+                            "default; see docs/resilience.md)")
 
     demo = sub.add_parser("demo", help=cmd_demo.__doc__)
     common(demo)

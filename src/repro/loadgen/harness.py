@@ -78,6 +78,8 @@ def build_server(spec: LoadSpec) -> Tuple[Any, QueryServer]:
     else:
         lake = generate_healthcare_lake(HealthSpec(seed=spec.seed))
     _system, pipeline = build_hybrid_system(lake, seed=spec.seed)
+    if not spec.speculation:
+        pipeline.set_speculative(False)
     if spec.faults is not None:
         pipeline.enable_resilience(ResilienceConfig.from_dict(spec.faults))
     try:

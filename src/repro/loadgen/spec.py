@@ -29,7 +29,8 @@ Spec format (every key except ``name``/``domain``/``asks`` optional)::
       "batch_size": 8,
       "session_budget": null,
       "max_queue_depth": null,
-      "faults": null               // resilience config document
+      "faults": null,              // resilience config document
+      "speculation": true          // false = sequential plan executor
     }
 
 Unknown keys and out-of-range values raise
@@ -53,7 +54,7 @@ SPEC_KEYS = (
     "name", "domain", "seed", "asks", "sessions", "questions_per_kind",
     "skew", "burst", "arrival", "think_work", "write_every", "writes",
     "warmup_passes", "cache_policy", "batch_size", "session_budget",
-    "max_queue_depth", "faults",
+    "max_queue_depth", "faults", "speculation",
 )
 
 _DOMAINS = ("ecommerce", "healthcare")
@@ -95,6 +96,7 @@ class LoadSpec:
     session_budget: Optional[int] = None
     max_queue_depth: Optional[int] = None
     faults: Optional[Dict[str, Any]] = None
+    speculation: bool = True
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "LoadSpec":
@@ -171,6 +173,11 @@ class LoadSpec:
             raise LoadGenError(
                 "spec faults must be a resilience config object"
             )
+        speculation = data.get("speculation", True)
+        if not isinstance(speculation, bool):
+            raise LoadGenError(
+                "spec speculation must be a boolean"
+            )
         return cls(
             name=str(data["name"]),
             domain=domain,
@@ -192,6 +199,7 @@ class LoadSpec:
             session_budget=budget,
             max_queue_depth=depth,
             faults=dict(faults) if faults is not None else None,
+            speculation=speculation,
         )
 
     @classmethod

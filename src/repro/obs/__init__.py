@@ -10,6 +10,8 @@ text. See ``docs/observability.md`` for the span taxonomy.
 from .export import aggregate_stages, render_trace, trace_to_json
 from .metrics import (
     Counter, Histogram, METRIC_ANSWER_LATENCY, METRIC_ANSWER_WORK,
+    METRIC_SPECULATION_CANCELLED, METRIC_SPECULATION_CANCELLED_WORK,
+    METRIC_SPECULATION_RESCUED, METRIC_SPECULATION_WIN,
     MetricsRegistry, REGISTRY, incr, nearest_rank, observe,
 )
 from .tracer import Span, Tracer, active_tracer, install, span
@@ -19,5 +21,7 @@ __all__ = [
     "Counter", "Histogram", "MetricsRegistry", "REGISTRY", "incr",
     "nearest_rank", "observe",
     "METRIC_ANSWER_LATENCY", "METRIC_ANSWER_WORK",
+    "METRIC_SPECULATION_CANCELLED", "METRIC_SPECULATION_CANCELLED_WORK",
+    "METRIC_SPECULATION_RESCUED", "METRIC_SPECULATION_WIN",
     "aggregate_stages", "render_trace", "trace_to_json",
 ]

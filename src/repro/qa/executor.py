@@ -291,6 +291,15 @@ class PlanExecutor:
     # ------------------------------------------------------------------
     # Auxiliary dispatch (explain / entropy surfaces)
     # ------------------------------------------------------------------
+    def explain_speculation(self, plan: FederatedPlan) -> List[str]:
+        """Speculation annotation for ``--explain-plan`` output.
+
+        The sequential executor never speculates; the
+        :class:`~repro.qa.speculative.SpeculativeExecutor` override
+        renders the capability-gate clearance per plan.
+        """
+        return ["speculation: off (sequential executor)"]
+
     def explain_lines(self, question: str) -> List[str]:
         """The per-question lines of the pipeline's ``explain()``."""
         decision = self._router.route(question)

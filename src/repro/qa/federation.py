@@ -27,11 +27,19 @@ from .plan import (  # lint: ignore[unused-import]
 
 @dataclass
 class RouteDecision:
-    """Where a question was routed and why."""
+    """Where a question was routed and why.
+
+    ``confidence`` grades how decisively the binding evidence selected
+    the route (1.0 = unambiguous). It never changes *which* stages a
+    plan contains — the speculative executor reads it to decide whether
+    the rescue arms should be raced eagerly as hedges rather than held
+    back as sequential fallbacks (see ``docs/resilience.md``).
+    """
 
     route: str
     reason: str
     bound_tables: Tuple[str, ...] = ()
+    confidence: float = 1.0
 
 
 class FederatedRouter:
@@ -64,24 +72,25 @@ class FederatedRouter:
                 return RouteDecision(
                     ROUTE_STRUCTURED,
                     "aggregate over bound metric with bound filters",
-                    bound_tables,
+                    bound_tables, confidence=0.95,
                 )
             return RouteDecision(
                 ROUTE_STRUCTURED, "aggregate over bound metric",
-                bound_tables,
+                bound_tables, confidence=0.65,
             )
         if metric_bound and (value_hits or frame.comparisons):
             return RouteDecision(
                 ROUTE_HYBRID, "metric binds but question is not aggregate",
-                bound_tables,
+                bound_tables, confidence=0.7,
             )
         if value_hits:
             return RouteDecision(
                 ROUTE_HYBRID, "entities bind but no metric column does",
-                bound_tables,
+                bound_tables, confidence=0.6,
             )
         return RouteDecision(
             ROUTE_UNSTRUCTURED, "no schema element binds", (),
+            confidence=0.75,
         )
 
 

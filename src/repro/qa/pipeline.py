@@ -44,6 +44,7 @@ from .answer import ANSWER_SYSTEM_HYBRID, Answer
 from .executor import PlanExecutor, cross_check
 from .federation import FederatedRouter
 from .plan import FederatedPlan, render_plan
+from .speculative import SpeculationGate, SpeculativeExecutor
 from .tableqa import TableQAEngine
 from .textqa import TextQAEngine
 
@@ -70,7 +71,9 @@ class HybridQAPipeline:
                  topology_config: Optional[TopologyConfig] = None,
                  min_column_support: int = 1,
                  resolve_entity_aliases: bool = False,
-                 resilience: Optional[ResilienceConfig] = None):
+                 resilience: Optional[ResilienceConfig] = None,
+                 speculative: bool = True,
+                 capability_table: Optional[Any] = None):
         self._slm = slm
         self._meter = meter if meter is not None else GLOBAL_METER
         self._resilience = ResilienceManager(self._meter, resilience)
@@ -95,6 +98,9 @@ class HybridQAPipeline:
         self._table_qa: Optional[TableQAEngine] = None
         self._router: Optional[FederatedRouter] = None
         self._executor: Optional[PlanExecutor] = None
+        self._speculative = speculative
+        self._capability_table = capability_table
+        self._speculation_gate: Optional[SpeculationGate] = None
         self._plan_cache: Optional[Any] = None
         self._retriever_wrapper: Optional[Any] = None
         self._rebuild_listeners: List[Any] = []
@@ -281,12 +287,27 @@ class HybridQAPipeline:
         self._router = FederatedRouter(catalog)
         # Providers, not bound references: enable_resilience() and
         # set_retriever_wrapper() swap these attributes in place.
-        self._executor = PlanExecutor(
-            self._router, self._table_qa,
-            text_qa=lambda: self._text_qa,
-            resilience=lambda: self._resilience,
-            slm=lambda: self._slm,
-        )
+        if self._speculative:
+            if self._speculation_gate is None:
+                # Loaded once at startup; a missing/corrupt table makes
+                # a gate that denies every plan (fail closed), so the
+                # speculative executor degenerates to sequential.
+                self._speculation_gate = SpeculationGate.load(
+                    self._capability_table)
+            self._executor = SpeculativeExecutor(
+                self._router, self._table_qa,
+                text_qa=lambda: self._text_qa,
+                resilience=lambda: self._resilience,
+                slm=lambda: self._slm,
+                gate=self._speculation_gate,
+            )
+        else:
+            self._executor = PlanExecutor(
+                self._router, self._table_qa,
+                text_qa=lambda: self._text_qa,
+                resilience=lambda: self._resilience,
+                slm=lambda: self._slm,
+            )
 
     def _document_entity_paths(self) -> List[str]:
         # Use shallow scalar keys that appear in most documents.
@@ -348,6 +369,31 @@ class HybridQAPipeline:
     def resilience(self) -> ResilienceManager:
         """The resilience manager guarding this pipeline's backends."""
         return self._resilience
+
+    def set_speculative(self, enabled: bool) -> None:
+        """Switch between the speculative and sequential executors.
+
+        Both produce byte-identical answers; the speculative executor
+        additionally isolates arm failures under bounded budgets. A
+        built pipeline swaps executors immediately; an unbuilt one
+        records the choice for ``build()``.
+        """
+        self._speculative = enabled
+        if self._table_qa is not None:
+            self._build_engines()
+
+    def set_capability_table(self, path) -> None:
+        """Re-point speculation gating at the capability table *path*.
+
+        Drops the cached :class:`SpeculationGate` and reloads it from
+        *path* (fail closed when missing or corrupt). A built pipeline
+        swaps executors immediately; an unbuilt one records the choice
+        for ``build()``.
+        """
+        self._capability_table = path
+        self._speculation_gate = None
+        if self._table_qa is not None:
+            self._build_engines()
 
     def enable_resilience(
         self, config: Optional[ResilienceConfig] = None,
@@ -441,12 +487,22 @@ class HybridQAPipeline:
 
         frame = detect_comparison(question, self._slm)
         if frame is None:
-            return render_plan(self._executor.compile(question))
+            return self._render_plan_annotated(question)
         lines = ["comparison of: %s" % ", ".join(frame.entity_names)]
         for entity, sub_question in decompose(frame):
             lines.append("sub[%s]:" % entity)
-            rendered = render_plan(self._executor.compile(sub_question))
+            rendered = self._render_plan_annotated(sub_question)
             lines.extend("  " + line for line in rendered.splitlines())
+        return "\n".join(lines)
+
+    def _render_plan_annotated(self, question: str) -> str:
+        """One plan DAG plus the executor's speculation annotation."""
+        plan = self._executor.compile(question)
+        lines = [render_plan(plan)]
+        lines.extend(
+            "  " + line
+            for line in self._executor.explain_speculation(plan)
+        )
         return "\n".join(lines)
 
     @staticmethod

@@ -149,6 +149,18 @@ class FederatedPlan:
     stages: Tuple[PlanStage, ...] = ()
     metadata: Tuple[Tuple[str, str], ...] = field(default=())
 
+    def meta(self, key: str, default: str = "") -> str:
+        """The compile-time metadata value for *key*, or *default*.
+
+        Metadata is advisory (route confidence, compiler notes): it is
+        deliberately **excluded** from :meth:`signature`, so it can
+        never perturb plan-cache keys or golden digests.
+        """
+        for name, value in self.metadata:
+            if name == key:
+                return value
+        return default
+
     def stage(self, stage_id: str) -> PlanStage:
         """The stage named *stage_id* (raises ``KeyError`` if absent)."""
         for stage in self.stages:
@@ -274,8 +286,10 @@ def compile_plan(question: str, decision,
             id="estimate_entropy", kind=STAGE_ESTIMATE_ENTROPY,
             engine=ENGINE_ENTROPY, depends_on=("ground",),
         ))
+    confidence = getattr(decision, "confidence", 1.0)
     return FederatedPlan(
         question=question, route=route, stages=tuple(stages),
+        metadata=(("route_confidence", "%.2f" % confidence),),
     )
 
 

@@ -1,0 +1,467 @@
+"""Speculative parallel plan execution with deterministic race-and-rescue.
+
+:class:`SpeculativeExecutor` extends the sequential
+:class:`~repro.qa.executor.PlanExecutor` with an **arm scheduler**: the
+independent arms of a compiled :class:`~repro.qa.plan.FederatedPlan`
+(structured ``SynthesizeSpec→ExecuteTable``, text
+``RetrieveTopology→ExecuteText``, and the rescue arms) are treated as
+concurrent speculative arms racing on the CostMeter work clock. The
+schedule is **deterministic by construction**:
+
+* arms run in fixed plan order, one guarded-call sequence per backend,
+  so fault-injection replay stays byte-for-byte with the sequential
+  executor;
+* an arm's *cancellation predicate* is exactly the sequential
+  executor's ``_due`` condition — a rescue/race arm is cancelled the
+  moment an earlier arm's answer clears the confidence bar (a live,
+  non-abstained candidate), which is precisely when the sequential
+  executor would have skipped it;
+* the join is the plan's own ``SelectBest`` stage with its fixed
+  candidate order, keeping answers **byte-identical** to sequential
+  execution.
+
+What speculation *adds* is arm-level failure isolation: each arm runs
+inside a :meth:`~repro.resilience.ResilienceManager.arm` scope carrying
+a **rescue reserve** — a deterministic share of the remaining question
+budget, enforced only after the arm witnesses a fault. A faulting arm's
+retry/backoff spiral is cut off at the reserve (the "work-budget
+charge" that cancels a loser) so a ``TransientError`` /
+``CircuitOpenError`` / budget-exhaustion in one arm can no longer
+starve the surviving arm, which completes cleanly and rescues the
+question instead of degrading it.
+
+**Fail-closed capability gating**: at startup :class:`SpeculationGate`
+loads the machine-certified stage-interference table
+(``analysis/parallel_safety.json``, written by ``repro analyze
+--write``). A plan runs speculatively only when *every* cross-arm stage
+pair is verdict ``safe-parallel``; a missing table, a missing pair, an
+``unknown`` or ``conflicts`` verdict — or a corrupt entry of any shape
+— reverts that plan to the sequential executor, never raises.
+Same-engine arms are never overlapped regardless of the table: their
+circuit-breaker state and per-backend fault-injection RNG stream are
+order-sensitive, which is exactly why the table marks same-key
+``backend-dispatch`` pairs as conflicts.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..obs import (
+    METRIC_SPECULATION_CANCELLED, METRIC_SPECULATION_CANCELLED_WORK,
+    METRIC_SPECULATION_RESCUED, METRIC_SPECULATION_WIN, incr, observe,
+    span,
+)
+from .answer import ANSWER_SYSTEM_HYBRID, ANSWER_SYSTEM_RAG, Answer
+from .executor import INLINE_KINDS, STAGE_HANDLERS, PlanExecutor, _RunState
+from .federation import best_answer
+from .plan import (
+    ROUTE_HYBRID, STAGE_EXECUTE_TABLE, STAGE_EXECUTE_TEXT,
+    STAGE_RETRIEVE_TOPOLOGY, STAGE_SYNTHESIZE_SPEC, WHEN_ALWAYS,
+    WHEN_ROUTE, FederatedPlan,
+)
+
+#: The one verdict that certifies a stage pair for overlap. Kept as a
+#: local literal (not imported from :mod:`repro.analysis`) so the QA
+#: layer never depends on the analysis layer: the gate consumes the
+#: *committed table file*, not the analyzer.
+SAFE_PARALLEL = "safe-parallel"
+
+#: Route decisions graded below this confidence race their rescue arms
+#: eagerly as hedges (see ``RouteDecision.confidence``).
+RACE_CONFIDENCE_BAR = 0.7
+
+#: Repo-relative location of the committed capability table.
+TABLE_RELPATH = "analysis/parallel_safety.json"
+
+
+def default_table_path() -> pathlib.Path:
+    """The committed capability table's default location.
+
+    The table lives at the repository root (``analysis/
+    parallel_safety.json``), three levels above this package; falls
+    back to a cwd-relative path when the package is installed
+    elsewhere. Mirrors the ``repro analyze`` CLI's resolution.
+    """
+    repo = pathlib.Path(__file__).resolve().parents[3]
+    candidate = repo / TABLE_RELPATH
+    if candidate.parent.exists():
+        return candidate
+    return pathlib.Path(TABLE_RELPATH)
+
+
+@dataclass(frozen=True)
+class PlanArm:
+    """One independent executable arm of a federated plan.
+
+    ``head_id`` names the execute stage that drives the arm's single
+    guarded dispatch (producers run jointly with it); ``kinds`` lists
+    the stage kinds the arm covers, in order — the units the capability
+    table certifies.
+    """
+
+    arm_id: str
+    engine: str
+    kinds: Tuple[str, ...]
+    head_id: str
+    when: str
+
+
+@dataclass(frozen=True)
+class GateDecision:
+    """The gate's per-plan clearance: speculate, race, or fail closed.
+
+    ``pair_verdicts`` carries every cross-arm stage-pair verdict the
+    decision consulted (``--explain-plan`` renders them); ``reasons``
+    is non-empty exactly when the plan fails closed to sequential.
+    """
+
+    speculative: bool
+    raced: bool
+    reasons: Tuple[str, ...]
+    pair_verdicts: Tuple[Tuple[str, str], ...]
+    arms: Tuple["PlanArm", ...]
+
+
+def extract_arms(plan: FederatedPlan) -> Tuple[PlanArm, ...]:
+    """The plan's executable arms, in plan (= scheduling) order.
+
+    Each execute stage anchors one arm together with the producer it
+    depends on. Arm ids are derived from the engine: the first arm per
+    engine is the primary (``structured``/``text``), later ones are
+    rescues (``structured-rescue``) — same-engine arms are serialized
+    by the scheduler, never overlapped.
+    """
+    producer_of = {
+        STAGE_EXECUTE_TABLE: STAGE_SYNTHESIZE_SPEC,
+        STAGE_EXECUTE_TEXT: STAGE_RETRIEVE_TOPOLOGY,
+    }
+    by_id = {stage.id: stage for stage in plan.stages}
+    used: Dict[str, int] = {}
+    arms: List[PlanArm] = []
+    for stage in plan.stages:
+        wanted = producer_of.get(stage.kind)
+        if wanted is None:
+            continue
+        kinds: List[str] = []
+        for dep in stage.depends_on:
+            producer = by_id.get(dep)
+            if producer is not None and producer.kind == wanted:
+                kinds.append(producer.kind)
+        kinds.append(stage.kind)
+        n_seen = used.get(stage.engine, 0)
+        used[stage.engine] = n_seen + 1
+        if n_seen == 0:
+            arm_id = stage.engine
+        elif n_seen == 1:
+            arm_id = "%s-rescue" % stage.engine
+        else:
+            arm_id = "%s-rescue%d" % (stage.engine, n_seen)
+        arms.append(PlanArm(
+            arm_id=arm_id, engine=stage.engine, kinds=tuple(kinds),
+            head_id=stage.id, when=stage.when,
+        ))
+    return tuple(arms)
+
+
+class SpeculationGate:
+    """Fail-closed clearance against the committed capability table.
+
+    Constructed once at pipeline startup from
+    ``analysis/parallel_safety.json``. Any defect — missing file,
+    unparsable JSON, missing pair, malformed entry, or a verdict other
+    than ``safe-parallel`` — denies speculation for the affected plan
+    and the executor falls back to sequential execution. The gate never
+    raises.
+    """
+
+    def __init__(self, pairs: Optional[Dict[str, object]] = None,
+                 reason: Optional[str] = None):
+        self._pairs = pairs
+        self._reason = reason
+
+    @classmethod
+    def disabled(cls, reason: str) -> "SpeculationGate":
+        """A gate that denies every plan, carrying *reason*."""
+        return cls(None, reason)
+
+    @classmethod
+    def load(cls, path: Optional[pathlib.Path] = None) -> "SpeculationGate":
+        """Load the capability table; fail closed on any defect."""
+        table_path = pathlib.Path(path) if path is not None \
+            else default_table_path()
+        try:
+            raw = table_path.read_text(encoding="utf-8")
+        except OSError:
+            return cls.disabled(
+                "capability table %s is missing" % table_path)
+        try:
+            data = json.loads(raw)
+        except ValueError:
+            return cls.disabled(
+                "capability table %s is unreadable" % table_path)
+        pairs = data.get("pairs") if isinstance(data, dict) else None
+        if not isinstance(pairs, dict):
+            return cls.disabled(
+                "capability table %s has no pair verdicts" % table_path)
+        return cls(pairs)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a table loaded at all (plans may still fail closed)."""
+        return self._pairs is not None
+
+    @property
+    def reason(self) -> Optional[str]:
+        """Why the gate is globally disabled (None when a table loaded)."""
+        return self._reason
+
+    def verdict(self, kind_a: str, kind_b: str) -> str:
+        """The committed verdict for an unordered stage-kind pair.
+
+        Returns ``absent`` for a missing pair and ``malformed`` for an
+        entry that is not a dict with a string verdict — both of which
+        the clearance treats as "not safe", failing closed.
+        """
+        if self._pairs is None:
+            return "absent"
+        left, right = sorted((kind_a, kind_b))
+        entry = self._pairs.get("%s|%s" % (left, right))
+        if entry is None:
+            return "absent"
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("verdict"), str
+        ):
+            return "malformed"
+        return entry["verdict"]
+
+    def clearance(self, plan: FederatedPlan,
+                  arms: Tuple[PlanArm, ...]) -> GateDecision:
+        """Decide whether *plan*'s arms may overlap.
+
+        Only arm pairs on **different** engines are candidates for
+        overlap (same-engine arms are always serialized); every stage
+        kind of one against every stage kind of the other must read
+        ``safe-parallel`` in the table.
+        """
+        if self._reason is not None:
+            return GateDecision(False, False, (self._reason,), (),
+                                arms)
+        overlapping = [
+            (a, b)
+            for i, a in enumerate(arms) for b in arms[i + 1:]
+            if a.engine != b.engine
+        ]
+        if len(arms) < 2 or not overlapping:
+            return GateDecision(
+                False, False,
+                ("plan has fewer than two independent arms",), (), arms)
+        verdicts: Dict[str, str] = {}
+        for arm_a, arm_b in overlapping:
+            for kind_a in arm_a.kinds:
+                for kind_b in arm_b.kinds:
+                    left, right = sorted((kind_a, kind_b))
+                    key = "%s|%s" % (left, right)
+                    if key not in verdicts:
+                        verdicts[key] = self.verdict(kind_a, kind_b)
+        pair_verdicts = tuple(sorted(verdicts.items()))
+        reasons = tuple(
+            "stage pair %s is %s" % (key, verdict)
+            for key, verdict in pair_verdicts
+            if verdict != SAFE_PARALLEL
+        )
+        speculative = not reasons
+        raced = speculative and (
+            plan.route == ROUTE_HYBRID
+            or _route_confidence(plan) < RACE_CONFIDENCE_BAR
+        )
+        return GateDecision(speculative, raced, reasons, pair_verdicts,
+                            arms)
+
+
+def _route_confidence(plan: FederatedPlan) -> float:
+    """The compiled route confidence (1.0 when absent or malformed)."""
+    raw = plan.meta("route_confidence", "1.0")
+    try:
+        return float(raw)
+    except ValueError:
+        return 1.0
+
+
+class SpeculativeExecutor(PlanExecutor):
+    """The arm-scheduling executor behind speculative execution.
+
+    Construction mirrors :class:`~repro.qa.executor.PlanExecutor`, plus
+    the :class:`SpeculationGate` consulted per plan. Plans the gate
+    denies run through the inherited sequential interpreter unchanged —
+    the fail-closed path is literally ``super().execute``.
+    """
+
+    def __init__(self, router, table_qa, text_qa, resilience, slm,
+                 gate: Optional[SpeculationGate] = None):
+        super().__init__(router, table_qa, text_qa=text_qa,
+                         resilience=resilience, slm=slm)
+        self._gate = gate if gate is not None else SpeculationGate.load()
+
+    @property
+    def gate(self) -> SpeculationGate:
+        """The capability gate this executor consults per plan."""
+        return self._gate
+
+    def execute(self, plan: FederatedPlan) -> Answer:
+        """Run *plan* speculatively when the gate clears it."""
+        arms = extract_arms(plan)
+        decision = self._gate.clearance(plan, arms)
+        if not decision.speculative:
+            incr("speculation.sequential")
+            return super().execute(plan)
+        incr("speculation.plans")
+        return self._execute_speculative(plan, decision)
+
+    def explain_speculation(self, plan: FederatedPlan) -> List[str]:
+        """Human-readable gate clearance for ``--explain-plan``."""
+        arms = extract_arms(plan)
+        decision = self._gate.clearance(plan, arms)
+        if decision.speculative:
+            mode = "race" if decision.raced else "parallel arms"
+            lines = ["speculation: on (%s, %d arms)"
+                     % (mode, len(arms))]
+        else:
+            lines = ["speculation: off — fail closed to sequential (%s)"
+                     % "; ".join(decision.reasons)]
+        for key, verdict in decision.pair_verdicts:
+            lines.append("  pair %-40s %s" % (key, verdict))
+        for arm in arms:
+            if decision.speculative:
+                tag = "races" if decision.raced else "speculates"
+            else:
+                tag = "sequential"
+            extra = "" if arm.when in (WHEN_ALWAYS, WHEN_ROUTE) \
+                else "  when=%s" % arm.when
+            lines.append("  arm %-18s %-44s %s%s" % (
+                arm.arm_id, "->".join(arm.kinds), tag, extra))
+        return lines
+
+    # ------------------------------------------------------------------
+    # The deterministic arm scheduler
+    # ------------------------------------------------------------------
+    def _execute_speculative(self, plan: FederatedPlan,
+                             decision: GateDecision) -> Answer:
+        """Interpret *plan* with raced arms and per-arm isolation.
+
+        Arms dispatch in fixed plan order; an arm whose cancellation
+        predicate (the sequential ``_due`` condition) is already false
+        at its slot is the race's loser and is cancelled without
+        dispatching. Join stages (``SelectBest``/``Ground``) run
+        exactly as in the sequential interpreter.
+        """
+        manager = self._resilience()
+        state = _RunState(question=plan.question,
+                          plan_key=plan.signature())
+        by_head = {arm.head_id: arm for arm in decision.arms}
+        pending = list(decision.arms)
+        started: Dict[str, int] = {}
+        cancelled: List[Tuple[str, int]] = []
+        failed_arms: List[str] = []
+        final_is_bare = False
+        answer: Optional[Answer] = None
+        with span("qa.speculate") as sp:
+            sp.set("arms", ",".join(a.arm_id for a in decision.arms))
+            sp.set("raced", decision.raced)
+            for stage in plan.stages:
+                if stage.kind in INLINE_KINDS:
+                    continue
+                arm = by_head.get(stage.id)
+                if arm is None:
+                    if not self._due(stage, state.candidates,
+                                     state.failed_engines):
+                        continue
+                    handler_name = STAGE_HANDLERS.get(stage.kind)
+                    if handler_name is None:
+                        continue
+                    getattr(self, handler_name)(manager, state)
+                    if state.final is not None:
+                        answer = state.final
+                        final_is_bare = True
+                        break
+                    continue
+                pending.remove(arm)
+                if not self._due(stage, state.candidates,
+                                 state.failed_engines):
+                    # The race already settled: an earlier arm's answer
+                    # cleared the confidence bar, so this arm loses and
+                    # is cancelled before spending any work.
+                    cancelled.append((arm.arm_id, 0))
+                    continue
+                cap = self._arm_cap(manager, len(pending) + 1)
+                with manager.arm(arm.arm_id, cap=cap) as arm_scope:
+                    getattr(self, STAGE_HANDLERS[stage.kind])(
+                        manager, state)
+                started[arm.arm_id] = arm_scope.spent_work
+                if arm_scope.fatal:
+                    failed_arms.append(arm.arm_id)
+                if arm_scope.reserve_cut:
+                    # The loser was cancelled mid-flight by its
+                    # work-budget charge (the rescue reserve).
+                    cancelled.append((arm.arm_id,
+                                      arm_scope.spent_work))
+            if answer is None:
+                answer = state.answer
+                if answer is None:
+                    if not state.candidates and not state.failed_engines:
+                        answer = Answer.abstain(
+                            ANSWER_SYSTEM_HYBRID, "no engine available"
+                        )
+                        final_is_bare = True
+                    else:
+                        answer = best_answer(state.candidates)
+            if not final_is_bare:
+                answer.metadata.setdefault("route", plan.route)
+                if state.failed_engines:
+                    answer.metadata["degraded"] = True
+                    winner = ("text"
+                              if answer.system == ANSWER_SYSTEM_RAG
+                              else "structured")
+                    if (not answer.abstained
+                            and winner not in state.failed_engines):
+                        answer.metadata["fallback_engine"] = winner
+            self._record_outcome(sp, answer, started, cancelled,
+                                 failed_arms)
+        return answer
+
+    def _arm_cap(self, manager, n_pending: int) -> Optional[int]:
+        """This arm's rescue reserve: its share of the remaining budget.
+
+        ``None`` (no ceiling) when the question is unbudgeted or this
+        is the last arm — the last arm may spend everything left,
+        exactly like sequential execution.
+        """
+        limit = manager.config.budget
+        if limit is None or n_pending <= 1:
+            return None
+        remaining = max(0, limit - manager.spent())
+        return remaining // n_pending
+
+    @staticmethod
+    def _record_outcome(sp, answer: Answer, started: Dict[str, int],
+                        cancelled: List[Tuple[str, int]],
+                        failed_arms: List[str]) -> None:
+        """Speculation win/loss/rescue metrics + span attributes."""
+        for _, spent in cancelled:
+            incr(METRIC_SPECULATION_CANCELLED)
+            observe(METRIC_SPECULATION_CANCELLED_WORK, spent)
+        raced_arms = len(started) + len(cancelled)
+        winner = "-"
+        if not answer.abstained and raced_arms >= 1:
+            incr(METRIC_SPECULATION_WIN)
+            winner = ("text" if answer.system == ANSWER_SYSTEM_RAG
+                      else "structured")
+        if failed_arms and not answer.abstained:
+            incr(METRIC_SPECULATION_RESCUED)
+        sp.set("winner", winner)
+        sp.set("cancelled", len(cancelled))
+        sp.set("failed_arms", ",".join(failed_arms) or "-")
+        sp.set("cancelled_work", sum(s for _, s in cancelled))

@@ -12,7 +12,8 @@ pipeline uses to return partial answers instead of raising. See
 """
 
 from .backend import (
-    QuestionScope, ResilienceConfig, ResilienceManager, ResilientBackend,
+    ArmScope, QuestionScope, ResilienceConfig, ResilienceManager,
+    ResilientBackend,
 )
 from .breaker import (
     STATE_CLOSED, STATE_HALF_OPEN, STATE_OPEN, BreakerPolicy,
@@ -32,7 +33,7 @@ from .policy import (
 )
 
 __all__ = [
-    "QuestionScope", "ResilienceConfig", "ResilienceManager",
+    "ArmScope", "QuestionScope", "ResilienceConfig", "ResilienceManager",
     "ResilientBackend",
     "STATE_CLOSED", "STATE_HALF_OPEN", "STATE_OPEN", "BreakerPolicy",
     "CircuitBreaker",

@@ -129,6 +129,58 @@ class QuestionScope:
         self.events.append(event)
 
 
+class ArmScope:
+    """Per-speculative-arm accounting: the arm isolation boundary.
+
+    Opened by the speculative executor around one plan arm's guarded
+    call (:meth:`ResilienceManager.arm`). It tracks the arm's work
+    spend and absorbed faults, and carries the arm's **rescue
+    reserve**: a work ceiling (``cap``) enforced *only once the arm has
+    witnessed a fault*. A clean arm is never throttled (so fault-free
+    speculative runs stay byte-identical to sequential execution); a
+    faulting arm's retry/backoff spiral is cut off at the reserve so it
+    cannot starve the sibling arms of the question budget.
+    """
+
+    def __init__(self, arm_id: str, meter: CostMeter,
+                 cap: Optional[int] = None):
+        self.arm_id = arm_id
+        self._meter = meter
+        self.start_work = work_now(meter)
+        self.cap = cap
+        self.events: List[DegradationEvent] = []
+        self.witnessed_fault = False
+        self.fatal = False
+        #: Set when the rescue reserve cut this arm off (a budget check
+        #: or a retry cancelled because backoff would overrun the cap).
+        self.reserve_cut = False
+
+    @property
+    def spent_work(self) -> int:
+        """Work units this arm has consumed since it opened."""
+        return work_now(self._meter) - self.start_work
+
+    def note(self, event: DegradationEvent) -> None:
+        """Record one fault witnessed while this arm was active."""
+        self.events.append(event)
+        self.witnessed_fault = True
+        if event.fatal:
+            self.fatal = True
+
+    def exhausted(self) -> bool:
+        """Whether the rescue reserve bounds further work on this arm.
+
+        True only when a cap is set, the arm has already witnessed a
+        fault, and its spend strictly exceeds the cap — the three
+        conditions that make cutting the arm off strictly
+        budget-preserving. The comparison is strict so an arm whose
+        spend sits exactly at the reserve (e.g. after its protected
+        first backoff) still gets its retry.
+        """
+        return (self.cap is not None and self.witnessed_fault
+                and self.spent_work > self.cap)
+
+
 class ResilienceManager:
     """Owns the guarded-call path for one pipeline.
 
@@ -148,6 +200,8 @@ class ResilienceManager:
         self._budget = WorkBudget(self.config.budget)
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._scope: Optional[QuestionScope] = None
+        self._arm: Optional[ArmScope] = None
+        self._arm_breakers: Dict[str, CircuitBreaker] = {}
 
     # ------------------------------------------------------------------
     # Scopes and accessors
@@ -168,6 +222,57 @@ class ResilienceManager:
             yield scope
         finally:
             self._scope = None
+
+    @contextmanager
+    def arm(self, arm_id: str,
+            cap: Optional[int] = None) -> Iterator[ArmScope]:
+        """Open the per-arm isolation scope for one speculative arm.
+
+        *cap* is the arm's rescue reserve in work units (see
+        :class:`ArmScope`); ``None`` leaves the arm bounded only by the
+        question budget — exactly the sequential executor's behavior.
+        A non-``None`` cap is clamped to at least the first retry's
+        backoff cost so a single transient fault can always be retried:
+        the reserve cuts runaway backoff *spirals*, never an arm's
+        first recovery attempt (which the sequential executor would
+        also make). Re-entrant like :meth:`question`: a nested call
+        joins the open arm instead of resetting its accounting.
+
+        On exit the arm's outcome feeds its **observational** per-arm
+        breaker (:meth:`arm_breaker_states`): the breaker records
+        success/failure per arm run but is never consulted to gate
+        calls — gating on per-arm history would change the guarded-call
+        sequence and break byte-identical replay with the sequential
+        executor.
+        """
+        if self._arm is not None:
+            yield self._arm
+            return
+        if cap is not None:
+            cap = max(cap, self.config.retry.backoff_cost(1))
+        scope = ArmScope(arm_id, self._meter, cap)
+        self._arm = scope
+        try:
+            yield scope
+        finally:
+            self._arm = None
+            breaker = self._arm_breakers.get(arm_id)
+            if breaker is None:
+                breaker = self._arm_breakers[arm_id] = CircuitBreaker(
+                    "arm:%s" % arm_id, self.config.breaker
+                )
+            now = work_now(self._meter)
+            if scope.fatal:
+                breaker.record_failure(now)
+            else:
+                breaker.record_success(now)
+
+    def arm_breaker_states(self) -> Dict[str, str]:
+        """arm id -> observational breaker state (for inspection)."""
+        return {
+            name: breaker.state
+            for name, breaker in sorted(self._arm_breakers.items())
+        }
 
     def breaker(self, backend: str) -> CircuitBreaker:
         """The breaker for *backend*, created on first use."""
@@ -194,6 +299,8 @@ class ResilienceManager:
     def _note(self, event: DegradationEvent) -> None:
         if self._scope is not None:
             self._scope.note(event)
+        if self._arm is not None:
+            self._arm.note(event)
         incr("resilience.fault.%s" % event.kind)
 
     # ------------------------------------------------------------------
@@ -201,16 +308,25 @@ class ResilienceManager:
     # ------------------------------------------------------------------
     def _check_budget(self, backend: str, op: str) -> None:
         scope = self._scope
-        if scope is None or scope.budget.limit is None:
-            return
-        spent = work_now(self._meter) - scope.start_work
-        if scope.budget.exceeded(spent):
-            incr("resilience.budget.exceeded")
+        if scope is not None and scope.budget.limit is not None:
+            spent = work_now(self._meter) - scope.start_work
+            if scope.budget.exceeded(spent):
+                incr("resilience.budget.exceeded")
+                raise BudgetExceeded(
+                    "question work budget exhausted before %s.%s "
+                    "(spent %d of %d units)"
+                    % (backend, op, spent, scope.budget.limit),
+                    spent=spent, limit=scope.budget.limit,
+                )
+        arm = self._arm
+        if arm is not None and arm.exhausted():
+            arm.reserve_cut = True
+            incr("resilience.arm.budget.exceeded")
             raise BudgetExceeded(
-                "question work budget exhausted before %s.%s "
-                "(spent %d of %d units)"
-                % (backend, op, spent, scope.budget.limit),
-                spent=spent, limit=scope.budget.limit,
+                "speculative arm %r rescue reserve exhausted before "
+                "%s.%s (arm spent %d of %d units)"
+                % (arm.arm_id, backend, op, arm.spent_work, arm.cap),
+                spent=arm.spent_work, limit=arm.cap,
             )
 
     def invoke(self, backend: str, op: str,
@@ -293,6 +409,15 @@ class ResilienceManager:
                 if attempt_no >= policy.max_attempts:
                     break
                 cost = policy.backoff_cost(attempt_no)
+                arm = self._arm
+                if (arm is not None and arm.cap is not None
+                        and arm.spent_work + cost > arm.cap):
+                    # Charging this backoff would overrun the arm's
+                    # rescue reserve: cancel the remaining retries so
+                    # the sibling arms keep the question budget.
+                    arm.reserve_cut = True
+                    incr("resilience.arm.retry.cancelled")
+                    break
                 self._meter.charge(BACKOFF_WORK, cost)
                 incr("resilience.retries")
                 if self._scope is not None:

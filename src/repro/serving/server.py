@@ -201,4 +201,28 @@ class QueryServer:
             "cache": self._tiers.stats(),
             "scheduler": self._scheduler.stats(),
             "admission": self._admission.stats(),
+            "speculation": self._speculation_stats(),
+        }
+
+    @staticmethod
+    def _speculation_stats() -> Dict[str, int]:
+        """Speculative-execution counters from the process registry.
+
+        Process-wide, not per-server: the speculation metrics live in
+        :data:`repro.obs.REGISTRY` because arm scheduling happens below
+        the serving layer, inside the plan executor.
+        """
+        from ..obs import (
+            METRIC_SPECULATION_CANCELLED, METRIC_SPECULATION_RESCUED,
+            METRIC_SPECULATION_WIN, REGISTRY,
+        )
+
+        return {
+            "plans": REGISTRY.counter("speculation.plans").value,
+            "sequential": REGISTRY.counter("speculation.sequential").value,
+            "wins": REGISTRY.counter(METRIC_SPECULATION_WIN).value,
+            "cancelled": REGISTRY.counter(
+                METRIC_SPECULATION_CANCELLED).value,
+            "rescued": REGISTRY.counter(
+                METRIC_SPECULATION_RESCUED).value,
         }

@@ -405,3 +405,40 @@ class TestAnalyzeCli:
                              "github"]) == 1
         out = capsys.readouterr().out
         assert "::error file=analysis/parallel_safety.json" in out
+
+
+class TestDiffTables:
+    """Drift reports name the drifted stage pair(s), not a digest."""
+
+    OLD = {
+        "pairs": {
+            "A|B": {"verdict": "safe-parallel"},
+            "A|C": {"verdict": "safe-parallel"},
+            "B|C": {"verdict": "conflicts",
+                    "conflicts": [{"resource": "x"}]},
+        },
+        "stages": {"A": {"effects": ["store-read:db"]}},
+    }
+
+    def test_verdict_drift_named(self):
+        new = json.loads(json.dumps(self.OLD))
+        new["pairs"]["A|B"]["verdict"] = "conflicts"
+        drift = diff_tables(self.OLD, new)
+        assert "A|B: safe-parallel -> conflicts" in drift
+
+    def test_detail_only_drift_names_pair_and_kept_verdict(self):
+        new = json.loads(json.dumps(self.OLD))
+        new["pairs"]["B|C"]["conflicts"] = [{"resource": "y"}]
+        drift = diff_tables(self.OLD, new)
+        assert any("B|C" in line and "verdict conflicts unchanged" in line
+                   for line in drift)
+
+    def test_stage_effect_drift_named(self):
+        new = json.loads(json.dumps(self.OLD))
+        new["stages"]["A"] = {"effects": ["store-read:db", "rng-write:r"]}
+        drift = diff_tables(self.OLD, new)
+        assert "stage A: effect signature changed" in drift
+
+    def test_identical_tables_report_nothing(self):
+        assert diff_tables(self.OLD,
+                           json.loads(json.dumps(self.OLD))) == []

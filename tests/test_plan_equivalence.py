@@ -173,6 +173,43 @@ class ChaosEquivalenceTest(unittest.TestCase):
         self._check("healthcare")
 
 
+class SpeculativeEquivalenceTest(unittest.TestCase):
+    """Speculative executor == sequential PlanExecutor, byte for byte.
+
+    The speculative scheduler must replay the exact guarded-call
+    sequence of the sequential executor whenever the question budget is
+    not binding — uncached and under the chaos smoke's fault settings,
+    on both domains. The gate is asserted open so the test cannot pass
+    vacuously by failing closed to sequential execution.
+    """
+
+    def _check(self, domain, chaos):
+        from repro.qa import SpeculativeExecutor
+
+        seq_pipe, questions = _build(domain, chaos=chaos)
+        seq_pipe.set_speculative(False)
+        spec_pipe, _ = _build(domain, chaos=chaos)
+        for question in questions:
+            want = _fingerprint(seq_pipe.answer(question))
+            got = _fingerprint(spec_pipe.answer(question))
+            self.assertEqual(got, want, question)
+        executor = spec_pipe._executor  # noqa: SLF001
+        self.assertIsInstance(executor, SpeculativeExecutor)
+        self.assertTrue(executor.gate.enabled, executor.gate.reason)
+
+    def test_ecommerce_uncached(self):
+        self._check("ecommerce", chaos=False)
+
+    def test_healthcare_uncached(self):
+        self._check("healthcare", chaos=False)
+
+    def test_ecommerce_chaos(self):
+        self._check("ecommerce", chaos=True)
+
+    def test_healthcare_chaos(self):
+        self._check("healthcare", chaos=True)
+
+
 class WarmCacheEquivalenceTest(unittest.TestCase):
     """Serving with plan-signature cache keys: warm answers equal
     uncached answers, and the plan tier actually hits."""
