@@ -89,16 +89,22 @@ def _lake_parts(lake) -> Tuple[List[str], List[Tuple[str, str]],
     raise TypeError("unsupported lake type %r" % type(lake).__name__)
 
 
-def build_hybrid_system(lake, seed: int = 0) -> Tuple[QASystem,
-                                                      HybridQAPipeline]:
-    """The paper's full pipeline over *lake*."""
+def build_hybrid_system(lake, seed: int = 0,
+                        n_shards: int = 1) -> Tuple[QASystem,
+                                                    HybridQAPipeline]:
+    """The paper's full pipeline over *lake*.
+
+    With ``n_shards > 1`` the stores are partitioned by entity key and
+    queries scatter-gather over per-shard resilience guards; answers are
+    byte-identical to the unsharded build.
+    """
     meter = CostMeter()
     sql, texts, docs, names, entity_table, generated = _lake_parts(lake)
     gazetteer = Gazetteer()
     gazetteer.add("VALUE", names)
     slm = SmallLanguageModel(SLMConfig(seed=seed), gazetteer=gazetteer,
                              meter=meter)
-    pipeline = HybridQAPipeline(slm, meter=meter)
+    pipeline = HybridQAPipeline(slm, meter=meter, n_shards=n_shards)
     pipeline.add_sql(sql)
     pipeline.declare_entity_columns(entity_table, ["name"])
     pipeline.add_texts(texts)

@@ -60,14 +60,17 @@ def _tracing(args, pipeline):
 
 
 def _build(domain: str, seed: int, faults: Optional[str] = None,
-           speculation: bool = True):
+           speculation: bool = True, n_shards: int = 1):
     if domain == "ecommerce":
         lake = generate_ecommerce_lake(LakeSpec(seed=seed))
     elif domain == "healthcare":
         lake = generate_healthcare_lake(HealthSpec(seed=seed))
     else:
         raise SystemExit("unknown domain %r" % domain)
-    system, pipeline = build_hybrid_system(lake, seed=seed)
+    if n_shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    system, pipeline = build_hybrid_system(lake, seed=seed,
+                                           n_shards=n_shards)
     if not speculation:
         pipeline.set_speculative(False)
     if faults:
@@ -80,7 +83,8 @@ def _build(domain: str, seed: int, faults: Optional[str] = None,
 def cmd_demo(args) -> int:
     """Answer a benchmark sample with routing details."""
     lake, pipeline = _build(args.domain, args.seed, args.faults,
-                            speculation=not args.no_speculation)
+                            speculation=not args.no_speculation,
+                            n_shards=args.shards)
     pairs = lake.qa_pairs(per_kind=2)
     correct = 0
     with _tracing(args, pipeline):
@@ -98,7 +102,8 @@ def cmd_demo(args) -> int:
 def cmd_ask(args) -> int:
     """Answer one user question."""
     _, pipeline = _build(args.domain, args.seed, args.faults,
-                            speculation=not args.no_speculation)
+                            speculation=not args.no_speculation,
+                            n_shards=args.shards)
     if args.explain_plan:
         print(pipeline.explain_plan(args.question))
         return 0
@@ -119,7 +124,8 @@ def cmd_ask(args) -> int:
 def cmd_stats(args) -> int:
     """Print lake and index statistics."""
     lake, pipeline = _build(args.domain, args.seed, args.faults,
-                            speculation=not args.no_speculation)
+                            speculation=not args.no_speculation,
+                            n_shards=args.shards)
     print("tables: %s" % ", ".join(pipeline.db.table_names()))
     for name in pipeline.db.table_names():
         count = pipeline.db.execute(
@@ -145,7 +151,8 @@ def cmd_session(args) -> int:
     from .qa import QASession
 
     _, pipeline = _build(args.domain, args.seed, args.faults,
-                            speculation=not args.no_speculation)
+                            speculation=not args.no_speculation,
+                            n_shards=args.shards)
     session = QASession(pipeline)
     stream = args._stdin if args._stdin is not None else sys.stdin
     with _tracing(args, pipeline):
@@ -164,7 +171,8 @@ def cmd_session(args) -> int:
 def cmd_sql(args) -> int:
     """Run raw SQL against the lake database."""
     _, pipeline = _build(args.domain, args.seed, args.faults,
-                            speculation=not args.no_speculation)
+                            speculation=not args.no_speculation,
+                            n_shards=args.shards)
     if args.explain_lint:
         print(pipeline.db.explain(args.query))
         diagnostics = pipeline.db.analyze(args.query)
@@ -193,7 +201,8 @@ def cmd_serve(args) -> int:
         raise SystemExit(str(exc)) from exc
     requests = load_workload(args.workload)
     _, pipeline = _build(args.domain, args.seed, args.faults,
-                            speculation=not args.no_speculation)
+                            speculation=not args.no_speculation,
+                            n_shards=args.shards)
     admission = None
     if args.session_budget or args.max_queue_depth:
         admission = AdmissionPolicy(
@@ -243,6 +252,8 @@ def cmd_load(args) -> int:
         forwarded += ["--out", args.out]
     if args.emit_workload:
         forwarded += ["--emit-workload", args.emit_workload]
+    if args.shards is not None:
+        forwarded += ["--shards", str(args.shards)]
     return loadgen_cli.main(forwarded)
 
 
@@ -283,6 +294,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="force the sequential plan executor "
                             "(speculative arm scheduling is on by "
                             "default; see docs/resilience.md)")
+        p.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="partition the stores over N entity-keyed "
+                            "shards with scatter-gather federation "
+                            "(answers stay byte-identical; see "
+                            "docs/architecture.md, 'Sharding')")
 
     demo = sub.add_parser("demo", help=cmd_demo.__doc__)
     common(demo)
@@ -344,6 +360,9 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="FILE.jsonl",
                       help="also save the generated request stream as "
                            "a serving JSONL workload")
+    load.add_argument("--shards", type=int, default=None, metavar="N",
+                      help="override the spec's shard count "
+                           "(entity-keyed store partitioning)")
     load.set_defaults(func=cmd_load)
 
     analyze = sub.add_parser("analyze", help=cmd_analyze.__doc__)

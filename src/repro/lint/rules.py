@@ -369,13 +369,17 @@ _ALLOWED_DEPS: Dict[str, Set[str]] = {
     "retrieval": _INFRA | {"text", "slm", "graphindex"},
     "semql": _INFRA | {"text", "slm", "storage", "extraction"},
     "resilience": _INFRA,
+    # sharding partitions the stores and guards scatter-gather calls:
+    # it builds on storage facades and per-shard resilience state, and
+    # only the composition layers above (qa, serving) may import it.
+    "sharding": _INFRA | {"storage", "resilience"},
     "qa": _INFRA | {
         "text", "slm", "storage", "extraction", "graphindex",
-        "entropy", "retrieval", "resilience", "semql",
+        "entropy", "retrieval", "resilience", "semql", "sharding",
     },
     "serving": _INFRA | {
         "caching", "text", "slm", "storage", "extraction", "graphindex",
-        "entropy", "retrieval", "resilience", "semql", "qa",
+        "entropy", "retrieval", "resilience", "semql", "qa", "sharding",
     },
     # loadgen is the verification plane over serving: it drives the
     # whole stack (including bench lake construction) but nothing

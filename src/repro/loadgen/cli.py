@@ -12,6 +12,7 @@ serving JSONL format, replayable via ``repro serve --workload``.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -53,6 +54,9 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="FILE.jsonl",
                         help="also save the generated request stream "
                              "as a serving JSONL workload")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="override the spec's shard count "
+                             "(entity-keyed store partitioning)")
     return parser
 
 
@@ -85,6 +89,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         spec = LoadSpec.load(args.spec)
+        if args.shards is not None:
+            if args.shards < 1:
+                raise LoadGenError("--shards must be >= 1, got %d"
+                                   % args.shards)
+            spec = dataclasses.replace(spec, shards=args.shards)
         slo = SLOSpec.load(args.slo) if args.slo else None
         if args.emit_workload:
             _emit_workload(spec, args.emit_workload)

@@ -77,7 +77,8 @@ def build_server(spec: LoadSpec) -> Tuple[Any, QueryServer]:
         lake = generate_ecommerce_lake(LakeSpec(seed=spec.seed))
     else:
         lake = generate_healthcare_lake(HealthSpec(seed=spec.seed))
-    _system, pipeline = build_hybrid_system(lake, seed=spec.seed)
+    _system, pipeline = build_hybrid_system(lake, seed=spec.seed,
+                                            n_shards=spec.shards)
     if not spec.speculation:
         pipeline.set_speculative(False)
     if spec.faults is not None:

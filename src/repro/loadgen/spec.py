@@ -30,7 +30,8 @@ Spec format (every key except ``name``/``domain``/``asks`` optional)::
       "session_budget": null,
       "max_queue_depth": null,
       "faults": null,              // resilience config document
-      "speculation": true          // false = sequential plan executor
+      "speculation": true,         // false = sequential plan executor
+      "shards": 1                  // entity-keyed store shards (>= 1)
     }
 
 Unknown keys and out-of-range values raise
@@ -54,7 +55,7 @@ SPEC_KEYS = (
     "name", "domain", "seed", "asks", "sessions", "questions_per_kind",
     "skew", "burst", "arrival", "think_work", "write_every", "writes",
     "warmup_passes", "cache_policy", "batch_size", "session_budget",
-    "max_queue_depth", "faults", "speculation",
+    "max_queue_depth", "faults", "speculation", "shards",
 )
 
 _DOMAINS = ("ecommerce", "healthcare")
@@ -97,6 +98,7 @@ class LoadSpec:
     max_queue_depth: Optional[int] = None
     faults: Optional[Dict[str, Any]] = None
     speculation: bool = True
+    shards: int = 1
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "LoadSpec":
@@ -200,6 +202,7 @@ class LoadSpec:
             max_queue_depth=depth,
             faults=dict(faults) if faults is not None else None,
             speculation=speculation,
+            shards=_require_int(data, "shards", 1, 1),
         )
 
     @classmethod
@@ -239,6 +242,7 @@ class LoadSpec:
             "session_budget": self.session_budget,
             "max_queue_depth": self.max_queue_depth,
             "faults": dict(self.faults) if self.faults else None,
+            "shards": self.shards,
         }
 
 

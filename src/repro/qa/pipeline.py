@@ -16,6 +16,7 @@ End-to-end orchestration over one heterogeneous data lake:
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -36,6 +37,9 @@ from ..resilience import (
 )
 from ..retrieval.topology import TopologyConfig, TopologyRetriever
 from ..semql.catalog import SchemaCatalog
+from ..sharding import (
+    ShardSet, ShardedDocumentStore, ShardedTable, ShardedTextStore,
+)
 from ..slm.model import SmallLanguageModel
 from ..storage.document.store import DocumentStore
 from ..storage.relational.database import Database
@@ -73,13 +77,31 @@ class HybridQAPipeline:
                  resolve_entity_aliases: bool = False,
                  resilience: Optional[ResilienceConfig] = None,
                  speculative: bool = True,
-                 capability_table: Optional[Any] = None):
+                 capability_table: Optional[Any] = None,
+                 n_shards: int = 1,
+                 shard_seed: int = 0):
         self._slm = slm
         self._meter = meter if meter is not None else GLOBAL_METER
         self._resilience = ResilienceManager(self._meter, resilience)
-        self.db = Database(meter=self._meter)
-        self.text_store = TextStore(meter=self._meter)
-        self.doc_store = DocumentStore(meter=self._meter)
+        self._shard_set: Optional[ShardSet] = None
+        if n_shards > 1:
+            # Provider, not a bound reference: enable_resilience() swaps
+            # self._resilience and the shard guards must follow it.
+            shard_set = ShardSet(n_shards, seed=shard_seed,
+                                 manager=lambda: self._resilience)
+            self._shard_set = shard_set
+            self.db = Database(
+                meter=self._meter,
+                table_factory=lambda schema: ShardedTable(
+                    schema, shard_set, meter=self._meter,
+                ),
+            )
+            self.text_store = ShardedTextStore(shard_set, meter=self._meter)
+            self.doc_store = ShardedDocumentStore(shard_set, meter=self._meter)
+        else:
+            self.db = Database(meter=self._meter)
+            self.text_store = TextStore(meter=self._meter)
+            self.doc_store = DocumentStore(meter=self._meter)
         self._builder_config = builder_config
         self._topology_config = topology_config
         self._table_generator = TableGenerator(
@@ -158,6 +180,12 @@ class HybridQAPipeline:
         for column in columns:
             self.db.table(table).schema.index_of(column)
         self._table_entity_columns[table] = list(columns)
+        if self._shard_set is not None and columns:
+            target = self.db.table(table)
+            if isinstance(target, ShardedTable):
+                # The first declared entity column is the shard key:
+                # equality predicates on it prune to the owning shard.
+                target.set_shard_key(columns[0])
         names = set()
         for column in columns:
             for value in self.db.table(table).column_values(column):
@@ -222,6 +250,11 @@ class HybridQAPipeline:
         except ExtractionError:
             return 0
         self._generated_tables.append(name)
+        if self._shard_set is not None:
+            target = self.db.table(name)
+            if (isinstance(target, ShardedTable)
+                    and target.schema.has_column("subject")):
+                target.set_shard_key("subject")
         return len(generated.table)
 
     # ------------------------------------------------------------------
@@ -370,6 +403,16 @@ class HybridQAPipeline:
         """The resilience manager guarding this pipeline's backends."""
         return self._resilience
 
+    @property
+    def shard_set(self) -> Optional[ShardSet]:
+        """The shared shard routing/guard state (None when unsharded)."""
+        return self._shard_set
+
+    @property
+    def n_shards(self) -> int:
+        """How many shards the stores partition over (1 = unsharded)."""
+        return 1 if self._shard_set is None else self._shard_set.n_shards
+
     def set_speculative(self, enabled: bool) -> None:
         """Switch between the speculative and sequential executors.
 
@@ -473,7 +516,21 @@ class HybridQAPipeline:
                      include_entropy: bool = False) -> FederatedPlan:
         """Compile *question* into its federated plan without executing."""
         self._check_built()
-        return self._executor.compile(question, include_entropy)
+        plan = self._executor.compile(question, include_entropy)
+        return self._annotate_shards(plan)
+
+    def _annotate_shards(self, plan: FederatedPlan) -> FederatedPlan:
+        """Attach the shard fan-out annotation to a compiled plan.
+
+        Metadata is signature-excluded, so sharded and unsharded plans
+        keep identical signatures (and plan-cache keys)."""
+        if self._shard_set is None:
+            return plan
+        return dataclasses.replace(
+            plan,
+            metadata=plan.metadata
+            + (("shards", str(self._shard_set.n_shards)),),
+        )
 
     def explain_plan(self, question: str) -> str:
         """Render the compiled plan DAG(s) for *question*.
@@ -503,7 +560,33 @@ class HybridQAPipeline:
             "  " + line
             for line in self._executor.explain_speculation(plan)
         )
+        lines.extend("  " + line for line in self._explain_sharding())
         return "\n".join(lines)
+
+    def _explain_sharding(self) -> List[str]:
+        """Shard layout + scatter/prune counters for explain output."""
+        if self._shard_set is None:
+            return []
+        shard_set = self._shard_set
+        lines = [
+            "sharding: %d shards (seed %d)"
+            % (shard_set.n_shards, shard_set.router.seed)
+        ]
+        for name in self.db.table_names():
+            table = self.db.table(name)
+            if isinstance(table, ShardedTable):
+                lines.append(
+                    "shard-key %s: %s (rows per shard: %s)"
+                    % (name, table.shard_key,
+                       "/".join(str(n) for n in table.shard_sizes()))
+                )
+        stats = shard_set.stats.snapshot()
+        lines.append(
+            "shard dispatch: pruned=%d fanout=%d shard_calls=%d"
+            % (stats["pruned_calls"], stats["fanout_calls"],
+               stats["shard_calls"])
+        )
+        return lines
 
     @staticmethod
     def _attach_degradation(answer: Answer, scope: QuestionScope) -> None:

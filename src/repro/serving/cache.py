@@ -32,6 +32,7 @@ from ..caching import CostAwareLRU
 from ..metering import CostMeter
 from ..obs import incr
 from ..resilience import work_now
+from ..sharding import ShardStamp
 
 KIND_RELATIONAL = "relational"
 KIND_DOCUMENT = "document"
@@ -57,6 +58,15 @@ class Generations:
 
     def __init__(self) -> None:
         self._counts: Dict[str, int] = {kind: 0 for kind in STORE_KINDS}
+
+    def register(self, kind: str) -> None:
+        """Track an additional kind (e.g. a per-shard counter).
+
+        Registered kinds participate in :meth:`bump_all` and appear in
+        snapshots; registering an existing kind is a no-op, so counters
+        survive re-wiring.
+        """
+        self._counts.setdefault(kind, 0)
 
     def bump(self, kind: str) -> None:
         """Record one mutation of *kind* (invalidates dependent tiers)."""
@@ -134,17 +144,29 @@ class AnswerCache:
     ``answer.metadata`` can never poison the cached object.
     """
 
-    def __init__(self, generations: Generations, capacity: int = 65536):
+    def __init__(self, generations: Generations, capacity: int = 65536,
+                 sharded: bool = False):
         self._generations = generations
         self._lru = CostAwareLRU(capacity=capacity, name="serving.answers")
+        self._sharded = sharded
 
     @property
     def lru(self) -> CostAwareLRU:
         """The backing LRU (stats and tests)."""
         return self._lru
 
-    def stamp(self) -> Tuple[int, ...]:
-        """The current answer-tier generation stamp."""
+    def stamp(self) -> Any:
+        """The current answer-tier generation stamp.
+
+        Unsharded: a plain tuple over the fixed kind order. Sharded: a
+        :class:`~repro.sharding.ShardStamp` over every registered kind
+        (per-shard counters included) — entries carry a *restricted*
+        stamp naming only the shards they read, and the intersection-
+        keyed comparison lets a single-shard write invalidate only the
+        entries that touched that shard.
+        """
+        if self._sharded:
+            return ShardStamp(self._generations.snapshot())
         return self._generations.stamp(ANSWER_DEPS)
 
     def get(self, question: str) -> Optional[Any]:
@@ -157,7 +179,7 @@ class AnswerCache:
         return copy.deepcopy(answer)
 
     def put(self, question: str, answer: Any, cost: int,
-            tag: Tuple[int, ...]) -> None:
+            tag: Any) -> None:
         """Store *answer* under the stamp its computation started from.
 
         Callers pass the stamp captured *before* answering: if a write
@@ -233,11 +255,12 @@ class MultiTierCache:
     """All enabled tiers plus their shared generation counters."""
 
     def __init__(self, policy: CachePolicy, generations: Generations,
-                 meter: CostMeter):
+                 meter: CostMeter, sharded: bool = False):
         self.policy = policy
         self.generations = generations
         self.answers: Optional[AnswerCache] = (
-            AnswerCache(generations, capacity=policy.answer_capacity)
+            AnswerCache(generations, capacity=policy.answer_capacity,
+                        sharded=sharded)
             if policy.answer else None
         )
         self.plans: Optional[PlanCache] = (

@@ -33,13 +33,18 @@ from ..qa.pipeline import HybridQAPipeline
 from ..resilience import work_now
 from .admission import AdmissionController, AdmissionPolicy
 from .cache import (
-    KIND_DOCUMENT, KIND_RELATIONAL, KIND_TEXT, CachePolicy, Generations,
-    MultiTierCache,
+    KIND_DOCUMENT, KIND_GRAPH, KIND_RELATIONAL, KIND_TEXT, CachePolicy,
+    Generations, MultiTierCache,
 )
 from .retrieval import CachingRetriever
 from .scheduler import (
     BatchScheduler, ServeRequest, ServeResult, normalize_question,
 )
+
+
+def _shard_kind(index: int) -> str:
+    """The generation-counter kind for one relational shard."""
+    return "%s:shard:%d" % (KIND_RELATIONAL, index)
 
 
 class QueryServer:
@@ -53,8 +58,10 @@ class QueryServer:
         self._meter: CostMeter = pipeline.meter
         self._policy = policy or CachePolicy()
         self._generations = Generations()
+        self._shard_set = getattr(pipeline, "shard_set", None)
         self._tiers = MultiTierCache(self._policy, self._generations,
-                                     self._meter)
+                                     self._meter,
+                                     sharded=self._shard_set is not None)
         self._admission = AdmissionController(admission)
         self._scheduler = BatchScheduler(
             self._answer, self._apply_write, self._meter,
@@ -70,6 +77,15 @@ class QueryServer:
             lambda op: self._generations.bump(KIND_TEXT)
         )
         pipeline.add_rebuild_listener(self._generations.bump_all)
+        if self._shard_set is not None:
+            # Per-shard invalidation: relational writes bump the owning
+            # shard's counter; DDL / bulk / rollback ops (no per-row
+            # attribution) bump every shard. The coarse KIND_RELATIONAL
+            # bump above stays — the plan tier depends on it.
+            for index in range(self._shard_set.n_shards):
+                self._generations.register(_shard_kind(index))
+            self._shard_set.add_write_listener(self._on_shard_write)
+            pipeline.db.add_mutation_listener(self._on_relational_bulk)
         if self._tiers.plans is not None:
             pipeline.set_plan_cache(self._tiers.plans)
         if self._tiers.retrieval is not None:
@@ -108,6 +124,42 @@ class QueryServer:
         return len(injector.log) if injector is not None else 0
 
     # ------------------------------------------------------------------
+    # Shard-aware invalidation
+    # ------------------------------------------------------------------
+    def _on_shard_write(self, kind: str, shard: Optional[int]) -> None:
+        if kind != KIND_RELATIONAL or shard is None:
+            return
+        self._generations.bump(_shard_kind(shard))
+
+    def _on_relational_bulk(self, op: str) -> None:
+        if op in ("create_table", "drop_table", "rollback",
+                  "load_rows", "load_dicts"):
+            for index in range(self._shard_set.n_shards):
+                self._generations.bump(_shard_kind(index))
+
+    def _begin_touch(self) -> None:
+        if self._shard_set is not None:
+            self._shard_set.reset_touched()
+
+    def _entry_tag(self, stamp: Any) -> Any:
+        """The dependency-restricted tag a fresh answer is stored under.
+
+        Unsharded, the tag is the pre-compute stamp unchanged. Sharded,
+        it is the stamp restricted to the coarse non-relational kinds
+        plus exactly the relational shards the answer read — so a write
+        into any *other* shard leaves the entry valid.
+        """
+        if self._shard_set is None:
+            return stamp
+        kinds = [KIND_DOCUMENT, KIND_TEXT, KIND_GRAPH]
+        kinds.extend(sorted(
+            _shard_kind(index)
+            for kind, index in self._shard_set.touched()
+            if kind == KIND_RELATIONAL
+        ))
+        return stamp.restrict(kinds)
+
+    # ------------------------------------------------------------------
     # The answer path
     # ------------------------------------------------------------------
     def _answer(self, question: str) -> Answer:
@@ -119,13 +171,15 @@ class QueryServer:
                 return hit
         stamp = answers.stamp() if answers is not None else None
         faults_before = self._fault_count()
+        self._begin_touch()
         started = work_now(self._meter)
         answer = self._pipeline.answer(question)
         cost = work_now(self._meter) - started
         if answers is not None and self._cacheable(
             answer, faults_before, stamp
         ):
-            answers.put(question, answer, cost=cost, tag=stamp)
+            answers.put(question, answer, cost=cost,
+                        tag=self._entry_tag(stamp))
         return answer
 
     def _cacheable(self, answer: Answer, faults_before: int,
@@ -197,12 +251,17 @@ class QueryServer:
 
     def stats(self) -> Dict[str, Any]:
         """Cache, scheduler and admission statistics in one document."""
-        return {
+        out = {
             "cache": self._tiers.stats(),
             "scheduler": self._scheduler.stats(),
             "admission": self._admission.stats(),
             "speculation": self._speculation_stats(),
         }
+        if self._shard_set is not None:
+            sharding = dict(self._shard_set.describe())
+            sharding.update(self._shard_set.stats.snapshot())
+            out["sharding"] = sharding
+        return out
 
     @staticmethod
     def _speculation_stats() -> Dict[str, int]:

@@ -1,0 +1,58 @@
+"""Deterministic entity-key shard routing.
+
+The router maps an entity-key value to the shard that owns every row,
+document or chunk filed under that value. Assignment is a seeded,
+byte-stable hash of the value's canonical form — two processes with the
+same seed and shard count always agree, so the shard map can be
+committed alongside the catalog and replayed in CI.
+
+String keys are canonicalized case-insensitively: synthesized SQL
+compares entity names through ``LOWER(column) = 'literal'``, and the
+router must send the lowered literal to the same shard as the raw
+stored value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict
+
+from ..errors import ReproError
+
+
+class ShardRouter:
+    """Seeded, byte-stable value → shard assignment."""
+
+    def __init__(self, n_shards: int, seed: int = 0):
+        if n_shards < 1:
+            raise ReproError("shard count must be >= 1, got %d" % n_shards)
+        self.n_shards = n_shards
+        self.seed = seed
+        self._prefix = ("shard-route:%d:" % seed).encode("utf-8")
+
+    @staticmethod
+    def canonical(value: Any) -> bytes:
+        """The byte-stable canonical form of one key value.
+
+        Strings fold to lowercase (entity names are matched
+        case-insensitively across the repo); every other scalar is
+        rendered with its type tag so ``1`` and ``"1"`` stay distinct.
+        """
+        if isinstance(value, str):
+            return ("s:" + value.lower()).encode("utf-8")
+        if isinstance(value, bool):
+            return b"b:1" if value else b"b:0"
+        if isinstance(value, float) and value.is_integer():
+            # 2 and 2.0 compare equal in SQL; route them together.
+            return ("i:%d" % int(value)).encode("utf-8")
+        return ("%s:%r" % (type(value).__name__[0], value)).encode("utf-8")
+
+    def shard_of(self, value: Any) -> int:
+        """The shard index owning key *value* (stable across runs)."""
+        digest = hashlib.sha256(self._prefix + self.canonical(value))
+        return int.from_bytes(digest.digest()[:8], "big") % self.n_shards
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready routing parameters (committed beside the catalog)."""
+        return {"n_shards": self.n_shards, "seed": self.seed,
+                "algorithm": "sha256(seed || canonical(value)) mod n"}

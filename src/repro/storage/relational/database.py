@@ -11,7 +11,7 @@ Ties catalog, parser, planner and executor together:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ...errors import ExecutionError, PlanError, SchemaError, StorageError
 from ...metering import CostMeter, GLOBAL_METER, ROWS_SCANNED
@@ -41,9 +41,14 @@ class Database:
     """
 
     def __init__(self, meter: Optional[CostMeter] = None,
-                 strict_plancheck: bool = False):
+                 strict_plancheck: bool = False,
+                 table_factory: Optional[Callable[[TableSchema], Table]] = None):
         self._meter = meter if meter is not None else GLOBAL_METER
         self._strict_plancheck = strict_plancheck
+        # Pluggable table construction: partitioned deployments inject a
+        # factory returning sharded facades; the facade must be a Table
+        # subclass sharing this database's meter.
+        self._table_factory = table_factory
         self._tables: Dict[str, Table] = {}
         self._views: Dict[str, SelectStatement] = {}
         self._snapshot: Optional[tuple] = None  # open transaction
@@ -78,7 +83,10 @@ class Database:
         """Create a table from a schema object."""
         if schema.name in self._tables or schema.name in self._views:
             raise StorageError("table %r already exists" % schema.name)
-        table = Table(schema, meter=self._meter)
+        if self._table_factory is not None:
+            table = self._table_factory(schema)
+        else:
+            table = Table(schema, meter=self._meter)
         self._tables[schema.name] = table
         self._notify_mutation("create_table")
         return table

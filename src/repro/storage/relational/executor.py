@@ -10,12 +10,15 @@ reflects real work.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ...errors import ExecutionError, PlanError
 from ...obs import span
 from ..types import sort_key
-from .expressions import ColumnRef, Expression, predicate_matches
+from .expressions import (
+    BinaryOp, ColumnRef, Expression, FunctionCall, Literal,
+    predicate_matches,
+)
 from .planner import (
     AggregateNode, DistinctNode, FilterNode, HashJoinNode, IndexScanNode,
     LimitNode, NestedLoopJoinNode, PlanNode, ProjectNode, ScanNode, SortNode,
@@ -192,15 +195,40 @@ class Executor:
             for row in table.lookup(node.column, node.value):
                 yield self._row_dict(node.alias, cols, row)
         elif isinstance(node, FilterNode):
-            for row in self._iter(node.child):
-                if predicate_matches(node.predicate, row):
-                    yield row
+            if isinstance(node.child, ScanNode):
+                yield from self._filtered_scan(node)
+            else:
+                for row in self._iter(node.child):
+                    if predicate_matches(node.predicate, row):
+                        yield row
         elif isinstance(node, NestedLoopJoinNode):
             yield from self._nested_loop(node)
         elif isinstance(node, HashJoinNode):
             yield from self._hash_join(node)
         else:
             raise PlanError("cannot iterate node %r" % node.label())
+
+    def _filtered_scan(self, node: FilterNode):
+        """Filter fused into its base scan, pushing the predicate down.
+
+        Semantically identical to scan-then-filter — same rows, order
+        and ``rows_scanned`` charges — but the table sees the filter's
+        equality conjuncts, so a partitioned table can prune to the
+        shard owning a bound entity key.
+        """
+        child = node.child
+        table = self._table(child.table)
+        cols = table.schema.column_names()
+        alias = child.alias
+
+        def test(raw: Tuple[Any, ...]) -> bool:
+            return bool(predicate_matches(
+                node.predicate, self._row_dict(alias, cols, raw)
+            ))
+
+        equals = _equality_conjuncts(node.predicate, alias, cols)
+        for _, raw in table.scan_matching(test, equals=equals):
+            yield self._row_dict(alias, cols, raw)
 
     def _nested_loop(self, node: NestedLoopJoinNode):
         right_rows = list(self._iter(node.right))
@@ -388,6 +416,54 @@ class Executor:
 
         rewritten = _rewrite_having(having, ctx)
         return predicate_matches(rewritten, ctx)
+
+
+def _conjuncts(expr: Expression, out: List[Expression]) -> None:
+    if isinstance(expr, BinaryOp) and expr.op.upper() == "AND":
+        _conjuncts(expr.left, out)
+        _conjuncts(expr.right, out)
+    else:
+        out.append(expr)
+
+
+def _equality_conjuncts(
+    predicate: Expression, alias: str, cols: List[str],
+) -> Optional[List[Tuple[str, Any]]]:
+    """(column, value) pairs every row matching *predicate* satisfies.
+
+    Recognizes top-level AND conjuncts of the shapes ``col = literal``
+    and ``LOWER(col) = literal`` (the shape synthesized SQL emits for
+    entity matches; shard routing canonicalizes strings to lowercase,
+    so the lowered literal routes with the raw stored value). Anything
+    else contributes no hint.
+    """
+    parts: List[Expression] = []
+    _conjuncts(predicate, parts)
+    hints: List[Tuple[str, Any]] = []
+    for part in parts:
+        if not (isinstance(part, BinaryOp) and part.op == "="):
+            continue
+        for lhs, rhs in ((part.left, part.right), (part.right, part.left)):
+            if not isinstance(rhs, Literal):
+                continue
+            column = _hinted_column(lhs, alias, cols)
+            if column is not None:
+                hints.append((column, rhs.value))
+                break
+    return hints or None
+
+
+def _hinted_column(expr: Expression, alias: str,
+                   cols: List[str]) -> Optional[str]:
+    if (isinstance(expr, FunctionCall) and expr.name.lower() == "lower"
+            and len(expr.args) == 1):
+        expr = expr.args[0]
+    if not isinstance(expr, ColumnRef):
+        return None
+    if expr.table and expr.table.lower() != alias.lower():
+        return None
+    name = expr.name.lower()
+    return name if name in cols else None
 
 
 def _rewrite_having(expr: Expression, ctx: Dict[str, Any]) -> Expression:

@@ -7,7 +7,9 @@ and primary-key uniqueness on every write.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple,
+)
 
 from ...errors import StorageError
 from ...metering import ROWS_SCANNED, CostMeter, GLOBAL_METER
@@ -146,6 +148,21 @@ class Table:
         for row_id in sorted(self._rows):
             self._meter.charge(ROWS_SCANNED)
             yield row_id, self._rows[row_id]
+
+    def scan_matching(
+        self, test: Callable[[Tuple[Any, ...]], bool],
+        equals: Optional[Iterable[Tuple[str, Any]]] = None,
+    ) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
+        """Filtered scan: (row_id, row) pairs where ``test(row)`` holds.
+
+        *equals* is a pushdown hint — (column, value) equality conjuncts
+        known to hold for every matching row. The heap table ignores it
+        (same rows, order and charges as scan-then-filter); partitioned
+        facades use it to prune which shards to scan.
+        """
+        for row_id, row in self.scan():
+            if test(row):
+                yield row_id, row
 
     def rows(self) -> List[Tuple[Any, ...]]:
         """All rows in id order (charges ``rows_scanned``)."""

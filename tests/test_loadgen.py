@@ -154,6 +154,21 @@ class TestLoadSpecParsing:
         spec = LoadSpec.from_dict(dict(SPEC))
         assert LoadSpec.from_dict(spec.to_dict()) == spec
 
+    def test_shards_defaults_to_one(self):
+        spec = LoadSpec.from_dict(dict(SPEC))
+        assert spec.shards == 1
+
+    def test_shards_parsed_and_echoed(self):
+        spec = LoadSpec.from_dict(dict(SPEC, shards=4))
+        assert spec.shards == 4
+        assert spec.to_dict()["shards"] == 4
+
+    def test_shards_must_be_positive_integer(self):
+        with pytest.raises(LoadGenError, match="shards"):
+            LoadSpec.from_dict(dict(SPEC, shards=0))
+        with pytest.raises(LoadGenError, match="shards"):
+            LoadSpec.from_dict(dict(SPEC, shards="2"))
+
 
 # ----------------------------------------------------------------------
 # SLO parsing and gate evaluation

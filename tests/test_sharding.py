@@ -1,0 +1,350 @@
+"""Unit tests for repro.sharding: router, stamps, facades, merge order.
+
+The equivalence gates (sharded answers byte-identical to unsharded,
+clean and under chaos) live in ``test_sharding_equivalence.py``; this
+file covers the subsystem's pieces in isolation — deterministic
+routing, intersection-keyed stamps, facade invariants (global row ids,
+global indexes, exact base error strings), predicate-pushdown pruning
+with work-clock compensation, and merge determinism under permuted
+shard completion order.
+"""
+
+import itertools
+
+import pytest
+
+from repro.errors import ReproError, StorageError
+from repro.metering import CostMeter, ROWS_SCANNED
+from repro.sharding import (
+    ShardRouter, ShardSet, ShardStamp, ShardedDocumentStore, ShardedTable,
+    ShardedTextStore, shard_of_chunk, shard_of_doc,
+)
+from repro.storage.document.store import DocumentStore
+from repro.storage.relational.schema import Column, TableSchema
+from repro.storage.relational.table import Table
+from repro.storage.textstore import TextStore
+from repro.storage.types import DataType
+
+
+def _schema():
+    return TableSchema("items", [
+        Column("id", DataType.INT),
+        Column("name", DataType.TEXT),
+        Column("qty", DataType.INT),
+    ], primary_key="id")
+
+
+def _sharded(n_shards=3, key="name", seed=0, meter=None):
+    shard_set = ShardSet(n_shards, seed=seed)
+    table = ShardedTable(_schema(), shard_set, meter=meter,
+                         key_column=key)
+    return table, shard_set
+
+
+ROWS = [
+    (1, "alpha", 10),
+    (2, "bravo", 20),
+    (3, "charlie", 30),
+    (4, "delta", 40),
+    (5, "echo", 50),
+]
+
+
+class TestShardRouter:
+    def test_deterministic_across_instances(self):
+        a = ShardRouter(4, seed=9)
+        b = ShardRouter(4, seed=9)
+        for value in ("x", "Y", 3, 3.0, True, None):
+            assert a.shard_of(value) == b.shard_of(value)
+
+    def test_seed_changes_assignment(self):
+        values = ["v%02d" % i for i in range(64)]
+        a = [ShardRouter(4, seed=0).shard_of(v) for v in values]
+        b = [ShardRouter(4, seed=1).shard_of(v) for v in values]
+        assert a != b
+
+    def test_case_insensitive_strings(self):
+        router = ShardRouter(8, seed=3)
+        assert router.shard_of("Gamma Scale") == router.shard_of(
+            "gamma scale")
+
+    def test_integral_float_routes_like_int(self):
+        router = ShardRouter(8, seed=3)
+        assert router.shard_of(7) == router.shard_of(7.0)
+
+    def test_bool_distinct_from_int(self):
+        router = ShardRouter(64, seed=5)
+        shards = {router.shard_of(True), router.shard_of(1)}
+        # canonical forms differ ("b:1" vs "i:1"); with 64 shards the
+        # hashes land apart for this seed.
+        assert len(shards) == 2
+
+    def test_in_range_and_spread(self):
+        router = ShardRouter(4, seed=2)
+        hits = {router.shard_of("k%03d" % i) for i in range(200)}
+        assert hits == {0, 1, 2, 3}
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ReproError):
+            ShardRouter(0)
+
+    def test_chunk_follows_document(self):
+        router = ShardRouter(4, seed=2)
+        assert shard_of_chunk(router, "doc-7#3") == shard_of_doc(
+            router, "doc-7")
+
+
+class TestShardStamp:
+    def test_equal_on_shared_kinds_only(self):
+        full = ShardStamp({"a": 1, "b": 2, "c": 3})
+        restricted = full.restrict(["a", "b"])
+        assert restricted == ShardStamp({"a": 1, "b": 2, "c": 9})
+        assert ShardStamp({"a": 1, "b": 2, "c": 9}) == restricted
+
+    def test_unequal_when_shared_kind_moved(self):
+        restricted = ShardStamp({"a": 1, "b": 2})
+        assert restricted != ShardStamp({"a": 1, "b": 3, "c": 0})
+
+    def test_restrict_skips_missing_kinds(self):
+        stamp = ShardStamp({"a": 1}).restrict(["a", "zz"])
+        assert stamp.counts == {"a": 1}
+
+    def test_non_stamp_comparison(self):
+        assert ShardStamp({"a": 1}) != (1,)
+
+
+class TestShardedTableFacade:
+    def test_insert_scan_roundtrip_sorted_by_rid(self):
+        table, _ = _sharded()
+        for row in ROWS:
+            table.insert(row)
+        assert [rid for rid, _ in table.scan()] == [0, 1, 2, 3, 4]
+        assert [row for _, row in table.scan()] == ROWS
+        assert len(table) == 5
+        assert sum(table.shard_sizes()) == 5
+
+    def test_rows_spread_over_shards(self):
+        table, _ = _sharded()
+        for row in ROWS:
+            table.insert(row)
+        assert sum(1 for size in table.shard_sizes() if size) > 1
+
+    def test_error_strings_match_unsharded(self):
+        plain = Table(_schema())
+        table, _ = _sharded()
+        plain.insert(ROWS[0])
+        table.insert(ROWS[0])
+        for target in (plain, table):
+            with pytest.raises(StorageError) as dup:
+                target.insert(ROWS[0])
+            with pytest.raises(StorageError) as null_pk:
+                target.insert((None, "x", 1))
+            with pytest.raises(StorageError) as missing:
+                target.get(99)
+        assert "duplicate primary key 1 in table 'items'" in str(dup.value)
+        assert "primary key 'id' cannot be NULL" in str(null_pk.value)
+        assert "no row 99 in 'items'" in str(missing.value)
+
+    def test_update_migrates_across_shards(self):
+        table, shard_set = _sharded()
+        rid = table.insert(ROWS[0])
+        before = shard_set.router.shard_of("alpha")
+        table.update(rid, (1, "zulu", 99))
+        after = shard_set.router.shard_of("zulu")
+        assert table.get(rid) == (1, "zulu", 99)
+        assert table._owner[rid] == after
+        if before != after:
+            assert table.shard_sizes()[before] == 0
+
+    def test_delete_and_lookup_via_global_index(self):
+        table, _ = _sharded()
+        for row in ROWS:
+            table.insert(row)
+        table.create_index("qty")
+        assert table.lookup("qty", 30) == [(3, "charlie", 30)]
+        table.delete(2)
+        assert table.lookup("qty", 30) == []
+        with pytest.raises(StorageError):
+            table.delete(2)
+
+    def test_key_lookup_prunes_to_owner(self):
+        table, shard_set = _sharded()
+        for row in ROWS:
+            table.insert(row)
+        table.create_index("name")
+        before = shard_set.stats.snapshot()
+        assert table.lookup("name", "delta") == [(4, "delta", 40)]
+        after = shard_set.stats.snapshot()
+        assert after["pruned_calls"] == before["pruned_calls"] + 1
+        assert after["shard_calls"] == before["shard_calls"] + 1
+
+    def test_pruned_scan_charges_skipped_rows(self):
+        meter = CostMeter()
+        table, _ = _sharded(meter=meter)
+        for row in ROWS:
+            table.insert(row)
+        before = meter.counters.get(ROWS_SCANNED, 0)
+        matched = list(table.scan_matching(
+            lambda row: row[1] == "echo", equals=[("name", "echo")],
+        ))
+        charged = meter.counters.get(ROWS_SCANNED, 0) - before
+        assert matched == [(4, (5, "echo", 50))]
+        # The pruned path must charge exactly what a full scan would:
+        # the owning shard's rows via the child scan plus the skipped
+        # shards' rows as one lump.
+        assert charged == len(ROWS)
+
+    def test_unpruned_filtered_scan_merges_by_rid(self):
+        table, _ = _sharded()
+        for row in ROWS:
+            table.insert(row)
+        matched = list(table.scan_matching(lambda row: row[2] >= 30))
+        assert matched == [(2, ROWS[2]), (3, ROWS[3]), (4, ROWS[4])]
+
+    def test_set_shard_key_preserves_row_ids(self):
+        table, _ = _sharded(key="id")
+        for row in ROWS:
+            table.insert(row)
+        before = list(table.scan())
+        table.set_shard_key("name")
+        assert table.shard_key == "name"
+        assert list(table.scan()) == before
+
+    def test_clone_is_deep_and_equivalent(self):
+        table, _ = _sharded()
+        for row in ROWS:
+            table.insert(row)
+        twin = table.clone()
+        table.delete(0)
+        assert [row for _, row in twin.scan()] == ROWS
+
+
+class TestMergeDeterminism:
+    """Permuting simulated shard completion order changes nothing."""
+
+    def test_relational_merge_invariant(self):
+        table, _ = _sharded()
+        for row in ROWS:
+            table.insert(row)
+        reference = list(table.scan())
+        shards = list(range(table.n_shards))
+        for order in itertools.permutations(shards):
+            gathered = []
+            for index in order:  # simulated completion order
+                gathered.extend(table._children[index]._rows.items())
+            gathered.sort(key=lambda pair: pair[0])
+            assert gathered == reference
+
+    def test_text_chunk_merge_invariant(self):
+        shard_set = ShardSet(3, seed=1)
+        store = ShardedTextStore(shard_set)
+        for i in range(5):
+            store.add("doc-%d" % i,
+                      "Sentence one. Sentence two. Sentence three.")
+        reference = [chunk.chunk_id for chunk in store.chunks()]
+        shards = list(range(3))
+        for order in itertools.permutations(shards):
+            gathered = []
+            for index in order:
+                gathered.extend(store._children[index].chunks())
+            gathered.sort(key=lambda c: (
+                c.chunk_id.rpartition("#")[0],
+                int(c.chunk_id.rpartition("#")[2]),
+            ))
+            assert [chunk.chunk_id for chunk in gathered] == reference
+
+
+class TestShardedDocumentStore:
+    def test_matches_unsharded_semantics(self):
+        plain = DocumentStore()
+        shard_set = ShardSet(3, seed=1)
+        store = ShardedDocumentStore(shard_set)
+        docs = [("d%02d" % i, {"n": i, "tag": "even" if i % 2 == 0
+                               else "odd"}) for i in range(8)]
+        for doc_id, doc in docs:
+            plain.put(doc_id, doc)
+            store.put(doc_id, doc)
+        assert store.ids() == plain.ids()
+        assert len(store) == len(plain)
+        assert store.get("d03") == plain.get("d03")
+        assert [d for _, d in store.scan()] == [d for _, d in plain.scan()]
+        assert store.dump_json() == plain.dump_json()
+
+    def test_field_index_and_errors(self):
+        shard_set = ShardSet(3, seed=1)
+        store = ShardedDocumentStore(shard_set)
+        for i in range(6):
+            store.put("d%d" % i, {"tag": "t%d" % (i % 2)})
+        store.create_field_index("tag")
+        assert store.find_equal("tag", "t1") == ["d1", "d3", "d5"]
+        store.delete("d1")
+        assert store.find_equal("tag", "t1") == ["d3", "d5"]
+        with pytest.raises(StorageError) as exc:
+            store.get("nope")
+        assert "no document 'nope'" in str(exc.value)
+
+    def test_put_replaces_in_place(self):
+        shard_set = ShardSet(3, seed=1)
+        store = ShardedDocumentStore(shard_set)
+        store.put("d0", {"v": 1})
+        store.put("d0", {"v": 2})
+        assert len(store) == 1
+        assert store.get("d0") == {"v": 2}
+
+
+class TestShardedTextStore:
+    def test_matches_unsharded_semantics(self):
+        plain = TextStore()
+        shard_set = ShardSet(3, seed=1)
+        store = ShardedTextStore(shard_set)
+        texts = [("doc-%d" % i, "Alpha beta. Gamma delta. Epsilon.")
+                 for i in range(6)]
+        for doc_id, text in texts:
+            plain.add(doc_id, text)
+            store.add(doc_id, text)
+        assert store.doc_ids() == plain.doc_ids()
+        assert store.n_chunks == plain.n_chunks
+        assert ([c.chunk_id for c in store.chunks()]
+                == [c.chunk_id for c in plain.chunks()])
+        assert store.document("doc-2") == plain.document("doc-2")
+        chunk_id = plain.chunks()[0].chunk_id
+        assert store.chunk(chunk_id).text == plain.chunk(chunk_id).text
+        assert store.dump_json() == plain.dump_json()
+
+    def test_remove_and_errors(self):
+        shard_set = ShardSet(3, seed=1)
+        store = ShardedTextStore(shard_set)
+        store.add("doc-0", "One sentence here.")
+        store.remove("doc-0")
+        assert len(store) == 0
+        with pytest.raises(StorageError) as exc:
+            store.document("doc-0")
+        assert "no text document 'doc-0'" in str(exc.value)
+
+
+class TestShardSetAccounting:
+    def test_touch_accumulator(self):
+        shard_set = ShardSet(3, seed=0)
+        shard_set.note_touch("relational", [1])
+        shard_set.note_touch("document", None)
+        touched = shard_set.touched()
+        assert ("relational", 1) in touched
+        assert {("document", i) for i in range(3)} <= touched
+        shard_set.reset_touched()
+        assert shard_set.touched() == set()
+
+    def test_write_listener(self):
+        shard_set = ShardSet(2, seed=0)
+        seen = []
+        shard_set.add_write_listener(lambda kind, shard: seen.append(
+            (kind, shard)))
+        shard_set.note_write("relational", 1)
+        assert seen == [("relational", 1)]
+
+    def test_fanout_vs_prune_counters(self):
+        shard_set = ShardSet(4, seed=0)
+        shard_set.note_fanout("relational", 4)
+        shard_set.note_fanout("relational", 1)
+        snap = shard_set.stats.snapshot()
+        assert snap == {"fanout_calls": 1, "pruned_calls": 1,
+                        "shard_calls": 5}
