@@ -36,6 +36,7 @@ PAIRS = (
     ("load_ecommerce.json", "slo_ecommerce.json"),
     ("load_healthcare.json", "slo_healthcare.json"),
     ("load_ecommerce_chaos.json", "slo_ecommerce_chaos.json"),
+    ("load_ecommerce_tenants.json", "slo_ecommerce_tenants.json"),
 )
 
 RESULTS = []

@@ -80,6 +80,52 @@ def _build(domain: str, seed: int, faults: Optional[str] = None,
     return lake, pipeline
 
 
+def _load_tenants(args):
+    """Resolve (registry, context) from ``--tenants`` / ``--tenant``.
+
+    Without ``--tenants`` the permissive default registry applies, so
+    ``--tenant default`` always works and any other id fails closed.
+    """
+    from .errors import TenancyError
+    from .tenancy import TenantRegistry
+
+    try:
+        registry = (TenantRegistry.load(args.tenants)
+                    if getattr(args, "tenants", None)
+                    else TenantRegistry(()))
+        context = registry.context(getattr(args, "tenant", "default"))
+    except TenancyError as exc:
+        raise SystemExit(str(exc)) from exc
+    return registry, context
+
+
+def cmd_tenants(args) -> int:
+    """List or validate tenant registry spec files."""
+    from .tenancy import TenantRegistry, validate_registry_data
+
+    status = 0
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print("%s: cannot read: %s" % (path, exc))
+            return 2
+        findings = validate_registry_data(data)
+        if findings:
+            status = 1
+            print("%s: %d finding(s)" % (path, len(findings)))
+            for finding in findings:
+                print("  " + finding)
+            continue
+        registry = TenantRegistry.from_dict(data)
+        print("%s: ok (%d tenant(s))" % (path, len(registry.contexts)))
+        if args.list:
+            for tenant_id in registry.tenant_ids():
+                print("  " + registry.context(tenant_id).describe())
+    return status
+
+
 def cmd_demo(args) -> int:
     """Answer a benchmark sample with routing details."""
     lake, pipeline = _build(args.domain, args.seed, args.faults,
@@ -104,9 +150,19 @@ def cmd_ask(args) -> int:
     _, pipeline = _build(args.domain, args.seed, args.faults,
                             speculation=not args.no_speculation,
                             n_shards=args.shards)
+    _, context = _load_tenants(args)
     if args.explain_plan:
         print(pipeline.explain_plan(args.question))
         return 0
+    if not context.is_permissive:
+        # Governed path: compile + execute under the tenant's RLS /
+        # scope predicates (the entropy surface stays single-tenant).
+        with _tracing(args, pipeline):
+            answer = pipeline.answer(args.question, tenant=context)
+            print(answer.text or "<abstain>")
+            if answer.provenance:
+                print("provenance: %s" % "; ".join(answer.provenance[:3]))
+        return 0 if not answer.abstained else 1
     with _tracing(args, pipeline):
         answer, estimate = pipeline.answer_with_uncertainty(args.question)
         print(answer.text or "<abstain>")
@@ -200,6 +256,17 @@ def cmd_serve(args) -> int:
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
     requests = load_workload(args.workload)
+    registry, _ = _load_tenants(args)
+    if args.tenant != "default":
+        # Run every record that did not name its own tenant as the
+        # requested one; records with explicit tenants keep theirs.
+        from dataclasses import replace as _replace
+
+        requests = [
+            _replace(request, tenant=args.tenant)
+            if request.tenant == "default" else request
+            for request in requests
+        ]
     _, pipeline = _build(args.domain, args.seed, args.faults,
                             speculation=not args.no_speculation,
                             n_shards=args.shards)
@@ -210,7 +277,7 @@ def cmd_serve(args) -> int:
             max_queue_depth=args.max_queue_depth,
         )
     server = QueryServer(pipeline, policy=policy, admission=admission,
-                         batch_size=args.batch_size)
+                         batch_size=args.batch_size, tenants=registry)
     with _tracing(args, pipeline):
         for result in server.serve(requests):
             if result.op != "ask":
@@ -238,6 +305,19 @@ def cmd_serve(args) -> int:
                       tier, counters["hits"], counters["misses"],
                       counters["evictions"], counters["invalidations"],
                   ))
+    tenants = stats.get("tenants", {})
+    if len(tenants) > 1 or args.tenant != "default":
+        for tenant_id, record in sorted(tenants.items()):
+            line = "tenant.%-10s requests %d  shed %d" % (
+                tenant_id, record.get("requests", 0),
+                record.get("shed", 0))
+            if "quota_spent" in record:
+                line += "  quota %d/%d" % (record["quota_spent"],
+                                           record["quota_capacity"])
+            if "answer_hits" in record:
+                line += "  answer hits %d/%d" % (
+                    record["answer_hits"], record["answer_lookups"])
+            print(line)
     return 0
 
 
@@ -248,6 +328,8 @@ def cmd_load(args) -> int:
     forwarded = ["--spec", args.spec]
     if args.slo:
         forwarded += ["--slo", args.slo]
+    if args.tenants:
+        forwarded += ["--tenants", args.tenants]
     if args.out:
         forwarded += ["--out", args.out]
     if args.emit_workload:
@@ -300,12 +382,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "(answers stay byte-identical; see "
                             "docs/architecture.md, 'Sharding')")
 
+    def tenant_flags(p):
+        p.add_argument("--tenants", default=None, metavar="SPEC.json",
+                       help="tenant registry spec (see "
+                            "docs/governance.md); omit for the "
+                            "permissive default registry")
+        p.add_argument("--tenant", default="default", metavar="ID",
+                       help="run as this tenant (default: the "
+                            "permissive 'default' tenant)")
+
     demo = sub.add_parser("demo", help=cmd_demo.__doc__)
     common(demo)
     demo.set_defaults(func=cmd_demo)
 
     ask = sub.add_parser("ask", help=cmd_ask.__doc__)
     common(ask)
+    tenant_flags(ask)
     ask.add_argument("question")
     ask.add_argument("--explain-plan", action="store_true",
                      help="print the compiled federated plan DAG "
@@ -332,6 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser("serve", help=cmd_serve.__doc__)
     common(serve)
+    tenant_flags(serve)
     serve.add_argument("--workload", required=True, metavar="FILE.jsonl",
                        help="JSONL request stream (see docs/serving.md)")
     serve.add_argument("--cache-policy", default="full",
@@ -348,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(func=cmd_serve)
 
     load = sub.add_parser("load", help=cmd_load.__doc__)
+    tenant_flags(load)
     load.add_argument("--spec", required=True, metavar="SPEC.json",
                       help="load-generation spec (domain, seed, mixes, "
                            "skew, writes, faults)")
@@ -364,6 +458,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="override the spec's shard count "
                            "(entity-keyed store partitioning)")
     load.set_defaults(func=cmd_load)
+
+    tenants = sub.add_parser("tenants", help=cmd_tenants.__doc__)
+    tenants.add_argument("files", nargs="+", metavar="SPEC.json",
+                         help="tenant registry spec files to validate")
+    tenants.add_argument("--list", action="store_true",
+                         help="also print each tenant's governance "
+                              "summary")
+    tenants.set_defaults(func=cmd_tenants)
 
     analyze = sub.add_parser("analyze", help=cmd_analyze.__doc__)
     analyze.add_argument("--write", action="store_true",

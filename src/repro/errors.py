@@ -75,6 +75,16 @@ class ServingError(ReproError):
     """A serving workload or server configuration was invalid."""
 
 
+class TenancyError(ReproError):
+    """A tenant spec was invalid or an unknown tenant was referenced.
+
+    Raised by the registry's fail-closed paths (parsing a malformed
+    spec, resolving an unregistered tenant id). Governance violations
+    on the request path never raise this — they surface as typed
+    abstentions, matching the admission layer's shedding contract.
+    """
+
+
 class LoadGenError(ReproError):
     """A load-generation spec or SLO spec was invalid.
 

@@ -373,13 +373,20 @@ _ALLOWED_DEPS: Dict[str, Set[str]] = {
     # it builds on storage facades and per-shard resilience state, and
     # only the composition layers above (qa, serving) may import it.
     "sharding": _INFRA | {"storage", "resilience"},
+    # tenancy is governance vocabulary: tenant specs, RLS rules, the
+    # plan check and quota buckets. It sits just above storage (for
+    # catalog awareness) and below the composition layers — only qa,
+    # serving and loadgen may import it, and it must never reach up.
+    "tenancy": _INFRA | {"storage"},
     "qa": _INFRA | {
         "text", "slm", "storage", "extraction", "graphindex",
         "entropy", "retrieval", "resilience", "semql", "sharding",
+        "tenancy",
     },
     "serving": _INFRA | {
         "caching", "text", "slm", "storage", "extraction", "graphindex",
         "entropy", "retrieval", "resilience", "semql", "qa", "sharding",
+        "tenancy",
     },
     # loadgen is the verification plane over serving: it drives the
     # whole stack (including bench lake construction) but nothing
@@ -387,7 +394,7 @@ _ALLOWED_DEPS: Dict[str, Set[str]] = {
     "loadgen": _INFRA | {
         "caching", "text", "slm", "storage", "extraction", "graphindex",
         "entropy", "retrieval", "resilience", "semql", "qa", "serving",
-        "bench",
+        "bench", "tenancy",
     },
     # lint is the tooling plane: it may reach the plancheck facades
     # (relational in storage, federated in qa) but nothing imports it.
@@ -869,3 +876,43 @@ class ModuleStateRule(Rule):
             elif isinstance(node, ast.Global):
                 for name in node.names:
                     yield name
+
+
+@register
+class TenantStateRule(Rule):
+    """No module-level mutable state in ``tenancy/`` at all.
+
+    The tenancy contract is that governance is carried *per request* by
+    an immutable :class:`~repro.tenancy.TenantContext` — there is no
+    ambient "current tenant". Stricter than ``module-state`` (which
+    requires an observed mutation): inside ``tenancy/`` merely *binding*
+    a module-level mutable container is a finding, because any such
+    cell is a place where cross-tenant state could accumulate.
+    """
+
+    id = "tenant-state"
+    summary = ("forbid module-level mutable containers anywhere in "
+               "repro.tenancy (tenant state is per-request, immutable)")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.relpath.startswith("tenancy/"):
+            return
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            if not ModuleStateRule._is_container(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) \
+                        and not target.id.startswith("__"):
+                    yield module.finding(
+                        stmt, self.id,
+                        "module-level %r is a mutable container; tenant "
+                        "state must live in frozen per-request contexts "
+                        "(tuples / frozen dataclasses), never module "
+                        "globals" % target.id,
+                    )

@@ -57,6 +57,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--shards", type=int, default=None, metavar="N",
                         help="override the spec's shard count "
                              "(entity-keyed store partitioning)")
+    parser.add_argument("--tenants", default=None, metavar="SPEC.json",
+                        help="tenant registry file overriding the "
+                             "spec's embedded tenant_registry")
     return parser
 
 
@@ -84,6 +87,25 @@ def _emit_workload(spec: LoadSpec, path: str) -> None:
         handle.write(render_jsonl(requests))
 
 
+def _load_registry_doc(path: str) -> dict:
+    """Read and validate a tenant registry file for --tenants."""
+    import json
+
+    from ..tenancy import validate_registry_data
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise LoadGenError("--tenants file %r unreadable: %s"
+                           % (path, exc)) from exc
+    findings = validate_registry_data(doc)
+    if findings:
+        raise LoadGenError(
+            "--tenants file %r invalid: %s" % (path, "; ".join(findings)))
+    return doc
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Run the harness; returns 0 PASS / 1 breach / 2 config error."""
     args = build_parser().parse_args(argv)
@@ -94,6 +116,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 raise LoadGenError("--shards must be >= 1, got %d"
                                    % args.shards)
             spec = dataclasses.replace(spec, shards=args.shards)
+        if args.tenants is not None:
+            spec = dataclasses.replace(
+                spec, tenant_registry=_load_registry_doc(args.tenants))
         slo = SLOSpec.load(args.slo) if args.slo else None
         if args.emit_workload:
             _emit_workload(spec, args.emit_workload)
@@ -107,6 +132,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     for key in _SUMMARY_KEYS:
         if key in report.measurements:
             print("  %-20s %s" % (key, report.measurements[key]))
+    for key in sorted(report.measurements):
+        if key.startswith("tenant."):
+            print("  %-32s %s" % (key, report.measurements[key]))
     if report.verdict is not None:
         print()
         print(report.verdict.render())

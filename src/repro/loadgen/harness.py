@@ -32,6 +32,7 @@ from ..resilience import ResilienceConfig, work_now
 from ..serving import (
     AdmissionPolicy, CachePolicy, QueryServer, ServeRequest, ServeResult,
 )
+from ..tenancy import TenantRegistry
 from .slo import SLOReport, SLOSpec, evaluate
 from .spec import Burst, LoadSpec, generate_workload
 
@@ -93,8 +94,11 @@ def build_server(spec: LoadSpec) -> Tuple[Any, QueryServer]:
             session_budget=spec.session_budget,
             max_queue_depth=spec.max_queue_depth,
         )
+    registry = (TenantRegistry.from_dict(spec.tenant_registry)
+                if spec.tenant_registry is not None
+                else TenantRegistry(()))
     server = QueryServer(pipeline, policy=policy, admission=admission,
-                         batch_size=spec.batch_size)
+                         batch_size=spec.batch_size, tenants=registry)
     return lake, server
 
 
@@ -185,7 +189,46 @@ def _measure(results: List[ServeResult], registry: MetricsRegistry,
             "work_max": int(histogram.max or 0),
             "work_mean": round(histogram.mean, 2),
         })
+    measurements.update(_tenant_measurements(asks, registry))
     return measurements
+
+
+def _tenant_measurements(asks: List[ServeResult],
+                         registry: MetricsRegistry) -> Dict[str, Any]:
+    """Per-tenant slices, flattened as ``tenant.<id>.<metric>``.
+
+    Only emitted for multi-tenant runs (more than one tenant observed),
+    so untenanted reports stay byte-identical to before.
+    """
+    tenants = sorted({r.tenant for r in asks})
+    if len(tenants) < 2:
+        return {}
+    out: Dict[str, Any] = {}
+    for tenant in tenants:
+        mine = [r for r in asks if r.tenant == tenant]
+        served = [r for r in mine if not r.shed]
+        n_shed = len(mine) - len(served)
+        n_abstained = sum(
+            1 for r in mine
+            if r.answer is not None and r.answer.abstained
+        )
+        histogram = registry.histogram(
+            "%s.%s" % (METRIC_LOAD_WORK, tenant), reservoir=0)
+        for result in served:
+            histogram.observe(result.work)
+        prefix = "tenant.%s." % tenant
+        out[prefix + "asks"] = len(mine)
+        out[prefix + "served"] = len(served)
+        out[prefix + "shed"] = n_shed
+        out[prefix + "shed_rate"] = (
+            round(n_shed / len(mine), 6) if mine else 0.0)
+        out[prefix + "abstain_rate"] = (
+            round(n_abstained / len(mine), 6) if mine else 0.0)
+        if served:
+            out[prefix + "work_p50"] = int(histogram.quantile(0.50))
+            out[prefix + "work_p95"] = int(histogram.quantile(0.95))
+            out[prefix + "total_work"] = sum(r.work for r in served)
+    return out
 
 
 def run_load(spec: LoadSpec,

@@ -45,17 +45,59 @@ GATES: Dict[str, Tuple[str, str, str]] = {
     "error_rate_max": ("error_rate", "max", "rate"),
     "abstain_rate_max": ("abstain_rate", "max", "rate"),
     "shed_rate_max": ("shed_rate", "max", "rate"),
+    # The isolation proof gate: a greedy tenant's tier *requires*
+    # shedding (its quota provably bit) while the quiet tenant's tier
+    # pins shed_rate_max at 0 — both pass, demonstrating containment.
+    "shed_rate_min": ("shed_rate", "min", "rate"),
     "answer_hit_rate_min": ("answer_hit_rate", "min", "rate"),
     "plan_hit_rate_min": ("plan_hit_rate", "min", "rate"),
 }
 
 
+def _parse_gates(data: Dict[str, Any],
+                 context: str) -> Tuple[Tuple[str, float], ...]:
+    """Validate one gate dict (top level or one tenant's tier)."""
+    gates: List[Tuple[str, float]] = []
+    for key in sorted(GATES):
+        if key not in data:
+            continue
+        value = data[key]
+        if not isinstance(value, (int, float)) \
+                or isinstance(value, bool):
+            raise LoadGenError(
+                "%s gate %r must be a number, got %r"
+                % (context, key, value)
+            )
+        value = float(value)
+        if value < 0:
+            raise LoadGenError(
+                "%s gate %r must be non-negative, got %r"
+                % (context, key, value)
+            )
+        if GATES[key][2] == "rate" and value > 1.0:
+            raise LoadGenError(
+                "%s gate %r is a rate and must be within [0, 1], "
+                "got %r" % (context, key, value)
+            )
+        gates.append((key, value))
+    return tuple(gates)
+
+
 @dataclass(frozen=True)
 class SLOSpec:
-    """One parsed, validated SLO document: named gate thresholds."""
+    """One parsed, validated SLO document: named gate thresholds.
+
+    ``tenant_gates`` holds per-tenant SLO *tiers*: each entry gates the
+    harness's ``tenant.<id>.*`` measurements with the same gate
+    vocabulary, so one document can simultaneously demand that a
+    greedy tenant **was** shed (``shed_rate_min``) and that a quiet
+    tenant never was (``shed_rate_max: 0``).
+    """
 
     name: str
     gates: Tuple[Tuple[str, float], ...]
+    tenant_gates: Tuple[Tuple[str, Tuple[Tuple[str, float], ...]],
+                        ...] = ()
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SLOSpec":
@@ -67,41 +109,43 @@ class SLOSpec:
         """
         if not isinstance(data, dict):
             raise LoadGenError("an SLO spec must be a JSON object")
-        unknown = sorted(set(data) - set(GATES) - {"name"})
+        unknown = sorted(set(data) - set(GATES) - {"name", "tenants"})
         if unknown:
             raise LoadGenError(
-                "unknown SLO key(s) %s; expected 'name' or gates %s"
-                % (unknown, ", ".join(sorted(GATES)))
+                "unknown SLO key(s) %s; expected 'name', 'tenants' or "
+                "gates %s" % (unknown, ", ".join(sorted(GATES)))
             )
-        gates: List[Tuple[str, float]] = []
-        for key in sorted(GATES):
-            if key not in data:
-                continue
-            value = data[key]
-            if not isinstance(value, (int, float)) \
-                    or isinstance(value, bool):
+        gates = _parse_gates(data, "SLO")
+        tenants_raw = data.get("tenants", {})
+        if not isinstance(tenants_raw, dict):
+            raise LoadGenError(
+                "SLO 'tenants' must be an object of id -> gate tiers")
+        tenant_gates: List[Tuple[str, Tuple[Tuple[str, float], ...]]] = []
+        for tenant_id in sorted(tenants_raw):
+            tier = tenants_raw[tenant_id]
+            if not isinstance(tier, dict):
                 raise LoadGenError(
-                    "SLO gate %r must be a number, got %r" % (key, value)
-                )
-            value = float(value)
-            if value < 0:
+                    "SLO tenants[%r] must be a gate object" % tenant_id)
+            tier_unknown = sorted(set(tier) - set(GATES))
+            if tier_unknown:
                 raise LoadGenError(
-                    "SLO gate %r must be non-negative, got %r"
-                    % (key, value)
+                    "unknown SLO key(s) %s in tenants[%r]; expected "
+                    "gates %s" % (tier_unknown, tenant_id,
+                                  ", ".join(sorted(GATES)))
                 )
-            if GATES[key][2] == "rate" and value > 1.0:
+            parsed = _parse_gates(tier, "SLO tenants[%r]" % tenant_id)
+            if not parsed:
                 raise LoadGenError(
-                    "SLO gate %r is a rate and must be within [0, 1], "
-                    "got %r" % (key, value)
-                )
-            gates.append((key, value))
-        if not gates:
+                    "SLO tenants[%r] declares no gates" % tenant_id)
+            tenant_gates.append((tenant_id, parsed))
+        if not gates and not tenant_gates:
             raise LoadGenError(
                 "SLO spec declares no gates; add at least one of %s"
                 % ", ".join(sorted(GATES))
             )
         return cls(name=str(data.get("name", "slo")),
-                   gates=tuple(gates))
+                   gates=tuple(gates),
+                   tenant_gates=tuple(tenant_gates))
 
     @classmethod
     def from_json(cls, text: str) -> "SLOSpec":
@@ -123,6 +167,11 @@ class SLOSpec:
         """Canonical JSON-ready echo (stable across runs)."""
         out: Dict[str, Any] = {"name": self.name}
         out.update({key: value for key, value in self.gates})
+        if self.tenant_gates:
+            out["tenants"] = {
+                tenant_id: {key: value for key, value in tier}
+                for tenant_id, tier in self.tenant_gates
+            }
         return out
 
 
@@ -201,18 +250,27 @@ def evaluate(measurements: Mapping[str, Any],
     if slo is None:
         return None
     results: List[GateResult] = []
-    for gate, limit in slo.gates:
-        metric, direction, _kind = GATES[gate]
+
+    def check(gate: str, limit: float, metric: str,
+              label: str) -> None:
+        _base, direction, _kind = GATES[gate]
         if metric not in measurements:
             raise LoadGenError(
                 "SLO gate %r needs metric %r, absent from the "
                 "measurements (%s)"
-                % (gate, metric, ", ".join(sorted(measurements)))
+                % (label, metric, ", ".join(sorted(measurements)))
             )
         actual = float(measurements[metric])
         passed = actual <= limit if direction == "max" else actual >= limit
         results.append(GateResult(
-            gate=gate, metric=metric, direction=direction,
+            gate=label, metric=metric, direction=direction,
             limit=limit, actual=actual, passed=passed,
         ))
+
+    for gate, limit in slo.gates:
+        check(gate, limit, GATES[gate][0], gate)
+    for tenant_id, tier in slo.tenant_gates:
+        for gate, limit in tier:
+            check(gate, limit, "tenant.%s.%s" % (tenant_id, GATES[gate][0]),
+                  "tenants.%s.%s" % (tenant_id, gate))
     return SLOReport(slo=slo, results=tuple(results))

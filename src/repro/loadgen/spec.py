@@ -31,7 +31,9 @@ Spec format (every key except ``name``/``domain``/``asks`` optional)::
       "max_queue_depth": null,
       "faults": null,              // resilience config document
       "speculation": true,         // false = sequential plan executor
-      "shards": 1                  // entity-keyed store shards (>= 1)
+      "shards": 1,                 // entity-keyed store shards (>= 1)
+      "tenants": {"acme": 3, "globex": 1},   // weighted tenant mix
+      "tenant_registry": {"tenants": [...]}  // repro tenants format
     }
 
 Unknown keys and out-of-range values raise
@@ -56,6 +58,7 @@ SPEC_KEYS = (
     "skew", "burst", "arrival", "think_work", "write_every", "writes",
     "warmup_passes", "cache_policy", "batch_size", "session_budget",
     "max_queue_depth", "faults", "speculation", "shards",
+    "tenants", "tenant_registry",
 )
 
 _DOMAINS = ("ecommerce", "healthcare")
@@ -73,6 +76,27 @@ def _require_int(data: Dict[str, Any], key: str, default: int,
         raise LoadGenError("spec key %r must be >= %d, got %d"
                            % (key, minimum, value))
     return value
+
+
+def _parse_tenant_mix(raw: Any) -> Tuple[Tuple[str, float], ...]:
+    """Validate the ``tenants`` weight map into a sorted tuple."""
+    if raw is None:
+        return ()
+    if not isinstance(raw, dict) or not raw:
+        raise LoadGenError(
+            "spec tenants must be a non-empty object of id -> weight")
+    mix: List[Tuple[str, float]] = []
+    for tenant_id, weight in raw.items():
+        if not tenant_id or not isinstance(tenant_id, str):
+            raise LoadGenError(
+                "spec tenants keys must be non-empty tenant ids")
+        if not isinstance(weight, (int, float)) \
+                or isinstance(weight, bool) or weight <= 0:
+            raise LoadGenError(
+                "spec tenants[%r] weight must be a number > 0, got %r"
+                % (tenant_id, weight))
+        mix.append((tenant_id, float(weight)))
+    return tuple(sorted(mix))
 
 
 @dataclass(frozen=True)
@@ -99,6 +123,12 @@ class LoadSpec:
     faults: Optional[Dict[str, Any]] = None
     speculation: bool = True
     shards: int = 1
+    #: Weighted tenant mix: ((tenant_id, weight), ...) sorted by id;
+    #: empty = untenanted (every ask runs as the permissive default).
+    tenant_mix: Tuple[Tuple[str, float], ...] = ()
+    #: Embedded tenant registry document (the ``repro tenants`` format)
+    #: so a multi-tenant benchmark spec is fully self-describing.
+    tenant_registry: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "LoadSpec":
@@ -180,6 +210,36 @@ class LoadSpec:
             raise LoadGenError(
                 "spec speculation must be a boolean"
             )
+        tenant_mix = _parse_tenant_mix(data.get("tenants"))
+        registry_doc = data.get("tenant_registry")
+        if registry_doc is not None:
+            from ..tenancy import validate_registry_data
+
+            findings = validate_registry_data(registry_doc)
+            if findings:
+                raise LoadGenError(
+                    "spec tenant_registry is invalid: %s"
+                    % "; ".join(findings)
+                )
+            registered = {
+                str(record.get("id"))
+                for record in registry_doc.get("tenants", [])
+            } | {"default"}
+            unknown_tenants = sorted(
+                tenant_id for tenant_id, _weight in tenant_mix
+                if tenant_id not in registered
+            )
+            if unknown_tenants:
+                raise LoadGenError(
+                    "spec tenants mix names unregistered tenant(s) %s"
+                    % ", ".join(unknown_tenants)
+                )
+        elif tenant_mix and any(t != "default" for t, _ in tenant_mix):
+            raise LoadGenError(
+                "spec declares a tenants mix but no tenant_registry; "
+                "embed the registry document so the run fails closed "
+                "on unknown tenants"
+            )
         return cls(
             name=str(data["name"]),
             domain=domain,
@@ -203,6 +263,9 @@ class LoadSpec:
             faults=dict(faults) if faults is not None else None,
             speculation=speculation,
             shards=_require_int(data, "shards", 1, 1),
+            tenant_mix=tenant_mix,
+            tenant_registry=(dict(registry_doc)
+                             if registry_doc is not None else None),
         )
 
     @classmethod
@@ -243,6 +306,11 @@ class LoadSpec:
             "max_queue_depth": self.max_queue_depth,
             "faults": dict(self.faults) if self.faults else None,
             "shards": self.shards,
+            "tenants": ({tenant_id: weight
+                         for tenant_id, weight in self.tenant_mix}
+                        if self.tenant_mix else None),
+            "tenant_registry": (dict(self.tenant_registry)
+                                if self.tenant_registry else None),
         }
 
 
@@ -297,9 +365,11 @@ def generate_workload(spec: LoadSpec,
     """Expand *spec* against a question pool into arrival bursts.
 
     Questions are drawn by Zipf rank over the pool's given order (rank
-    1 = hottest), sessions uniformly; after every ``write_every`` asks
-    the next write template (cycled) is appended, acting as a batch
-    barrier when served. Entirely driven by one
+    1 = hottest), sessions uniformly; with a ``tenants`` mix each ask
+    additionally draws its tenant by weight (same seeded stream, so
+    the interleaving is reproducible). After every ``write_every``
+    asks the next write template (cycled) is appended, acting as a
+    batch barrier when served. Entirely driven by one
     ``random.Random(spec.seed)`` stream — the same spec and pool
     always produce the identical burst list.
     """
@@ -313,14 +383,24 @@ def generate_workload(spec: LoadSpec,
     for weight in weights:
         running += weight
         cumulative.append(running)
+    tenant_ids: List[str] = []
+    tenant_cumulative: List[float] = []
+    running = 0.0
+    for tenant_id, weight in spec.tenant_mix:
+        tenant_ids.append(tenant_id)
+        running += weight
+        tenant_cumulative.append(running)
     session_names = ["s%02d" % i for i in range(spec.sessions)]
     requests: List[ServeRequest] = []
     write_index = 0
     for ask_index in range(spec.asks):
         question = questions[_draw(rng, cumulative)]
         session = session_names[rng.randrange(spec.sessions)]
+        tenant = (tenant_ids[_draw(rng, tenant_cumulative)]
+                  if tenant_ids else "default")
         requests.append(ServeRequest(
             op="ask", payload={"question": question}, session=session,
+            tenant=tenant,
         ))
         if spec.write_every and (ask_index + 1) % spec.write_every == 0:
             record = spec.writes[write_index % len(spec.writes)]

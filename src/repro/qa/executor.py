@@ -34,6 +34,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..obs import span
+from ..resilience import DegradationEvent, summarize
+from ..tenancy import TenantContext, check_tenancy, tenancy_errors
 from .answer import ANSWER_SYSTEM_HYBRID, ANSWER_SYSTEM_RAG, Answer
 from .compare import ComparativeQA
 from .federation import best_answer
@@ -102,6 +104,28 @@ def cross_check(answer: Answer, candidates: List[Answer]) -> None:
         answer.metadata["cross_check"] = "disagree"
 
 
+def governance_abstain(tenant: TenantContext, findings) -> Answer:
+    """The fail-closed verdict: a governed plan failed ``check_tenancy``.
+
+    Never raises — a governance violation is a typed abstention through
+    the same degradation vocabulary the resilience and admission layers
+    use, so an ungoverned plan degrades availability for one request
+    instead of ever reaching an engine.
+    """
+    detail = "; ".join(f.render() for f in findings)
+    event = DegradationEvent("tenancy", "check_tenancy", "governance",
+                             detail, fatal=True)
+    answer = Answer.abstain(
+        ANSWER_SYSTEM_HYBRID,
+        reason="plan rejected by tenancy gate for tenant %r: %s"
+        % (tenant.tenant_id, detail),
+    )
+    answer.metadata["degradation"] = summarize([event], abstained=True)
+    answer.metadata["degraded"] = True
+    answer.metadata["tenancy"] = "rejected"
+    return answer
+
+
 @dataclass
 class _RunState:
     """Mutable per-plan interpreter state threaded through handlers.
@@ -110,7 +134,9 @@ class _RunState:
     share run progress only through this object (never through the
     executor instance), which is what keeps handler effect signatures
     free of cross-plan state and the stages candidates for parallel
-    execution.
+    execution. ``tenant`` rides along the same way: the executor holds
+    no tenant field, so interleaved requests from different tenants can
+    never observe each other's context.
     """
 
     question: str
@@ -119,6 +145,7 @@ class _RunState:
     failed_engines: List[str] = field(default_factory=list)
     answer: Optional[Answer] = None
     final: Optional[Answer] = None
+    tenant: Optional[TenantContext] = None
 
 
 class PlanExecutor:
@@ -150,39 +177,52 @@ class PlanExecutor:
     # Compilation
     # ------------------------------------------------------------------
     def compile(self, question: str,
-                include_entropy: bool = False) -> FederatedPlan:
-        """Route *question* and compile the decision into a plan DAG."""
+                include_entropy: bool = False,
+                tenant: Optional[TenantContext] = None) -> FederatedPlan:
+        """Route *question* and compile the decision into a plan DAG.
+
+        With a *tenant* context the compiled stages carry the tenant's
+        governance parameters (see :func:`~repro.qa.plan.compile_plan`).
+        """
         decision = self._router.route(question)
         return compile_plan(
             question, decision,
             has_text_engine=self._text_qa() is not None,
             include_entropy=include_entropy,
+            tenant=tenant,
         )
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def answer(self, question: str) -> Answer:
+    def answer(self, question: str,
+               tenant: Optional[TenantContext] = None) -> Answer:
         """Full answer path: comparison decomposition, then one plan.
 
         Comparison questions ("Compare X and Y ...") decompose into
         per-entity sub-questions first, each compiled and executed
-        through its own plan.
+        through its own plan (each sub-plan under the same tenant).
         """
-        comparer = ComparativeQA(self._slm(), self.answer_single)
+        comparer = ComparativeQA(
+            self._slm(),
+            lambda sub: self.answer_single(sub, tenant=tenant),
+        )
         compared = self._resilience().shield(
             "compare", "try_answer", lambda: comparer.try_answer(question),
         )
         if compared is not None and not compared.abstained:
             compared.metadata.setdefault("route", "comparison")
             return compared
-        return self.answer_single(question)
+        return self.answer_single(question, tenant=tenant)
 
-    def answer_single(self, question: str) -> Answer:
+    def answer_single(self, question: str,
+                      tenant: Optional[TenantContext] = None) -> Answer:
         """Compile one (non-comparison) question and execute its plan."""
-        return self.execute(self.compile(question))
+        return self.execute(self.compile(question, tenant=tenant),
+                            tenant=tenant)
 
-    def execute(self, plan: FederatedPlan) -> Answer:
+    def execute(self, plan: FederatedPlan,
+                tenant: Optional[TenantContext] = None) -> Answer:
         """Interpret *plan* stage by stage under the resilience guard.
 
         Each due stage dispatches through :data:`STAGE_HANDLERS`;
@@ -191,10 +231,24 @@ class PlanExecutor:
         ``answer_with_uncertainty`` surface drives entropy sampling
         with its own parameters (sample count, temperature, seed) that
         a compiled plan does not carry.
+
+        With a *tenant* context the plan first passes the fail-closed
+        :func:`~repro.tenancy.check_tenancy` gate — a stage missing (or
+        carrying a foreign) RLS/scope parameter makes the whole request
+        a typed abstention before any engine runs — and the run's
+        ``plan_key`` becomes ``(tenant, signature)`` so downstream plan
+        caching can never cross tenants.
         """
         manager = self._resilience()
+        if tenant is not None:
+            findings = tenancy_errors(check_tenancy(plan, tenant))
+            if findings:
+                return governance_abstain(tenant, findings)
+        plan_key = plan.signature()
+        if tenant is not None:
+            plan_key = tenant.cache_key(plan_key)
         state = _RunState(question=plan.question,
-                          plan_key=plan.signature())
+                          plan_key=plan_key, tenant=tenant)
 
         for stage in plan.stages:
             if stage.kind in INLINE_KINDS:
@@ -232,7 +286,8 @@ class PlanExecutor:
         result, event = manager.try_call(
             "structured", "answer",
             lambda: self._table_qa.answer(state.question,
-                                          plan_key=state.plan_key),
+                                          plan_key=state.plan_key,
+                                          tenant=state.tenant),
         )
         if event is not None:
             state.failed_engines.append("structured")
@@ -246,7 +301,7 @@ class PlanExecutor:
             return
         result, event = manager.try_call(
             "text", "answer",
-            lambda: text_qa.answer(state.question),
+            lambda: text_qa.answer(state.question, tenant=state.tenant),
         )
         if event is not None:
             state.failed_engines.append("text")

@@ -45,6 +45,7 @@ from ..storage.document.store import DocumentStore
 from ..storage.relational.database import Database
 from ..storage.textstore import TextStore
 from .answer import ANSWER_SYSTEM_HYBRID, Answer
+from ..tenancy import TenantContext
 from .executor import PlanExecutor, cross_check
 from .federation import FederatedRouter
 from .plan import FederatedPlan, render_plan
@@ -481,7 +482,8 @@ class HybridQAPipeline:
             self._build_engines()
         return manager
 
-    def answer(self, question: str) -> Answer:
+    def answer(self, question: str,
+               tenant: Optional[TenantContext] = None) -> Answer:
         """Answer through the hybrid route; never raises on backend faults.
 
         Comparison questions ("Compare X and Y ...") are decomposed
@@ -494,13 +496,18 @@ class HybridQAPipeline:
         exhausted engines degrade to the other modality (or a typed
         abstention) with the coping story recorded in
         ``metadata["degradation"]``.
+
+        *tenant* (a :class:`~repro.tenancy.TenantContext`, optional)
+        carries the request's governance explicitly — the pipeline
+        holds no tenant state of its own; ``None`` answers exactly as
+        a permissive single-tenant pipeline always has.
         """
         self._check_built()
         started = time.perf_counter()
         work_started = work_now(self._meter)
         with span("qa.answer") as sp:
             with self._resilience.question() as scope:
-                answer = self._executor.answer(question)
+                answer = self._executor.answer(question, tenant=tenant)
                 self._attach_degradation(answer, scope)
             sp.set("route", answer.metadata.get("route", "?"))
             sp.set("abstained", answer.abstained)
@@ -513,10 +520,18 @@ class HybridQAPipeline:
         return answer
 
     def compile_plan(self, question: str,
-                     include_entropy: bool = False) -> FederatedPlan:
-        """Compile *question* into its federated plan without executing."""
+                     include_entropy: bool = False,
+                     tenant: Optional[TenantContext] = None
+                     ) -> FederatedPlan:
+        """Compile *question* into its federated plan without executing.
+
+        With a *tenant* context the compiled stages carry governance
+        parameters (RLS/scope tokens), so two tenants with different
+        mandates get different plan signatures for the same question.
+        """
         self._check_built()
-        plan = self._executor.compile(question, include_entropy)
+        plan = self._executor.compile(question, include_entropy,
+                                      tenant=tenant)
         return self._annotate_shards(plan)
 
     def _annotate_shards(self, plan: FederatedPlan) -> FederatedPlan:

@@ -33,9 +33,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..storage.relational.plancheck import ERROR, WARNING, PlanDiagnostic
+from ..tenancy import TenantContext
 
 # ----------------------------------------------------------------------
 # Routing vocabulary (single source; federation/pipeline alias these)
@@ -203,7 +204,8 @@ class FederatedPlan:
 
 def compile_plan(question: str, decision,
                  has_text_engine: bool,
-                 include_entropy: bool = False) -> FederatedPlan:
+                 include_entropy: bool = False,
+                 tenant: Optional[TenantContext] = None) -> FederatedPlan:
     """Compile a routing *decision* for *question* into a plan DAG.
 
     *decision* duck-types :class:`~repro.qa.federation.RouteDecision`
@@ -220,7 +222,25 @@ def compile_plan(question: str, decision,
     * selection then cross-modal grounding, always;
     * an entropy-estimation stage when *include_entropy* is set
       (the ``answer_with_uncertainty`` surface).
+
+    *tenant* (a :class:`~repro.tenancy.TenantContext`, optional) is
+    where compile-time governance happens: the tenant's canonical RLS
+    token is bound onto every table stage and its document-scope token
+    onto every text stage, as ordinary ``params``. Because ``params``
+    are part of :meth:`PlanStage.signature`, governed plans get
+    per-tenant signatures — which is what keys the serving plan tier
+    apart per tenant — and :func:`repro.tenancy.check_tenancy` can
+    later verify the plan carries exactly its tenant's predicates.
+    A permissive tenant (or ``None``) injects nothing, so single-tenant
+    plans and their golden digests are byte-identical to before.
     """
+    rls_params: Tuple[Tuple[str, str], ...] = ()
+    scope_params: Tuple[Tuple[str, str], ...] = ()
+    if tenant is not None:
+        if tenant.rls:
+            rls_params = (("rls", tenant.rls_token()),)
+        if tenant.doc_scopes:
+            scope_params = (("scope", tenant.scope_token()),)
     route = decision.route
     stages: List[PlanStage] = [PlanStage(
         id="route", kind=STAGE_ROUTE, engine=ENGINE_ROUTER,
@@ -235,12 +255,12 @@ def compile_plan(question: str, decision,
         stages.append(PlanStage(
             id="synthesize", kind=STAGE_SYNTHESIZE_SPEC,
             engine=ENGINE_TABLEQA, depends_on=("route",),
-            when=WHEN_ROUTE,
+            when=WHEN_ROUTE, params=rls_params,
         ))
         stages.append(PlanStage(
             id="execute_table", kind=STAGE_EXECUTE_TABLE,
             engine=ENGINE_TABLEQA, depends_on=("synthesize",),
-            when=WHEN_ROUTE,
+            when=WHEN_ROUTE, params=rls_params,
         ))
         arm_heads.append("execute_table")
     if has_text_engine:
@@ -251,11 +271,12 @@ def compile_plan(question: str, decision,
         stages.append(PlanStage(
             id="retrieve", kind=STAGE_RETRIEVE_TOPOLOGY,
             engine=ENGINE_TEXTQA, depends_on=("route",), when=text_when,
+            params=scope_params,
         ))
         stages.append(PlanStage(
             id="execute_text", kind=STAGE_EXECUTE_TEXT,
             engine=ENGINE_TEXTQA, depends_on=("retrieve",),
-            when=text_when,
+            when=text_when, params=scope_params,
         ))
         arm_heads.append("execute_text")
         # The degradation ladder's last rung: with the text side down
@@ -265,12 +286,12 @@ def compile_plan(question: str, decision,
         stages.append(PlanStage(
             id="synthesize_rescue", kind=STAGE_SYNTHESIZE_SPEC,
             engine=ENGINE_TABLEQA, depends_on=("route", "execute_text"),
-            when=WHEN_RESCUE_FAILED,
+            when=WHEN_RESCUE_FAILED, params=rls_params,
         ))
         stages.append(PlanStage(
             id="execute_table_rescue", kind=STAGE_EXECUTE_TABLE,
             engine=ENGINE_TABLEQA, depends_on=("synthesize_rescue",),
-            when=WHEN_RESCUE_FAILED,
+            when=WHEN_RESCUE_FAILED, params=rls_params,
         ))
         arm_heads.append("execute_table_rescue")
     stages.append(PlanStage(

@@ -56,7 +56,11 @@ from ..obs import (
     span,
 )
 from .answer import ANSWER_SYSTEM_HYBRID, ANSWER_SYSTEM_RAG, Answer
-from .executor import INLINE_KINDS, STAGE_HANDLERS, PlanExecutor, _RunState
+from ..tenancy import TenantContext, check_tenancy, tenancy_errors
+from .executor import (
+    INLINE_KINDS, STAGE_HANDLERS, PlanExecutor, _RunState,
+    governance_abstain,
+)
 from .federation import best_answer
 from .plan import (
     ROUTE_HYBRID, STAGE_EXECUTE_TABLE, STAGE_EXECUTE_TEXT,
@@ -311,15 +315,22 @@ class SpeculativeExecutor(PlanExecutor):
         """The capability gate this executor consults per plan."""
         return self._gate
 
-    def execute(self, plan: FederatedPlan) -> Answer:
-        """Run *plan* speculatively when the gate clears it."""
+    def execute(self, plan: FederatedPlan,
+                tenant: Optional[TenantContext] = None) -> Answer:
+        """Run *plan* speculatively when the gate clears it.
+
+        The tenant context threads through both paths identically: the
+        sequential fallback is ``super().execute(plan, tenant)`` and
+        the speculative scheduler runs its own fail-closed
+        ``check_tenancy`` gate before any arm dispatches.
+        """
         arms = extract_arms(plan)
         decision = self._gate.clearance(plan, arms)
         if not decision.speculative:
             incr("speculation.sequential")
-            return super().execute(plan)
+            return super().execute(plan, tenant=tenant)
         incr("speculation.plans")
-        return self._execute_speculative(plan, decision)
+        return self._execute_speculative(plan, decision, tenant=tenant)
 
     def explain_speculation(self, plan: FederatedPlan) -> List[str]:
         """Human-readable gate clearance for ``--explain-plan``."""
@@ -349,18 +360,29 @@ class SpeculativeExecutor(PlanExecutor):
     # The deterministic arm scheduler
     # ------------------------------------------------------------------
     def _execute_speculative(self, plan: FederatedPlan,
-                             decision: GateDecision) -> Answer:
+                             decision: GateDecision,
+                             tenant: Optional[TenantContext] = None
+                             ) -> Answer:
         """Interpret *plan* with raced arms and per-arm isolation.
 
         Arms dispatch in fixed plan order; an arm whose cancellation
         predicate (the sequential ``_due`` condition) is already false
         at its slot is the race's loser and is cancelled without
         dispatching. Join stages (``SelectBest``/``Ground``) run
-        exactly as in the sequential interpreter.
+        exactly as in the sequential interpreter. Governance mirrors
+        the sequential path exactly: the same ``check_tenancy`` gate,
+        the same tenant-scoped ``plan_key``.
         """
         manager = self._resilience()
+        if tenant is not None:
+            findings = tenancy_errors(check_tenancy(plan, tenant))
+            if findings:
+                return governance_abstain(tenant, findings)
+        plan_key = plan.signature()
+        if tenant is not None:
+            plan_key = tenant.cache_key(plan_key)
         state = _RunState(question=plan.question,
-                          plan_key=plan.signature())
+                          plan_key=plan_key, tenant=tenant)
         by_head = {arm.head_id: arm for arm in decision.arms}
         pending = list(decision.arms)
         started: Dict[str, int] = {}

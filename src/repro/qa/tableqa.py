@@ -8,15 +8,18 @@ only exist in unstructured text.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Optional
 
 from ..errors import ExecutionError, PlanError, SynthesisError
 from ..obs import span
 from ..semql.catalog import SchemaCatalog
 from ..semql.compiler import QueryCompiler
+from ..semql.logical import FilterSpec, QuerySpec
 from ..semql.synthesizer import OperatorSynthesizer
 from ..storage.relational.database import Database
 from ..storage.relational.executor import ResultSet
+from ..tenancy import TenantContext
 from .answer import ANSWER_SYSTEM_TEXT2SQL, Answer
 
 
@@ -56,13 +59,22 @@ class TableQAEngine:
 
     # ------------------------------------------------------------------
     def answer(self, question: str,
-               plan_key: Optional[Any] = None) -> Answer:
+               plan_key: Optional[Any] = None,
+               tenant: Optional[TenantContext] = None) -> Answer:
         """Synthesize, compile, execute; abstains on unbound questions.
 
         *plan_key* overrides the plan-cache key — the executor passes
         the federated plan's :meth:`~repro.qa.plan.FederatedPlan.
         signature` so the serving plan tier keys off one principled
         identity instead of the raw question string.
+
+        *tenant* (a :class:`~repro.tenancy.TenantContext`, optional)
+        applies row-level security *before* execution: a synthesized
+        spec touching a table outside the tenant's catalog becomes a
+        typed abstention, and every table with mandated RLS conjuncts
+        has them appended to the spec's filters. Specs are cached in
+        their governed form — callers pass tenant-scoped ``plan_key``s,
+        so a cached spec always carries the right tenant's predicates.
         """
         key = plan_key if plan_key is not None else question
         with span("qa.tableqa") as sp:
@@ -73,6 +85,21 @@ class TableQAEngine:
                     sp.set("plan_cached", spec is not None)
                 if spec is None:
                     spec = self._synthesizer.synthesize(question)
+                    if tenant is not None:
+                        blocked = self._invisible_tables(spec, tenant)
+                        if blocked:
+                            sp.set("abstained", True)
+                            answer = Answer.abstain(
+                                self._system,
+                                reason="tenancy: table(s) %s outside "
+                                "tenant %r's catalog" % (
+                                    ", ".join(blocked),
+                                    tenant.tenant_id,
+                                ),
+                            )
+                            answer.metadata["tenancy"] = "blocked"
+                            return answer
+                        spec = _inject_rls(spec, tenant)
                     if self._plan_cache is not None:
                         self._plan_cache.put(key, spec)
                 result = self._compiler.execute(spec)
@@ -82,6 +109,15 @@ class TableQAEngine:
             sp.set("abstained", False)
             sp.set("rows", len(result.rows))
             return self._verbalize(question, spec.describe(), result)
+
+    @staticmethod
+    def _invisible_tables(spec: QuerySpec,
+                          tenant: TenantContext) -> list:
+        """Tables the spec touches outside the tenant's catalog."""
+        touched = [spec.table] + [join.table for join in spec.joins]
+        return sorted(
+            {t for t in touched if not tenant.table_visible(t)}
+        )
 
     def _verbalize(self, question: str, plan_text: str,
                    result: ResultSet) -> Answer:
@@ -121,6 +157,26 @@ class TableQAEngine:
             system=self._system, provenance=provenance,
             metadata={"plan": plan_text},
         )
+
+
+def _inject_rls(spec: QuerySpec, tenant: TenantContext) -> QuerySpec:
+    """Append the tenant's mandated conjuncts for every touched table.
+
+    Injection is idempotent (filters are deduplicated), so re-governing
+    an already-governed spec — e.g. one loaded from a tenant-scoped
+    plan cache — is a no-op. An RLS column the table does not have
+    fails closed downstream: the compiler raises ``PlanError`` and the
+    engine abstains.
+    """
+    touched = [spec.table] + [join.table for join in spec.joins]
+    extra = []
+    for table in touched:
+        for rule in tenant.rules_for(table):
+            extra.append(FilterSpec(rule.column, rule.op, rule.value))
+    if not extra:
+        return spec
+    filters = tuple(dict.fromkeys(tuple(spec.filters) + tuple(extra)))
+    return replace(spec, filters=filters)
 
 
 def _format_value(value: Any) -> str:

@@ -7,11 +7,12 @@ E2/E6. Either way the answer carries chunk-level provenance.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..obs import span
 from ..retrieval.base import RetrievedChunk, Retriever
 from ..slm.model import SmallLanguageModel
+from ..tenancy import TenantContext
 from .answer import ANSWER_SYSTEM_RAG, Answer
 
 
@@ -38,14 +39,26 @@ class TextQAEngine:
         self._system = system_name
         self._verify = verify_grounding
 
-    def retrieve(self, question: str) -> List[RetrievedChunk]:
-        """The retrieval half, exposed for inspection and benches."""
-        return self._retriever.retrieve(question, self._k)
+    def retrieve(self, question: str,
+                 tenant: Optional[TenantContext] = None
+                 ) -> List[RetrievedChunk]:
+        """The retrieval half, exposed for inspection and benches.
 
-    def answer(self, question: str) -> Answer:
+        With a *tenant* context the hit list is filtered to the
+        tenant's visible document scopes **after** retrieval, so an
+        out-of-scope document can never reach generation, provenance
+        or the entailment verifier.
+        """
+        hits = self._retriever.retrieve(question, self._k)
+        if tenant is None or not tenant.doc_scopes:
+            return hits
+        return [h for h in hits if tenant.doc_visible(h.chunk.doc_id)]
+
+    def answer(self, question: str,
+               tenant: Optional[TenantContext] = None) -> Answer:
         """Retrieve context and generate one (verified) answer."""
         with span("qa.textqa") as sp:
-            hits = self.retrieve(question)
+            hits = self.retrieve(question, tenant=tenant)
             contexts = [hit.chunk.text for hit in hits]
             generation = self._slm.generate(
                 question, contexts, temperature=self._temperature

@@ -22,7 +22,8 @@ see ``docs/serving.md``.
 """
 
 from .admission import (
-    ANSWER_SYSTEM_SERVING, AdmissionController, AdmissionPolicy,
+    ANSWER_SYSTEM_SERVING, SHED_BUDGET, SHED_QUEUE, SHED_TENANT_QUOTA,
+    SHED_TENANT_UNKNOWN, AdmissionController, AdmissionPolicy,
     shed_answer,
 )
 from .cache import (
@@ -35,15 +36,16 @@ from .scheduler import (
     BatchScheduler, METRIC_REQUEST_WORK, ServeRequest, ServeResult,
     normalize_question,
 )
-from .server import QueryServer
+from .server import QueryServer, tenant_kind
 from .workload import (
     OPS, load_workload, parse_workload, render_jsonl,
     repeated_questions, request_from_record,
 )
 
 __all__ = [
-    "ANSWER_SYSTEM_SERVING", "AdmissionController", "AdmissionPolicy",
-    "shed_answer",
+    "ANSWER_SYSTEM_SERVING", "SHED_BUDGET", "SHED_QUEUE",
+    "SHED_TENANT_QUOTA", "SHED_TENANT_UNKNOWN", "AdmissionController",
+    "AdmissionPolicy", "shed_answer",
     "ANSWER_DEPS", "KIND_DOCUMENT", "KIND_GRAPH", "KIND_RELATIONAL",
     "KIND_TEXT", "PLAN_DEPS", "RETRIEVAL_DEPS", "STORE_KINDS",
     "AnswerCache", "CachePolicy", "Generations", "MultiTierCache",
@@ -51,7 +53,7 @@ __all__ = [
     "CachingRetriever",
     "BatchScheduler", "METRIC_REQUEST_WORK", "ServeRequest",
     "ServeResult", "normalize_question",
-    "QueryServer",
+    "QueryServer", "tenant_kind",
     "OPS", "load_workload", "parse_workload", "render_jsonl",
     "repeated_questions", "request_from_record",
 ]

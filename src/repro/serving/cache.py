@@ -155,30 +155,39 @@ class AnswerCache:
         """The backing LRU (stats and tests)."""
         return self._lru
 
-    def stamp(self) -> Any:
+    def stamp(self, extra: Tuple[str, ...] = ()) -> Any:
         """The current answer-tier generation stamp.
 
-        Unsharded: a plain tuple over the fixed kind order. Sharded: a
+        Unsharded: a plain tuple over the fixed kind order plus any
+        *extra* registered kinds (the server appends the requesting
+        tenant's ``tenant:<id>`` counter, so bumping one tenant's
+        generation drops exactly that tenant's entries). Sharded: a
         :class:`~repro.sharding.ShardStamp` over every registered kind
-        (per-shard counters included) — entries carry a *restricted*
-        stamp naming only the shards they read, and the intersection-
-        keyed comparison lets a single-shard write invalidate only the
-        entries that touched that shard.
+        (per-shard and per-tenant counters included) — entries carry a
+        *restricted* stamp naming only the kinds they depend on, and
+        the intersection-keyed comparison lets a single-shard write or
+        single-tenant bump invalidate only the entries that touched it.
         """
         if self._sharded:
             return ShardStamp(self._generations.snapshot())
-        return self._generations.stamp(ANSWER_DEPS)
+        return self._generations.stamp(tuple(ANSWER_DEPS) + tuple(extra))
 
-    def get(self, question: str) -> Optional[Any]:
-        """A private copy of the cached answer, or None."""
-        answer = self._lru.get(question, tag=self.stamp())
+    def get(self, question: Any,
+            extra: Tuple[str, ...] = ()) -> Optional[Any]:
+        """A private copy of the cached answer, or None.
+
+        *question* is whatever key the server chose — since the tenancy
+        refactor that is the uniform ``(tenant_id, question)`` pair, so
+        two tenants asking the same words can never share an entry.
+        """
+        answer = self._lru.get(question, tag=self.stamp(extra))
         if answer is None:
             incr("serving.cache.answer.miss")
             return None
         incr("serving.cache.answer.hit")
         return copy.deepcopy(answer)
 
-    def put(self, question: str, answer: Any, cost: int,
+    def put(self, question: Any, answer: Any, cost: int,
             tag: Any) -> None:
         """Store *answer* under the stamp its computation started from.
 

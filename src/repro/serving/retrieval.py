@@ -37,20 +37,27 @@ class CachingRetriever:
 
     def __init__(self, inner: Any, cache: CostAwareLRU,
                  generations: Generations, meter: CostMeter,
-                 fault_witness: Optional[Callable[[], int]] = None):
+                 fault_witness: Optional[Callable[[], int]] = None,
+                 scope: Optional[Callable[[], str]] = None):
         self._inner = inner
         self._cache = cache
         self._generations = generations
         self._meter = meter
         self._fault_witness = fault_witness
+        self._scope = scope
 
     @property
     def wrapped_retriever(self) -> Any:
         """The retriever this proxy caches over."""
         return self._inner
 
-    def _key(self, query: str, k: int) -> Tuple[str, str, int]:
-        return (getattr(self._inner, "name", "retriever"), query, k)
+    def _key(self, query: str, k: int) -> Tuple[str, str, str, int]:
+        # The scope provider names the tenant the current request runs
+        # under; entries from different tenants never share a key, so
+        # the retrieval tier is provably isolation-safe by keying alone.
+        scope = self._scope() if self._scope is not None else ""
+        return (getattr(self._inner, "name", "retriever"), scope,
+                query, k)
 
     def retrieve(self, query: str, k: int = 5) -> List[Any]:
         """Cached retrieval; byte-identical to the wrapped retriever.

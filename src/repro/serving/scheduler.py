@@ -55,11 +55,17 @@ def normalize_question(question: str) -> str:
 
 @dataclass(frozen=True)
 class ServeRequest:
-    """One workload operation: a question or a store write."""
+    """One workload operation: a question or a store write.
+
+    ``tenant`` names the :class:`~repro.tenancy.TenantContext` the
+    request runs under; the permissive ``"default"`` keeps untenanted
+    workloads byte-identical to before.
+    """
 
     op: str  # "ask" | "sql" | "add_doc" | "add_text"
     payload: Dict[str, Any] = field(default_factory=dict)
     session: str = "default"
+    tenant: str = "default"
 
 
 @dataclass
@@ -80,12 +86,19 @@ class ServeResult:
     shed: bool = False
     deduped: bool = False
     work: int = 0
+    tenant: str = "default"
 
 
 class BatchScheduler:
-    """Run request streams through micro-batches and write barriers."""
+    """Run request streams through micro-batches and write barriers.
 
-    def __init__(self, answer_fn: Callable[[str], Answer],
+    *answer_fn* takes ``(question, tenant_id)``: single-flight dedup
+    keys on that same pair, so identical questions from **different**
+    tenants never merge — each tenant's answer is computed under its
+    own governance, a structural guarantee rather than a cache policy.
+    """
+
+    def __init__(self, answer_fn: Callable[[str, str], Answer],
                  write_fn: Callable[[ServeRequest], str],
                  meter: CostMeter, batch_size: int = 8,
                  admission: Optional[AdmissionController] = None):
@@ -116,7 +129,7 @@ class BatchScheduler:
                     self.n_shed += 1
                     results[index] = ServeResult(
                         index, request.op, request.session,
-                        answer=shed, shed=True,
+                        answer=shed, shed=True, tenant=request.tenant,
                     )
                     continue
                 depth += 1
@@ -137,6 +150,7 @@ class BatchScheduler:
                 results[index] = ServeResult(
                     index, request.op, request.session, detail=detail,
                     work=work_now(self._meter) - started,
+                    tenant=request.tenant,
                 )
         self._flush(buffer, results)
         return [r for r in results if r is not None]
@@ -154,36 +168,41 @@ class BatchScheduler:
         self.batch_sizes.append(len(buffer))
         with span("serving.batch") as sp:
             sp.set("size", len(buffer))
-            answered: Dict[str, Answer] = {}
+            answered: Dict[Tuple[str, str], Answer] = {}
             for index, request, question in buffer:
-                shed = (self._admission.admit(request.session)
+                shed = (self._admission.admit(request.session,
+                                              tenant=request.tenant)
                         if self._admission is not None else None)
                 if shed is not None:
                     self.n_shed += 1
                     results[index] = ServeResult(
                         index, request.op, request.session,
-                        answer=shed, shed=True,
+                        answer=shed, shed=True, tenant=request.tenant,
                     )
                     continue
-                deduped = question in answered
+                # Single-flight merges only same-tenant duplicates: two
+                # tenants asking the same words are different queries.
+                flight_key = (request.tenant, question)
+                deduped = flight_key in answered
                 if deduped:
                     # Single-flight: the in-batch duplicate rides the
                     # first requester's computation and costs nothing.
                     self.n_deduped += 1
                     incr("serving.batch.deduped")
-                    answer = copy.deepcopy(answered[question])
+                    answer = copy.deepcopy(answered[flight_key])
                     work = 0
                 else:
                     started = work_now(self._meter)
-                    answer = self._answer_fn(question)
+                    answer = self._answer_fn(question, request.tenant)
                     work = work_now(self._meter) - started
-                    answered[question] = answer
+                    answered[flight_key] = answer
                 if self._admission is not None:
-                    self._admission.charge(request.session, work)
+                    self._admission.charge(request.session, work,
+                                           tenant=request.tenant)
                 observe(METRIC_REQUEST_WORK, work)
                 results[index] = ServeResult(
                     index, request.op, request.session, answer=answer,
-                    deduped=deduped, work=work,
+                    deduped=deduped, work=work, tenant=request.tenant,
                 )
             sp.set("unique", len(answered))
 

@@ -26,12 +26,16 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from ..errors import TenancyError
 from ..metering import CostMeter
 from ..obs import incr, span
 from ..qa.answer import Answer
 from ..qa.pipeline import HybridQAPipeline
 from ..resilience import work_now
-from .admission import AdmissionController, AdmissionPolicy
+from ..tenancy import DEFAULT_TENANT, TenantRegistry
+from .admission import (
+    SHED_TENANT_UNKNOWN, AdmissionController, AdmissionPolicy, shed_answer,
+)
 from .cache import (
     KIND_DOCUMENT, KIND_GRAPH, KIND_RELATIONAL, KIND_TEXT, CachePolicy,
     Generations, MultiTierCache,
@@ -47,13 +51,19 @@ def _shard_kind(index: int) -> str:
     return "%s:shard:%d" % (KIND_RELATIONAL, index)
 
 
+def tenant_kind(tenant_id: str) -> str:
+    """The generation-counter kind for one tenant's cached answers."""
+    return "tenant:%s" % tenant_id
+
+
 class QueryServer:
     """Serve questions and writes over one built pipeline."""
 
     def __init__(self, pipeline: HybridQAPipeline,
                  policy: Optional[CachePolicy] = None,
                  admission: Optional[AdmissionPolicy] = None,
-                 batch_size: int = 8):
+                 batch_size: int = 8,
+                 tenants: Optional[TenantRegistry] = None):
         self._pipeline = pipeline
         self._meter: CostMeter = pipeline.meter
         self._policy = policy or CachePolicy()
@@ -62,7 +72,21 @@ class QueryServer:
         self._tiers = MultiTierCache(self._policy, self._generations,
                                      self._meter,
                                      sharded=self._shard_set is not None)
+        self._tenants = tenants if tenants is not None else TenantRegistry(())
+        # Per-tenant generation counters: bumping one tenant's counter
+        # (spec reload, revocation) drops exactly that tenant's cached
+        # answers and nobody else's.
+        for context in self._tenants.contexts:
+            self._generations.register(tenant_kind(context.tenant_id))
+        # Which tenant the request currently on the answer path runs
+        # as — instance state (one server, one request at a time), set
+        # and restored around every pipeline call; never module-global.
+        self._active_tenant = DEFAULT_TENANT
+        self._tenant_cache: Dict[str, Dict[str, int]] = {}
         self._admission = AdmissionController(admission)
+        self._admission.set_tenants(
+            self._tenants, lambda: work_now(self._meter)
+        )
         self._scheduler = BatchScheduler(
             self._answer, self._apply_write, self._meter,
             batch_size=batch_size, admission=self._admission,
@@ -113,10 +137,26 @@ class QueryServer:
         """The admission controller (inspection and tests)."""
         return self._admission
 
+    @property
+    def tenants(self) -> TenantRegistry:
+        """The tenant registry this server enforces."""
+        return self._tenants
+
+    def invalidate_tenant(self, tenant_id: str) -> None:
+        """Drop one tenant's cached answers (spec reload / revocation).
+
+        Bumps only that tenant's generation counter: every other
+        tenant's entries — and every other cache tier — stay warm.
+        """
+        self._tenants.context(tenant_id)  # raises on unknown tenant
+        self._generations.bump(tenant_kind(tenant_id))
+        incr("serving.tenant.invalidated")
+
     def _wrap_retriever(self, retriever: Any) -> CachingRetriever:
         return CachingRetriever(
             retriever, self._tiers.retrieval, self._generations,
             self._meter, fault_witness=self._fault_count,
+            scope=lambda: self._active_tenant,
         )
 
     def _fault_count(self) -> int:
@@ -141,17 +181,20 @@ class QueryServer:
         if self._shard_set is not None:
             self._shard_set.reset_touched()
 
-    def _entry_tag(self, stamp: Any) -> Any:
+    def _entry_tag(self, stamp: Any, tenant: str) -> Any:
         """The dependency-restricted tag a fresh answer is stored under.
 
-        Unsharded, the tag is the pre-compute stamp unchanged. Sharded,
-        it is the stamp restricted to the coarse non-relational kinds
-        plus exactly the relational shards the answer read — so a write
-        into any *other* shard leaves the entry valid.
+        Unsharded, the tag is the pre-compute stamp unchanged (it
+        already covers the requesting tenant's counter). Sharded, it is
+        the stamp restricted to the coarse non-relational kinds, the
+        tenant's own counter, plus exactly the relational shards the
+        answer read — so a write into any *other* shard, or another
+        tenant's invalidation, leaves the entry valid.
         """
         if self._shard_set is None:
             return stamp
-        kinds = [KIND_DOCUMENT, KIND_TEXT, KIND_GRAPH]
+        kinds = [KIND_DOCUMENT, KIND_TEXT, KIND_GRAPH,
+                 tenant_kind(tenant)]
         kinds.extend(sorted(
             _shard_kind(index)
             for kind, index in self._shard_set.touched()
@@ -162,28 +205,59 @@ class QueryServer:
     # ------------------------------------------------------------------
     # The answer path
     # ------------------------------------------------------------------
-    def _answer(self, question: str) -> Answer:
-        """Answer one (already normalized) question through the caches."""
+    def _answer(self, question: str,
+                tenant: str = DEFAULT_TENANT) -> Answer:
+        """Answer one (already normalized) question through the caches.
+
+        The tenant's :class:`~repro.tenancy.TenantContext` is resolved
+        here and threaded through the whole answer path: the answer
+        cache is keyed ``(tenant_id, question)``, the retrieval tier is
+        scoped by the active tenant, and the pipeline compiles the plan
+        under the tenant's governance (RLS injection + the fail-closed
+        ``check_tenancy`` gate).
+        """
+        try:
+            context = self._tenants.context(tenant)
+        except TenancyError as exc:
+            # Admission sheds unknown tenants first; this is the
+            # defence-in-depth for direct callers. Fail closed.
+            incr("serving.tenant.unknown")
+            return shed_answer(SHED_TENANT_UNKNOWN, str(exc))
+        incr("serving.tenant.request")
+        kind = tenant_kind(tenant)
+        key = context.cache_key(question)
+        record = self._tenant_cache.setdefault(
+            tenant, {"lookups": 0, "hits": 0}
+        )
         answers = self._tiers.answers
         if answers is not None:
-            hit = answers.get(question)
+            record["lookups"] += 1
+            hit = answers.get(key, extra=(kind,))
             if hit is not None:
+                record["hits"] += 1
+                incr("serving.tenant.cache_hit")
                 return hit
-        stamp = answers.stamp() if answers is not None else None
+        stamp = (answers.stamp(extra=(kind,))
+                 if answers is not None else None)
         faults_before = self._fault_count()
         self._begin_touch()
-        started = work_now(self._meter)
-        answer = self._pipeline.answer(question)
-        cost = work_now(self._meter) - started
+        previous = self._active_tenant
+        self._active_tenant = tenant
+        try:
+            started = work_now(self._meter)
+            answer = self._pipeline.answer(question, tenant=context)
+            cost = work_now(self._meter) - started
+        finally:
+            self._active_tenant = previous
         if answers is not None and self._cacheable(
-            answer, faults_before, stamp
+            answer, faults_before, stamp, kind
         ):
-            answers.put(question, answer, cost=cost,
-                        tag=self._entry_tag(stamp))
+            answers.put(key, answer, cost=cost,
+                        tag=self._entry_tag(stamp, tenant))
         return answer
 
     def _cacheable(self, answer: Answer, faults_before: int,
-                   stamp: Any) -> bool:
+                   stamp: Any, kind: str) -> bool:
         if answer.metadata.get("degraded"):
             incr("serving.cache.answer.uncacheable")
             return False
@@ -192,7 +266,7 @@ class QueryServer:
             # marker); still refuse to cache anything a fault touched.
             incr("serving.cache.answer.uncacheable")
             return False
-        if self._tiers.answers.stamp() != stamp:
+        if self._tiers.answers.stamp(extra=(kind,)) != stamp:
             # A write raced the computation; the result may mix pre-
             # and post-write state.
             incr("serving.cache.answer.uncacheable")
@@ -202,14 +276,16 @@ class QueryServer:
     # ------------------------------------------------------------------
     # Public surface
     # ------------------------------------------------------------------
-    def ask(self, question: str, session: str = "default") -> Answer:
+    def ask(self, question: str, session: str = "default",
+            tenant: str = DEFAULT_TENANT) -> Answer:
         """Answer one question through admission + caches; never raises."""
-        shed = self._admission.admit(session)
+        shed = self._admission.admit(session, tenant=tenant)
         if shed is not None:
             return shed
         started = work_now(self._meter)
-        answer = self._answer(normalize_question(question))
-        self._admission.charge(session, work_now(self._meter) - started)
+        answer = self._answer(normalize_question(question), tenant)
+        self._admission.charge(session, work_now(self._meter) - started,
+                               tenant=tenant)
         return answer
 
     def serve(self, requests: List[ServeRequest]) -> List[ServeResult]:
@@ -249,6 +325,19 @@ class QueryServer:
             return "ok (text %s reindexed)" % payload["doc_id"]
         raise ValueError("unknown write op %r" % request.op)
 
+    def _tenant_section(self) -> Dict[str, Dict[str, Any]]:
+        """Per-tenant serving statistics: admission + answer-cache."""
+        out = self._admission.tenant_stats()
+        for tenant, record in sorted(self._tenant_cache.items()):
+            entry = out.setdefault(tenant, {"requests": 0, "shed": 0})
+            entry["answer_lookups"] = record["lookups"]
+            entry["answer_hits"] = record["hits"]
+            entry["answer_hit_rate"] = (
+                round(record["hits"] / record["lookups"], 4)
+                if record["lookups"] else 0.0
+            )
+        return out
+
     def stats(self) -> Dict[str, Any]:
         """Cache, scheduler and admission statistics in one document."""
         out = {
@@ -256,6 +345,7 @@ class QueryServer:
             "scheduler": self._scheduler.stats(),
             "admission": self._admission.stats(),
             "speculation": self._speculation_stats(),
+            "tenants": self._tenant_section(),
         }
         if self._shard_set is not None:
             sharding = dict(self._shard_set.describe())

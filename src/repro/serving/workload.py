@@ -10,8 +10,9 @@ One request per line. ``op`` selects the shape:
     {"op": "add_doc", "doc_id": "d9", "document": {"name": "Gadget"}}
     {"op": "add_text", "doc_id": "t4", "text": "The Q3 report says ..."}
 
-``session`` is optional everywhere (default ``"default"``); blank lines
-and ``#`` comment lines are skipped. Writes act as batch barriers — see
+``session`` and ``tenant`` are optional everywhere (both default
+``"default"``, the permissive tenant); blank lines and ``#`` comment
+lines are skipped. Writes act as batch barriers — see
 :mod:`.scheduler`.
 """
 
@@ -99,11 +100,13 @@ def request_from_record(record: Dict[str, Any],
                 % (context, op, field_name, _snippet(repr(record)))
             )
     session = str(record.get("session", "default"))
+    tenant = str(record.get("tenant", "default"))
     payload = {
         key: value for key, value in record.items()
-        if key not in ("op", "session")
+        if key not in ("op", "session", "tenant")
     }
-    return ServeRequest(op=op, payload=payload, session=session)
+    return ServeRequest(op=op, payload=payload, session=session,
+                        tenant=tenant)
 
 
 def render_jsonl(requests: Sequence[ServeRequest]) -> str:
@@ -119,6 +122,8 @@ def render_jsonl(requests: Sequence[ServeRequest]) -> str:
         record.update(request.payload)
         if request.session != "default":
             record["session"] = request.session
+        if request.tenant != "default":
+            record["tenant"] = request.tenant
         lines.append(json.dumps(record, sort_keys=True))
     return "\n".join(lines) + ("\n" if lines else "")
 

@@ -1,0 +1,36 @@
+"""Multi-tenant governance: registry, contexts, static checks, quotas.
+
+The gateway layer that lets one federated stack serve many isolated
+organizations. Three pieces:
+
+* :class:`TenantRegistry` / :class:`TenantContext` — declarative JSON
+  tenant specs resolved into immutable per-request contexts (catalog
+  visibility, RLS predicates, document scopes, work-clock quota, SLO
+  tier). No mutable global anywhere.
+* :func:`check_tenancy` — the compile-time governance gate: a static
+  pass rejecting any plan whose stages do not carry exactly the
+  tenant's mandated RLS/scope parameters (fail-closed).
+* :class:`WorkClockBucket` — deterministic per-tenant token buckets on
+  the CostMeter work clock, backing serving-layer admission so one
+  greedy tenant sheds without degrading its neighbours.
+"""
+
+from .check import (
+    PARAM_BOUND_TABLES, PARAM_RLS, PARAM_SCOPE, ROUTE_KIND,
+    SEVERITY_ERROR, SEVERITY_WARNING, TABLE_KINDS, TEXT_KINDS,
+    TenancyDiagnostic, check_tenancy, tenancy_errors,
+)
+from .quota import WorkClockBucket, bucket_for
+from .registry import (
+    DEFAULT_TENANT, PERMISSIVE_DEFAULT, RLS_OPS, RLSRule, TenantContext,
+    TenantRegistry, validate_registry_data,
+)
+
+__all__ = [
+    "DEFAULT_TENANT", "PERMISSIVE_DEFAULT", "RLS_OPS", "RLSRule",
+    "TenantContext", "TenantRegistry", "validate_registry_data",
+    "PARAM_BOUND_TABLES", "PARAM_RLS", "PARAM_SCOPE", "ROUTE_KIND",
+    "SEVERITY_ERROR", "SEVERITY_WARNING", "TABLE_KINDS", "TEXT_KINDS",
+    "TenancyDiagnostic", "check_tenancy", "tenancy_errors",
+    "WorkClockBucket", "bucket_for",
+]

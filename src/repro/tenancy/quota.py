@@ -1,0 +1,82 @@
+"""Per-tenant work-clock token buckets.
+
+Quotas are measured on the CostMeter work clock (the sum of every
+counter — deterministic, machine-independent, monotone), never wall
+time, matching the budget/breaker discipline of the resilience layer.
+A bucket is *post-paid*: admission only requires a positive balance,
+and the request's actual work is charged afterwards, possibly driving
+the balance into debt that later refill pays down. This keeps
+admission O(1) without predicting request cost, while still bounding
+every tenant's long-run work rate at ``refill`` units of work per unit
+of cluster work-clock.
+
+Buckets are plain instance state owned by the admission controller —
+never module-level (the tenancy lint rule forbids that), so two
+servers or two tests can never share quota accounting by accident.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class WorkClockBucket:
+    """One tenant's deterministic token bucket on the work clock."""
+
+    def __init__(self, capacity: int, refill: float, now: int = 0):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if refill < 0:
+            raise ValueError("refill must be non-negative")
+        self._capacity = float(capacity)
+        self._refill = float(refill)
+        self._tokens = float(capacity)
+        self._clock = int(now)
+        self._spent = 0
+
+    def _advance(self, now: int) -> None:
+        if now > self._clock:
+            self._tokens = min(
+                self._capacity,
+                self._tokens + (now - self._clock) * self._refill,
+            )
+            self._clock = now
+
+    def admit(self, now: int) -> bool:
+        """May a request proceed at work-clock *now*?
+
+        True while the balance is positive; the request's true cost is
+        settled later via :meth:`charge`.
+        """
+        self._advance(now)
+        return self._tokens > 0.0
+
+    def charge(self, now: int, work: int) -> None:
+        """Settle *work* units of completed request cost."""
+        self._advance(now)
+        if work > 0:
+            self._tokens -= float(work)
+            self._spent += work
+
+    @property
+    def tokens(self) -> float:
+        """Current balance (may be negative: accumulated debt)."""
+        return self._tokens
+
+    @property
+    def capacity(self) -> int:
+        """The configured burst capacity."""
+        return int(self._capacity)
+
+    @property
+    def spent(self) -> int:
+        """Total work units this bucket has ever settled."""
+        return self._spent
+
+
+def bucket_for(capacity: Optional[int], refill: float,
+               now: int = 0) -> Optional[WorkClockBucket]:
+    """A bucket for a tenant quota, or None when the tenant is unlimited."""
+    if capacity is None:
+        return None
+    return WorkClockBucket(capacity, refill, now=now)

@@ -484,6 +484,56 @@ class TestModuleStateRule:
         assert findings == []
 
 
+class TestTenantStateRule:
+    def test_mutable_container_in_tenancy_flagged_unmutated(self):
+        # Stricter than module-state: no mutation needed, binding the
+        # container at module level is already the finding.
+        findings = run_rule("tenant-state", """\
+            _ACTIVE = {}
+            def lookup(key):
+                return _ACTIVE.get(key)
+        """, relpath="tenancy/anything.py")
+        assert len(findings) == 1
+        assert "'_ACTIVE'" in findings[0].message
+
+    def test_tuples_and_frozen_constants_ok(self):
+        findings = run_rule("tenant-state", """\
+            OPS = ("=", "!=")
+            NAME = "tenancy"
+        """, relpath="tenancy/registry.py")
+        assert findings == []
+
+    def test_dunder_names_exempt(self):
+        findings = run_rule("tenant-state", """\
+            __all__ = ["TenantContext"]
+        """, relpath="tenancy/__init__.py")
+        assert findings == []
+
+    def test_other_layers_unaffected(self):
+        findings = run_rule("tenant-state", """\
+            _CACHE = {}
+        """, relpath="serving/cache.py")
+        assert findings == []
+
+    def test_tenancy_layering_below_qa_and_serving(self):
+        findings = run_rule("layering", """\
+            from repro.qa import pipeline
+            x = pipeline
+        """, relpath="tenancy/check.py")
+        assert len(findings) == 1
+        findings = run_rule("layering", """\
+            from repro.errors import TenancyError
+            from repro.storage.relational import Database
+            x = (TenancyError, Database)
+        """, relpath="tenancy/registry.py")
+        assert findings == []
+        findings = run_rule("layering", """\
+            from repro.tenancy import TenantContext
+            x = TenantContext
+        """, relpath="serving/server.py")
+        assert findings == []
+
+
 # ----------------------------------------------------------------------
 # import-cycle (project scope)
 # ----------------------------------------------------------------------

@@ -322,6 +322,124 @@ class TestHarness:
 
 
 # ----------------------------------------------------------------------
+# Tenant mix, tenant SLO tiers, per-tenant measurements
+# ----------------------------------------------------------------------
+
+TENANT_REGISTRY = {"tenants": [
+    {"id": "greedy", "quota": {"capacity": 10, "refill": 0.0}},
+    {"id": "quiet"},
+]}
+
+
+class TestTenantMix:
+    def test_mix_without_registry_fails_closed(self):
+        with pytest.raises(LoadGenError):
+            LoadSpec.from_dict(dict(SPEC, tenants={"acme": 1}))
+
+    def test_mix_naming_unregistered_tenant_raises(self):
+        with pytest.raises(LoadGenError):
+            LoadSpec.from_dict(dict(
+                SPEC, tenants={"stranger": 1},
+                tenant_registry=TENANT_REGISTRY))
+
+    def test_bad_weights_raise(self):
+        for weights in ({}, {"greedy": 0}, {"greedy": "lots"},
+                        {"greedy": True}):
+            with pytest.raises(LoadGenError):
+                LoadSpec.from_dict(dict(
+                    SPEC, tenants=weights,
+                    tenant_registry=TENANT_REGISTRY))
+
+    def test_invalid_embedded_registry_raises(self):
+        with pytest.raises(LoadGenError):
+            LoadSpec.from_dict(dict(
+                SPEC, tenant_registry={"tenants": [{"id": "x",
+                                                    "tier": "gold"}]}))
+
+    def test_roundtrip_and_seeded_tenant_draw(self):
+        spec = LoadSpec.from_dict(dict(
+            SPEC, tenants={"greedy": 3, "quiet": 1},
+            tenant_registry=TENANT_REGISTRY))
+        assert LoadSpec.from_dict(spec.to_dict()) == spec
+        first = generate_workload(spec, QUESTIONS)
+        second = generate_workload(spec, QUESTIONS)
+        assert first == second
+        tenants = [r.tenant for b in first for r in b.requests
+                   if r.op == "ask"]
+        assert set(tenants) == {"greedy", "quiet"}
+        assert tenants.count("greedy") > tenants.count("quiet")
+
+    def test_untenanted_spec_draws_default_only(self):
+        spec = LoadSpec.from_dict(dict(SPEC))
+        tenants = {r.tenant for b in generate_workload(spec, QUESTIONS)
+                   for r in b.requests}
+        assert tenants == {"default"}
+
+
+class TestTenantSLOTiers:
+    def test_tenant_tiers_parse_and_roundtrip(self):
+        slo = SLOSpec.from_dict({
+            "name": "tiers",
+            "error_rate_max": 0.0,
+            "tenants": {"greedy": {"shed_rate_min": 0.2},
+                        "quiet": {"shed_rate_max": 0.0}},
+        })
+        assert SLOSpec.from_dict(slo.to_dict()) == slo
+
+    def test_empty_tier_and_unknown_tier_gate_raise(self):
+        with pytest.raises(LoadGenError):
+            SLOSpec.from_dict({"tenants": {"greedy": {}}})
+        with pytest.raises(LoadGenError):
+            SLOSpec.from_dict({"tenants": {"greedy": {"nope": 1}}})
+
+    def test_tier_gates_read_prefixed_metrics(self):
+        slo = SLOSpec.from_dict({
+            "tenants": {"greedy": {"shed_rate_min": 0.2},
+                        "quiet": {"shed_rate_max": 0.0}},
+        })
+        report = evaluate({"tenant.greedy.shed_rate": 0.5,
+                           "tenant.quiet.shed_rate": 0.0}, slo)
+        assert report.passed
+        labels = [r.gate for r in report.results]
+        assert labels == ["tenants.greedy.shed_rate_min",
+                          "tenants.quiet.shed_rate_max"]
+        report = evaluate({"tenant.greedy.shed_rate": 0.0,
+                           "tenant.quiet.shed_rate": 0.0}, slo)
+        assert [r.gate for r in report.failures()] == [
+            "tenants.greedy.shed_rate_min"]
+
+    def test_tier_on_unmeasured_tenant_raises(self):
+        slo = SLOSpec.from_dict(
+            {"tenants": {"ghost": {"shed_rate_max": 0.0}}})
+        with pytest.raises(LoadGenError):
+            evaluate({"shed_rate": 0.0}, slo)
+
+
+class TestTenantHarness:
+    def test_quota_isolation_end_to_end(self):
+        spec = LoadSpec.from_dict(dict(
+            SPEC, tenants={"greedy": 2, "quiet": 1},
+            tenant_registry=TENANT_REGISTRY))
+        slo = SLOSpec.from_dict({
+            "error_rate_max": 0.0,
+            "tenants": {"greedy": {"shed_rate_min": 0.1},
+                        "quiet": {"shed_rate_max": 0.0}},
+        })
+        report = run_load(spec, slo)
+        m = report.measurements
+        assert m["tenant.greedy.asks"] + m["tenant.quiet.asks"] \
+            == m["asks"]
+        assert m["tenant.greedy.shed"] > 0
+        assert m["tenant.quiet.shed"] == 0
+        assert report.passed, report.verdict.render()
+
+    def test_untenanted_measurements_have_no_tenant_keys(self):
+        report = run_load(LoadSpec.from_dict(dict(SPEC)))
+        assert not any(k.startswith("tenant.")
+                       for k in report.measurements)
+
+
+# ----------------------------------------------------------------------
 # CLI exit codes
 # ----------------------------------------------------------------------
 
